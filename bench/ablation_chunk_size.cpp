@@ -1,0 +1,34 @@
+/// Ablation (DESIGN.md §4): chunk size. The paper fixes chunks at 20 nodes
+/// citing earlier UTS studies; our scaled trees use 4. This bench sweeps the
+/// chunk size for the best strategy (Tofu Half) and the reference at a fixed
+/// scale, showing the trade-off: big chunks cut steal traffic but starve the
+/// stealable inventory (the private-chunk rule).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Ablation A", "chunk size vs speedup (not a paper figure)");
+
+  const auto ranks = bench::quick_mode() ? 128u : 512u;
+  support::Table table({"chunk size", "Reference speedup", "Tofu Half speedup",
+                        "Tofu Half failed steals"});
+  for (const std::uint32_t chunk : {1u, 2u, 4u, 8u, 20u, 50u}) {
+    auto ref_cfg = bench::large_scale_config(ranks, bench::kReference, bench::kOneN);
+    ref_cfg.ws.chunk_size = chunk;
+    auto opt_cfg = bench::large_scale_config(ranks, bench::kTofuHalf, bench::kOneN);
+    opt_cfg.ws.chunk_size = chunk;
+    std::string rl = "Reference c" + std::to_string(chunk);
+    std::string ol = "Tofu Half c" + std::to_string(chunk);
+    const auto ref = bench::run_and_log(ref_cfg, rl.c_str());
+    const auto opt = bench::run_and_log(opt_cfg, ol.c_str());
+    table.add_row({support::fmt(std::uint64_t{chunk}),
+                   support::fmt(ref.speedup(), 1),
+                   support::fmt(opt.speedup(), 1),
+                   support::fmt(opt.stats.failed_steals)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

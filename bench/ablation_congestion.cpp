@@ -1,0 +1,35 @@
+/// Ablation (DESIGN.md §4): the fluid congestion model. The paper's machine
+/// congests physically; our simulator makes it a switch. This bench shows
+/// how the policy gaps depend on it: without congestion the latency spread
+/// between near and far victims is the raw hop difference only; with it,
+/// uniform-random traffic pays for the load it itself creates.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Ablation B", "congestion model on/off vs policy gaps (not a paper figure)");
+
+  const auto ranks = bench::quick_mode() ? 128u : 1024u;
+  support::Table table({"congestion", "Reference", "Rand", "Tofu",
+                        "Rand Half", "Tofu Half"});
+  for (const double scale : {0.0, 2.0, 1.0, 0.5}) {
+    std::vector<std::string> row{
+        scale == 0.0 ? "off" : ("cap x" + support::fmt(scale, 1))};
+    for (const auto& v : {bench::kReference, bench::kRand, bench::kTofu,
+                          bench::kRandHalf, bench::kTofuHalf}) {
+      auto cfg = bench::large_scale_config(ranks, v, bench::kOneN);
+      if (scale == 0.0) {
+        cfg.congestion.enabled = false;
+      } else {
+        cfg.enable_congestion(scale);
+      }
+      row.push_back(support::fmt(bench::run_and_log(cfg, v.label).speedup(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "uts/params.hpp"
+
+namespace dws::bench {
+
+bool quick_mode() {
+  const char* v = std::getenv("DWS_BENCH_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+std::vector<topo::Rank> large_scale_ranks() {
+  if (quick_mode()) return {128, 256};
+  return {128, 256, 512, 1024};
+}
+
+topo::Rank paper_equivalent(topo::Rank sim_ranks) { return sim_ranks * 8; }
+
+std::vector<topo::Rank> small_scale_ranks() {
+  if (quick_mode()) return {8, 32};
+  return {8, 16, 32, 64, 128};
+}
+
+namespace {
+
+ws::RunConfig base_config(const char* tree, topo::Rank ranks,
+                          const Variant& variant, const Alloc& alloc) {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name(tree);
+  cfg.num_ranks = ranks;
+  cfg.placement = alloc.placement;
+  cfg.procs_per_node = alloc.procs_per_node;
+  cfg.ws.victim_policy = variant.policy;
+  cfg.ws.steal_amount = variant.amount;
+  // Chunk granularity scaled with the trees (20 on 10^9-node trees -> 4 on
+  // ~10^6-node trees); congestion on: see the header note.
+  cfg.ws.chunk_size = 4;
+  cfg.enable_congestion(1.0);
+  return cfg;
+}
+
+}  // namespace
+
+ws::RunConfig large_scale_config(topo::Rank sim_ranks, const Variant& variant,
+                                 const Alloc& alloc) {
+  return base_config(quick_mode() ? "SIM200K" : "SIMWL", sim_ranks, variant,
+                     alloc);
+}
+
+ws::RunConfig small_scale_config(topo::Rank ranks, const Variant& variant,
+                                 const Alloc& alloc) {
+  return base_config(quick_mode() ? "SIM200K" : "SIMXXL", ranks, variant,
+                     alloc);
+}
+
+ws::RunResult run_and_log(const ws::RunConfig& config, const char* label) {
+  std::fprintf(stderr, "  [run] %-28s ranks=%-5u ...", label, config.num_ranks);
+  std::fflush(stderr);
+  const std::clock_t t0 = std::clock();
+  auto result = ws::run_simulation(config);
+  const double wall =
+      static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC;
+  std::fprintf(stderr, " %.1fs (speedup %.1f)\n", wall, result.speedup());
+  return result;
+}
+
+Averaged run_averaged(ws::RunConfig config, const char* label) {
+  int seeds = 3;
+  if (const char* env = std::getenv("DWS_BENCH_SEEDS")) {
+    seeds = std::max(1, std::atoi(env));
+  }
+  if (quick_mode()) seeds = 1;
+  Averaged avg;
+  for (int s = 1; s <= seeds; ++s) {
+    config.ws.seed = static_cast<std::uint64_t>(s);
+    const auto r = run_and_log(config, label);
+    avg.speedup += r.speedup();
+    avg.runtime_ms += support::to_millis(r.runtime);
+    avg.failed_steals += static_cast<double>(r.stats.failed_steals);
+    avg.mean_session_ms += r.stats.mean_session_ms;
+    avg.mean_search_ms += r.stats.mean_search_time_s * 1e3;
+  }
+  const double n = seeds;
+  avg.speedup /= n;
+  avg.runtime_ms /= n;
+  avg.failed_steals /= n;
+  avg.mean_session_ms /= n;
+  avg.mean_search_ms /= n;
+  return avg;
+}
+
+void print_figure_header(const char* figure, const char* caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("Scale mapping: N simulated ranks ~ paper's 8N K Computer\n");
+  std::printf("nodes; trees/chunks scaled accordingly (see EXPERIMENTS.md).\n");
+  if (quick_mode()) {
+    std::printf("*** DWS_BENCH_QUICK=1: trimmed sweep, not the full figure ***\n");
+  }
+  std::printf("==============================================================\n");
+}
+
+}  // namespace dws::bench

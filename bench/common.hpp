@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/occupancy.hpp"
+#include "support/table.hpp"
+#include "topo/allocation.hpp"
+#include "ws/scheduler.hpp"
+
+/// Shared configuration of the figure-regeneration harness.
+///
+/// Scale mapping (see DESIGN.md §1 and EXPERIMENTS.md): the paper's
+/// large-scale sweep over 1024..8192 K Computer nodes maps onto 128..1024
+/// simulated ranks — an 8x scale-down chosen so the whole suite regenerates
+/// in minutes on one host. The trees are scaled correspondingly (SIMWL,
+/// ~3M nodes vs T3WL's 157G) keeping the runs in the paper's regime: a few
+/// thousand nodes of work per rank, runtimes dominated by how fast the
+/// scheduler can distribute work. Chunk size is scaled 20 -> 4 to keep the
+/// chunk/tree granularity ratio comparable, and the fluid congestion model
+/// is enabled (the paper's latency spread at 8192 nodes across >80 racks).
+namespace dws::bench {
+
+/// One scheduler variant, named as in the paper's figure legends.
+struct Variant {
+  ws::VictimPolicy policy;
+  ws::StealAmount amount;
+  const char* label;
+};
+
+inline constexpr Variant kReference{ws::VictimPolicy::kRoundRobin,
+                                    ws::StealAmount::kOneChunk, "Reference"};
+inline constexpr Variant kRand{ws::VictimPolicy::kRandom,
+                               ws::StealAmount::kOneChunk, "Rand"};
+inline constexpr Variant kTofu{ws::VictimPolicy::kTofuSkewed,
+                               ws::StealAmount::kOneChunk, "Tofu"};
+inline constexpr Variant kReferenceHalf{ws::VictimPolicy::kRoundRobin,
+                                        ws::StealAmount::kHalf, "Reference Half"};
+inline constexpr Variant kRandHalf{ws::VictimPolicy::kRandom,
+                                   ws::StealAmount::kHalf, "Rand Half"};
+inline constexpr Variant kTofuHalf{ws::VictimPolicy::kTofuSkewed,
+                                   ws::StealAmount::kHalf, "Tofu Half"};
+
+/// One placement axis entry (the paper's process allocations).
+struct Alloc {
+  topo::Placement placement;
+  std::uint32_t procs_per_node;
+  const char* label;
+};
+
+inline constexpr Alloc kOneN{topo::Placement::kOnePerNode, 1, "1/N"};
+inline constexpr Alloc k8RR{topo::Placement::kRoundRobin, 8, "8RR"};
+inline constexpr Alloc k8G{topo::Placement::kGrouped, 8, "8G"};
+
+/// Simulated rank counts for the large-scale sweep and the paper-scale
+/// column printed next to them.
+std::vector<topo::Rank> large_scale_ranks();
+topo::Rank paper_equivalent(topo::Rank sim_ranks);
+
+/// Rank counts for the small-scale sweep (Fig. 2); 1:1 with the paper.
+std::vector<topo::Rank> small_scale_ranks();
+
+/// True when DWS_BENCH_QUICK=1: trims sweeps for fast iteration. The
+/// default regenerates the full figures.
+bool quick_mode();
+
+/// The standard simulated run behind every large-scale figure.
+ws::RunConfig large_scale_config(topo::Rank sim_ranks, const Variant& variant,
+                                 const Alloc& alloc);
+
+/// The standard small-scale (Fig. 2) run.
+ws::RunConfig small_scale_config(topo::Rank ranks, const Variant& variant,
+                                 const Alloc& alloc);
+
+/// Run + one-line progress output on stderr (the tables go to stdout).
+ws::RunResult run_and_log(const ws::RunConfig& config, const char* label);
+
+/// Seed-averaged metrics for the comparative figures: a single seed's
+/// realisation noise (work-stealing is a random schedule) is ~10%, which
+/// would swamp the smaller policy gaps the paper reports. Controlled by
+/// DWS_BENCH_SEEDS (default 3, min 1).
+struct Averaged {
+  double speedup = 0.0;
+  double runtime_ms = 0.0;
+  double failed_steals = 0.0;
+  double mean_session_ms = 0.0;
+  double mean_search_ms = 0.0;
+};
+Averaged run_averaged(ws::RunConfig config, const char* label);
+
+/// Shared preamble: figure id, paper caption, and the scale-mapping note.
+void print_figure_header(const char* figure, const char* caption);
+
+}  // namespace dws::bench

@@ -1,0 +1,56 @@
+/// Extension experiment (paper §VI/§VII, beyond its figures): how do the
+/// alternatives the paper *discusses* — hierarchical selection, one-sided
+/// steals, and lifeline-based load balancing — stack up against its Tofu
+/// Half fix on the same large-scale configuration?
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Extension", "related/future-work strategies vs the paper's fix");
+
+  struct Entry {
+    const char* label;
+    ws::VictimPolicy policy;
+    ws::StealAmount amount;
+    ws::IdlePolicy idle;
+    bool one_sided;
+  };
+  const Entry entries[] = {
+      {"Reference", ws::VictimPolicy::kRoundRobin, ws::StealAmount::kOneChunk,
+       ws::IdlePolicy::kPersistentSteal, false},
+      {"Tofu Half (paper fix)", ws::VictimPolicy::kTofuSkewed,
+       ws::StealAmount::kHalf, ws::IdlePolicy::kPersistentSteal, false},
+      {"Hier Half", ws::VictimPolicy::kHierarchical, ws::StealAmount::kHalf,
+       ws::IdlePolicy::kPersistentSteal, false},
+      {"Rand Half + lifelines", ws::VictimPolicy::kRandom, ws::StealAmount::kHalf,
+       ws::IdlePolicy::kLifeline, false},
+      {"Tofu Half + lifelines", ws::VictimPolicy::kTofuSkewed,
+       ws::StealAmount::kHalf, ws::IdlePolicy::kLifeline, false},
+      {"Tofu Half one-sided", ws::VictimPolicy::kTofuSkewed,
+       ws::StealAmount::kHalf, ws::IdlePolicy::kPersistentSteal, true},
+  };
+
+  support::Table table({"strategy", "speedup", "failed steals",
+                        "avg session (ms)", "avg steal dist", "net msgs"});
+  const auto ranks = bench::large_scale_ranks().back();
+  for (const auto& e : entries) {
+    auto cfg = bench::large_scale_config(
+        ranks, bench::Variant{e.policy, e.amount, e.label}, bench::kOneN);
+    cfg.ws.idle_policy = e.idle;
+    cfg.ws.one_sided_steals = e.one_sided;
+    const auto r = bench::run_and_log(cfg, e.label);
+    table.add_row({e.label, support::fmt(r.speedup(), 1),
+                   support::fmt(r.stats.failed_steals),
+                   support::fmt(r.stats.mean_session_ms, 3),
+                   support::fmt(r.stats.mean_steal_distance, 2),
+                   support::fmt(r.network.messages)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Context: the paper names one-sided communication as future\n"
+              "work and cites lifeline/hierarchical schemes as related work;\n"
+              "this bench makes those comparisons concrete on our substrate.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// Fig. 2: efficiency of the reference implementation between 8 and 128 MPI
+/// processes under the three process allocations (1/N, 8RR, 8G).
+///
+/// Paper shape: all three allocations sit in a narrow band (~0.9-1.05);
+/// small scale hides the victim-selection problem. Our absolute efficiencies
+/// sit lower (the scaled tree gives each rank ~1000x less work than T3XXL
+/// did, so fixed steal overheads weigh more — see EXPERIMENTS.md), but the
+/// claim under test is the narrow band across allocations.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Figure 2", "efficiency of reference UTS, 8-128 ranks, 3 allocations");
+
+  support::Table table(
+      {"ranks", "eff 1/N", "eff 8RR", "eff 8G", "spread"});
+  for (const auto ranks : bench::small_scale_ranks()) {
+    double eff[3];
+    int i = 0;
+    for (const auto& alloc : {bench::kOneN, bench::k8RR, bench::k8G}) {
+      const auto cfg = bench::small_scale_config(ranks, bench::kReference, alloc);
+      const auto result = bench::run_and_log(cfg, alloc.label);
+      eff[i++] = result.efficiency(ranks);
+    }
+    const double lo = std::min({eff[0], eff[1], eff[2]});
+    const double hi = std::max({eff[0], eff[1], eff[2]});
+    table.add_row({support::fmt(std::uint64_t{ranks}), support::fmt(eff[0], 3),
+                   support::fmt(eff[1], 3), support::fmt(eff[2], 3),
+                   support::fmt_pct(hi - lo, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Claim (paper): at small scale the allocations stay in a\n"
+              "narrow band; deterministic victim selection is not yet\n"
+              "harmful.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// Fig. 3: speedup of the reference implementation at large scale (paper:
+/// 1024-8192 MPI processes; here the mapped 128-1024 simulated ranks), three
+/// process allocations.
+///
+/// Paper shape: the reference stops scaling past 2048 nodes, and packing 8
+/// ranks per node (8RR especially) is worse than one rank per node.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Figure 3",
+      "speedup of reference UTS at large scale, 3 allocations");
+
+  support::Table table({"sim ranks", "paper-scale", "speedup 1/N",
+                        "speedup 8RR", "speedup 8G"});
+  for (const auto ranks : bench::large_scale_ranks()) {
+    std::vector<std::string> row{support::fmt(std::uint64_t{ranks}),
+                                 support::fmt(std::uint64_t{
+                                     bench::paper_equivalent(ranks)})};
+    for (const auto& alloc : {bench::kOneN, bench::k8RR, bench::k8G}) {
+      const auto cfg = bench::large_scale_config(ranks, bench::kReference, alloc);
+      const auto result = bench::run_and_log(cfg, alloc.label);
+      row.push_back(support::fmt(result.speedup(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Claim (paper): reference speedup saturates (or regresses) as\n"
+              "ranks grow; 8 ranks/node underperforms 1/N at scale.\n");
+  return 0;
+}

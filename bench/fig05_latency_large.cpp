@@ -1,0 +1,38 @@
+/// Fig. 5: starting and ending latencies of the reference implementation at
+/// large scale (paper: 8192 ranks; here the mapped 1024), 1 process/node.
+///
+/// Paper shape: the large run never exceeds 43% occupancy (W_max = 3538 of
+/// 8192, SL = 52.5%) and only ~12.5% of ranks are active after 10% of the
+/// execution — the scheduler fails to distribute work.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Figure 5", "SL/EL vs occupancy, reference, large scale, 1/N");
+
+  const auto ranks = bench::large_scale_ranks().back();
+  const auto cfg = bench::large_scale_config(ranks, bench::kReference, bench::kOneN);
+  const auto result = bench::run_and_log(cfg, "Reference 1/N");
+  const metrics::OccupancyCurve occ(result.trace);
+
+  support::Table table({"occupancy", "SL (% runtime)", "EL (% runtime)"});
+  for (const double x :
+       {0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.15, 0.20, 0.30, 0.43, 0.60}) {
+    const auto sl = occ.starting_latency(x);
+    const auto el = occ.ending_latency(x);
+    table.add_row({support::fmt_pct(x, 0),
+                   sl ? support::fmt(*sl * 100.0, 2) : "never",
+                   el ? support::fmt(*el * 100.0, 2) : "never"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("W_max = %u of %u ranks (%.1f%% occupancy); mean occupancy %.1f%%\n",
+              occ.max_workers(), occ.num_ranks(), 100.0 * occ.max_occupancy(),
+              100.0 * occ.mean_occupancy());
+  std::printf("Claim (paper): at large scale the reference never gets close\n"
+              "to full occupancy (43%% max in the paper) and takes a large\n"
+              "fraction of the run to reach even modest occupancy levels.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+/// Fig. 6: speedup with uniform random victim selection (Rand), three
+/// allocations, plus the reference 1/N baseline.
+///
+/// Paper shape: Rand 1/N beats Reference 1/N at scale, but packing 8 ranks
+/// per node still underperforms.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Figure 6", "speedup with random victim selection vs reference");
+
+  support::Table table({"sim ranks", "paper-scale", "Reference 1/N",
+                        "Rand 1/N", "Rand 8RR", "Rand 8G"});
+  for (const auto ranks : bench::large_scale_ranks()) {
+    std::vector<std::string> row{
+        support::fmt(std::uint64_t{ranks}),
+        support::fmt(std::uint64_t{bench::paper_equivalent(ranks)})};
+    {
+      const auto cfg = bench::large_scale_config(ranks, bench::kReference, bench::kOneN);
+      row.push_back(support::fmt(bench::run_and_log(cfg, "Reference 1/N").speedup(), 1));
+    }
+    for (const auto& alloc : {bench::kOneN, bench::k8RR, bench::k8G}) {
+      const auto cfg = bench::large_scale_config(ranks, bench::kRand, alloc);
+      std::string label = std::string("Rand ") + alloc.label;
+      row.push_back(support::fmt(bench::run_and_log(cfg, label.c_str()).speedup(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Claim (paper): Rand 1/N > Reference 1/N at scale; 8-per-node\n"
+              "allocations do not benefit as much.\n");
+  return 0;
+}

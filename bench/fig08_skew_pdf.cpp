@@ -1,0 +1,59 @@
+/// Fig. 8: the probability distribution function p(0, x) of the skewed
+/// victim selection for an actual 1024-node (1 rank/node) deployment —
+/// pure topology, no simulation run. Exact paper scale.
+///
+/// Paper shape: sawtooth-like decay — nearby ranks (same cube/blade) peak
+/// around 4e-3, far ranks bottom out near 4e-4, with periodic structure from
+/// the cube-by-cube rank enumeration.
+#include <cstdio>
+
+#include "common.hpp"
+#include "support/histogram.hpp"
+#include "topo/latency.hpp"
+#include "ws/victim.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Figure 8", "skewed victim PDF p(0,x), 1024 ranks, 1/N deployment");
+
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 1024, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  ws::TofuSkewedSelector selector(0, latency, 1, 2048);
+
+  // The full 1024-point series, bucketed for terminal rendering: print every
+  // 32nd rank exactly, plus summary statistics of the whole PDF.
+  support::Table table({"victim rank", "distance e(0,x)", "p(0,x)"});
+  for (topo::Rank x = 1; x < 1024; x += 32) {
+    table.add_row({support::fmt(std::uint64_t{x}),
+                   support::fmt(latency.euclidean(0, x), 2),
+                   support::fmt(selector.probability(x) * 1000.0, 4) + "e-3"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  double p_min = 1.0;
+  double p_max = 0.0;
+  topo::Rank argmax = 1;
+  for (topo::Rank x = 1; x < 1024; ++x) {
+    const double p = selector.probability(x);
+    if (p > p_max) {
+      p_max = p;
+      argmax = x;
+    }
+    p_min = std::min(p_min, p);
+  }
+  std::printf("max p(0,x) = %.4g at rank %u (e = %.2f);  min p(0,x) = %.4g;  "
+              "max/min = %.1f\n",
+              p_max, argmax, latency.euclidean(0, argmax), p_min,
+              p_max / p_min);
+
+  support::Histogram hist(0.0, p_max * 1.0001, 16);
+  for (topo::Rank x = 1; x < 1024; ++x) hist.add(selector.probability(x));
+  std::printf("\nDistribution of p(0,x) over the 1023 victims:\n%s\n",
+              hist.render(40).c_str());
+  std::printf("Claim (paper): probability decays with physical distance,\n"
+              "near ranks ~4e-3, far ranks ~4e-4 (~10x spread), with\n"
+              "periodic structure from the allocation's geometry.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// Fig. 9: speedup with the distance-skewed (Tofu) victim selection, three
+/// allocations, plus Rand 1/N and Rand 8G baselines.
+///
+/// Paper shape: every allocation improves over Rand with the same
+/// allocation; Tofu 1/N is the new best.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace dws;
+  bench::print_figure_header(
+      "Figure 9", "speedup with distance-skewed victim selection");
+
+  support::Table table({"sim ranks", "paper-scale", "Rand 1/N", "Rand 8G",
+                        "Tofu 1/N", "Tofu 8RR", "Tofu 8G"});
+  for (const auto ranks : bench::large_scale_ranks()) {
+    std::vector<std::string> row{
+        support::fmt(std::uint64_t{ranks}),
+        support::fmt(std::uint64_t{bench::paper_equivalent(ranks)})};
+    for (const auto& alloc : {bench::kOneN, bench::k8G}) {
+      const auto cfg = bench::large_scale_config(ranks, bench::kRand, alloc);
+      std::string label = std::string("Rand ") + alloc.label;
+      row.push_back(support::fmt(bench::run_averaged(cfg, label.c_str()).speedup, 1));
+    }
+    for (const auto& alloc : {bench::kOneN, bench::k8RR, bench::k8G}) {
+      const auto cfg = bench::large_scale_config(ranks, bench::kTofu, alloc);
+      std::string label = std::string("Tofu ") + alloc.label;
+      row.push_back(support::fmt(bench::run_averaged(cfg, label.c_str()).speedup, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Claim (paper): Tofu >= Rand for the same allocation at scale;\n"
+              "Tofu 1/N is the best overall.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+/// Component micro-benchmarks (google-benchmark): the hot paths every
+/// simulated run leans on. Not a paper figure; used to keep the simulator
+/// fast enough that the figure benches regenerate in minutes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "crypto/uts_rng.hpp"
+#include "sim/engine.hpp"
+#include "sm/chase_lev.hpp"
+#include "support/alias_table.hpp"
+#include "support/rejection_sampler.hpp"
+#include "support/rng.hpp"
+#include "topo/latency.hpp"
+#include "uts/sequential.hpp"
+#include "uts/tree.hpp"
+#include "ws/chunk_stack.hpp"
+#include "ws/victim.hpp"
+
+namespace {
+
+using namespace dws;
+
+void BM_Sha1Digest(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Digest)->Arg(24)->Arg(64)->Arg(1024);
+
+void BM_UtsRngSpawn(benchmark::State& state) {
+  auto node = crypto::UtsRng::from_seed(316);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.spawn(i++ & 0xff));
+  }
+}
+BENCHMARK(BM_UtsRngSpawn);
+
+void BM_TreeExpandChild(benchmark::State& state) {
+  const auto& params = uts::tree_by_name("SIM200K");
+  auto node = uts::root_node(params);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    auto child = uts::child_node(node, i++ & 0x3ff);
+    benchmark::DoNotOptimize(uts::num_children(params, child));
+  }
+}
+BENCHMARK(BM_TreeExpandChild);
+
+void BM_SequentialEnumerate200K(benchmark::State& state) {
+  const auto& params = uts::tree_by_name("SIM200K");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uts::enumerate_sequential(params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 224133);
+}
+BENCHMARK(BM_SequentialEnumerate200K)->Unit(benchmark::kMillisecond);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(n);
+  support::Xoshiro256StarStar rng(1);
+  for (auto& w : weights) w = rng.next_double() + 1e-9;
+  for (auto _ : state) {
+    support::AliasTable table(weights);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_AliasTableBuild)->Arg(1024)->Arg(8192);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  std::vector<double> weights(8192);
+  support::Xoshiro256StarStar seed_rng(1);
+  for (auto& w : weights) w = seed_rng.next_double() + 1e-9;
+  support::AliasTable table(weights);
+  support::Xoshiro256StarStar rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_VictimSelectors(benchmark::State& state) {
+  static topo::TofuMachine machine;
+  static topo::JobLayout layout(machine, 1024, topo::Placement::kOnePerNode);
+  static topo::LatencyModel latency(layout);
+  ws::WsConfig cfg;
+  cfg.victim_policy = static_cast<ws::VictimPolicy>(state.range(0));
+  cfg.alias_table_max_ranks = static_cast<std::uint32_t>(state.range(1));
+  auto selector = ws::make_selector(cfg, 0, latency);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector->next());
+  }
+}
+BENCHMARK(BM_VictimSelectors)
+    ->ArgNames({"policy", "alias_max"})
+    ->Args({0, 2048})   // round robin
+    ->Args({1, 2048})   // uniform random
+    ->Args({2, 2048})   // tofu via alias table
+    ->Args({2, 16});    // tofu via rejection sampling
+
+void BM_ChunkStackChurn(benchmark::State& state) {
+  ws::ChunkStack stack(20);
+  const auto seed_node = uts::root_node(uts::tree_by_name("SIM200K"));
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) stack.push(seed_node);
+    for (int i = 0; i < 40; ++i) benchmark::DoNotOptimize(stack.pop());
+    if (stack.stealable_chunks() > 0) {
+      benchmark::DoNotOptimize(stack.steal(1));
+    }
+  }
+}
+BENCHMARK(BM_ChunkStackChurn);
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1024; ++i) {
+      engine.schedule_at(i % 97, [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_ChaseLevOwnerPushPop(benchmark::State& state) {
+  sm::ChaseLevDeque<std::uint64_t> deque;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    deque.push_bottom(i++);
+    benchmark::DoNotOptimize(deque.pop_bottom());
+  }
+}
+BENCHMARK(BM_ChaseLevOwnerPushPop);
+
+void BM_ChaseLevStealPath(benchmark::State& state) {
+  sm::ChaseLevDeque<std::uint64_t> deque;
+  for (std::uint64_t i = 0; i < 1024; ++i) deque.push_bottom(i);
+  for (auto _ : state) {
+    auto v = deque.steal_top();
+    if (!v.has_value()) {
+      state.PauseTiming();
+      for (std::uint64_t i = 0; i < 1024; ++i) deque.push_bottom(i);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ChaseLevStealPath);
+
+void BM_LatencyQuery(benchmark::State& state) {
+  static topo::TofuMachine machine;
+  static topo::JobLayout layout(machine, 8192, topo::Placement::kOnePerNode);
+  static topo::LatencyModel latency(layout);
+  support::Xoshiro256StarStar rng(3);
+  for (auto _ : state) {
+    const auto a = static_cast<topo::Rank>(rng.next_below(8192));
+    const auto b = static_cast<topo::Rank>(rng.next_below(8192));
+    benchmark::DoNotOptimize(latency.message_latency(a, b, 128));
+  }
+}
+BENCHMARK(BM_LatencyQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

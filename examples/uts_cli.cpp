@@ -1,0 +1,163 @@
+/// uts_cli: a UTS-compatible command line front end. Accepts the classic UTS
+/// tree flags and runs the tree through any of the three engines in this
+/// repository — sequential enumerator, real-threads pool, or the distributed
+/// work-stealing simulator.
+///
+///   ./uts_cli -t 0 -b 2000 -q 0.495 -m 2 -r 5 -e sim -n 128
+///
+///   Tree flags (UTS conventions):
+///     -t <0|1|2>   tree type: 0 binomial, 1 geometric, 2 hybrid
+///     -b <int>     root branching factor b0
+///     -q <float>   binomial success probability
+///     -m <int>     binomial children per success
+///     -r <int>     root seed
+///     -d <int>     geometric/hybrid depth cutoff (gen_mx)
+///     -a <0|1|2|3> geometric shape: 0 linear, 1 expdec, 2 cyclic, 3 fixed
+///     -g <int>     granularity: SHA rounds charged per node (sim engine)
+///   Engine flags:
+///     -e <seq|pool|sim>  engine (default seq)
+///     -n <int>           ranks (sim) or threads (pool), default 4
+///     -v <ref|rand|tofu|hier>  victim policy (sim), default tofu
+///     -s <1|half>        steal amount (sim), default half
+///     -c <int>           chunk size (sim), default 20 (the UTS default)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "metrics/occupancy.hpp"
+#include "sm/pool.hpp"
+#include "uts/sequential.hpp"
+#include "ws/scheduler.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "uts_cli: %s (run with no args for defaults; see the "
+                       "header comment for flags)\n", msg);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dws;
+
+  uts::TreeParams tree;
+  tree.name = "cli";
+  tree.type = uts::TreeType::kBinomial;
+  tree.root_seed = 5;
+  tree.root_branching = 2000;
+  tree.m = 2;
+  tree.q = 0.495;  // defaults = SIM200K
+  tree.gen_mx = 10;
+
+  std::string engine = "seq";
+  unsigned n = 4;
+  ws::RunConfig sim_cfg;
+  sim_cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
+  sim_cfg.ws.steal_amount = ws::StealAmount::kHalf;
+  sim_cfg.ws.chunk_size = 20;
+
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) usage("flag without value");
+    const char* flag = argv[i];
+    const char* value = argv[i + 1];
+    if (!std::strcmp(flag, "-t")) {
+      const int t = std::atoi(value);
+      if (t < 0 || t > 2) usage("-t must be 0, 1 or 2");
+      tree.type = static_cast<uts::TreeType>(t);
+    } else if (!std::strcmp(flag, "-b")) {
+      tree.root_branching = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (!std::strcmp(flag, "-q")) {
+      tree.q = std::atof(value);
+    } else if (!std::strcmp(flag, "-m")) {
+      tree.m = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (!std::strcmp(flag, "-r")) {
+      tree.root_seed = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (!std::strcmp(flag, "-d")) {
+      tree.gen_mx = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (!std::strcmp(flag, "-a")) {
+      const int a = std::atoi(value);
+      if (a < 0 || a > 3) usage("-a must be 0..3");
+      tree.shape = static_cast<uts::GeoShape>(a);
+    } else if (!std::strcmp(flag, "-g")) {
+      sim_cfg.ws.sha_rounds = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (!std::strcmp(flag, "-e")) {
+      engine = value;
+    } else if (!std::strcmp(flag, "-n")) {
+      n = static_cast<unsigned>(std::atoi(value));
+    } else if (!std::strcmp(flag, "-v")) {
+      if (!std::strcmp(value, "ref")) {
+        sim_cfg.ws.victim_policy = ws::VictimPolicy::kRoundRobin;
+      } else if (!std::strcmp(value, "rand")) {
+        sim_cfg.ws.victim_policy = ws::VictimPolicy::kRandom;
+      } else if (!std::strcmp(value, "tofu")) {
+        sim_cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
+      } else if (!std::strcmp(value, "hier")) {
+        sim_cfg.ws.victim_policy = ws::VictimPolicy::kHierarchical;
+      } else {
+        usage("-v must be ref|rand|tofu|hier");
+      }
+    } else if (!std::strcmp(flag, "-s")) {
+      sim_cfg.ws.steal_amount = std::strcmp(value, "half") == 0
+                                    ? ws::StealAmount::kHalf
+                                    : ws::StealAmount::kOneChunk;
+    } else if (!std::strcmp(flag, "-c")) {
+      sim_cfg.ws.chunk_size = static_cast<std::uint32_t>(std::atoi(value));
+    } else {
+      usage((std::string("unknown flag ") + flag).c_str());
+    }
+  }
+
+  // Guard against supercritical binomial parameters: the walk would never
+  // end. (Geometric trees are always finite thanks to gen_mx.)
+  if (tree.type == uts::TreeType::kBinomial &&
+      static_cast<double>(tree.m) * tree.q >= 1.0) {
+    usage("binomial tree with m*q >= 1 is (almost surely) infinite");
+  }
+
+  std::printf("tree: type=%s b0=%u m=%u q=%g r=%u gen_mx=%u shape=%s\n",
+              uts::to_string(tree.type), tree.root_branching, tree.m, tree.q,
+              tree.root_seed, tree.gen_mx, uts::to_string(tree.shape));
+  if (const auto expected = tree.expected_size()) {
+    std::printf("expected size E = %.3g nodes\n", *expected);
+  }
+
+  if (engine == "seq") {
+    const auto s = uts::enumerate_sequential(tree, 500'000'000ull);
+    std::printf("engine: sequential\n");
+    std::printf("nodes=%llu leaves=%llu depth=%u%s\n",
+                static_cast<unsigned long long>(s.nodes),
+                static_cast<unsigned long long>(s.leaves), s.max_depth,
+                s.truncated ? " (TRUNCATED at limit)" : "");
+  } else if (engine == "pool") {
+    sm::UtsThreadPool pool(tree, n);
+    const auto s = pool.run();
+    std::printf("engine: shared-memory pool, %u threads\n", n);
+    std::printf("nodes=%llu leaves=%llu depth=%u\n",
+                static_cast<unsigned long long>(s.nodes),
+                static_cast<unsigned long long>(s.leaves), s.max_depth);
+  } else if (engine == "sim") {
+    sim_cfg.tree = tree;
+    sim_cfg.num_ranks = n;
+    sim_cfg.enable_congestion();
+    const auto r = ws::run_simulation(sim_cfg);
+    const metrics::OccupancyCurve occ(r.trace);
+    std::printf("engine: distributed simulator, %u ranks, %s/%s, chunk %u\n",
+                n, ws::to_string(sim_cfg.ws.victim_policy),
+                ws::to_string(sim_cfg.ws.steal_amount), sim_cfg.ws.chunk_size);
+    std::printf("nodes=%llu leaves=%llu\n",
+                static_cast<unsigned long long>(r.nodes),
+                static_cast<unsigned long long>(r.leaves));
+    std::printf("runtime=%.3fms speedup=%.1f efficiency=%.1f%% "
+                "failed_steals=%llu peak_occupancy=%.1f%%\n",
+                support::to_millis(r.runtime), r.speedup(),
+                100.0 * r.efficiency(n),
+                static_cast<unsigned long long>(r.stats.failed_steals),
+                100.0 * occ.max_occupancy());
+  } else {
+    usage("-e must be seq|pool|sim");
+  }
+  return 0;
+}

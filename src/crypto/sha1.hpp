@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dws::crypto {
+
+inline constexpr std::size_t kSha1DigestSize = 20;
+
+using Sha1Digest = std::array<std::uint8_t, kSha1DigestSize>;
+
+/// SHA-1 (FIPS 180-4), implemented from scratch.
+///
+/// UTS uses SHA-1 as a *splittable deterministic random number generator*:
+/// the same tree is generated on any machine, language or process count
+/// because every node's identity is a SHA-1 digest of its parent's digest and
+/// its child index. Cryptographic strength is irrelevant here; determinism
+/// and uniformity are what matter.
+///
+/// Incremental API (init/update/final) plus a one-shot helper. The
+/// implementation processes whole 64-byte blocks with the standard 80-round
+/// compression function.
+class Sha1 {
+ public:
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  /// Finalise and return the digest. The object must be reset() before reuse.
+  Sha1Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Sha1Digest digest(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[5];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+/// Lowercase hex rendering for tests and debug output.
+std::string to_hex(const Sha1Digest& digest);
+
+}  // namespace dws::crypto

@@ -1,0 +1,47 @@
+#include "crypto/uts_rng.hpp"
+
+namespace dws::crypto {
+
+namespace {
+
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+UtsRng UtsRng::from_seed(std::uint32_t seed) noexcept {
+  std::uint8_t bytes[4];
+  store_be32(bytes, seed);
+  Sha1 ctx;
+  ctx.update(std::span<const std::uint8_t>(bytes, 4));
+  UtsRng rng;
+  rng.state_ = ctx.finish();
+  return rng;
+}
+
+UtsRng UtsRng::spawn(std::uint32_t child_index) const noexcept {
+  std::uint8_t input[kSha1DigestSize + 4];
+  for (std::size_t i = 0; i < kSha1DigestSize; ++i) input[i] = state_[i];
+  store_be32(input + kSha1DigestSize, child_index);
+  UtsRng child;
+  child.state_ = Sha1::digest(std::span<const std::uint8_t>(input, sizeof input));
+  return child;
+}
+
+std::uint32_t UtsRng::rand31() const noexcept {
+  const std::uint32_t v = (static_cast<std::uint32_t>(state_[16]) << 24) |
+                          (static_cast<std::uint32_t>(state_[17]) << 16) |
+                          (static_cast<std::uint32_t>(state_[18]) << 8) |
+                          static_cast<std::uint32_t>(state_[19]);
+  return v & 0x7fffffffu;
+}
+
+double UtsRng::to_prob() const noexcept {
+  return static_cast<double>(rand31()) / 2147483648.0;  // 2^31
+}
+
+}  // namespace dws::crypto

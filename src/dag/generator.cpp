@@ -1,0 +1,93 @@
+#include "dag/generator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dws::dag {
+
+namespace {
+
+/// Deterministic per-task random stream: child index 0 drives the edge
+/// draws, 1 the cost, 2 the payload.
+crypto::UtsRng task_rng(std::uint32_t seed, TaskId id) {
+  return crypto::UtsRng::from_seed(seed).spawn(id);
+}
+
+support::SimTime sample_range(const crypto::UtsRng& rng, support::SimTime lo,
+                              support::SimTime hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<support::SimTime>(
+                  rng.to_prob() * static_cast<double>(hi - lo));
+}
+
+}  // namespace
+
+Dag::Dag(const DagParams& params) : params_(params) {
+  DWS_CHECK(params_.layers >= 1);
+  DWS_CHECK(params_.width >= 1);
+  DWS_CHECK(params_.edge_probability >= 0.0 && params_.edge_probability <= 1.0);
+  DWS_CHECK(params_.max_task_cost >= params_.min_task_cost);
+  DWS_CHECK(params_.max_payload_bytes >= params_.min_payload_bytes);
+
+  const std::uint32_t n = params_.task_count();
+  tasks_.resize(n);
+
+  for (TaskId id = 0; id < n; ++id) {
+    const auto rng = task_rng(params_.seed, id);
+    Task& task = tasks_[id];
+    task.cost = sample_range(rng.spawn(1), params_.min_task_cost,
+                             params_.max_task_cost);
+    task.payload_bytes = static_cast<std::uint32_t>(
+        sample_range(rng.spawn(2), params_.min_payload_bytes,
+                     params_.max_payload_bytes));
+    total_cost_ += task.cost;
+
+    const std::uint32_t layer = layer_of(id);
+    if (layer == 0) {
+      sources_.push_back(id);
+      continue;
+    }
+    // Edge draws against every task of the previous layer.
+    const auto edges_rng = rng.spawn(0);
+    const TaskId prev_base = (layer - 1) * params_.width;
+    for (std::uint32_t j = 0; j < params_.width; ++j) {
+      if (edges_rng.spawn(j).to_prob() < params_.edge_probability) {
+        task.predecessors.push_back(prev_base + j);
+      }
+    }
+    if (task.predecessors.empty()) {
+      // Force connectivity: pick one uniformly.
+      const auto pick = static_cast<std::uint32_t>(
+          edges_rng.spawn(params_.width).to_prob() * params_.width);
+      task.predecessors.push_back(prev_base + std::min(pick, params_.width - 1));
+    }
+    for (const TaskId p : task.predecessors) {
+      tasks_[p].successors.push_back(id);
+      ++edges_;
+    }
+  }
+}
+
+const Task& Dag::task(TaskId id) const {
+  DWS_CHECK(id < tasks_.size());
+  return tasks_[id];
+}
+
+support::SimTime Dag::critical_path() const {
+  // Layered structure: process in id order (predecessors always have
+  // smaller ids), longest path ending at each task.
+  std::vector<support::SimTime> longest(tasks_.size(), 0);
+  support::SimTime best = 0;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    support::SimTime pred_max = 0;
+    for (const TaskId p : tasks_[id].predecessors) {
+      pred_max = std::max(pred_max, longest[p]);
+    }
+    longest[id] = pred_max + tasks_[id].cost;
+    best = std::max(best, longest[id]);
+  }
+  return best;
+}
+
+}  // namespace dws::dag

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/uts_rng.hpp"
+#include "support/sim_time.hpp"
+
+namespace dws::dag {
+
+/// Deterministic layered random DAG workload — the benchmark the paper's
+/// conclusion calls for (§VII): "in the case of data dependencies, stealing
+/// a task can trigger massive communications and thus is more sensible to
+/// bandwidth inside a network. Studying the impact of the network on such
+/// problems might require new benchmarks, possibly using directed acyclic
+/// graphs generation instead of random trees."
+///
+/// Generation follows the layer-by-layer method of Cordeiro et al. ("Random
+/// graph generation for scheduling simulations"): `layers` layers of `width`
+/// tasks; every task in layer l > 0 draws each task of layer l-1 as a
+/// predecessor independently with probability `edge_probability` (at least
+/// one predecessor is forced so no task but layer 0 is a source). All
+/// randomness derives from the same SHA-1 splittable generator as the UTS
+/// trees, so a (params, seed) pair defines one DAG on any machine.
+struct DagParams {
+  std::uint32_t layers = 8;
+  std::uint32_t width = 64;
+  double edge_probability = 0.1;
+  std::uint32_t seed = 1;
+
+  /// Virtual compute time per task: uniform in [min, max].
+  support::SimTime min_task_cost = 5 * support::kMicrosecond;
+  support::SimTime max_task_cost = 50 * support::kMicrosecond;
+
+  /// Output-data size per task: uniform in [min, max]. This is what a
+  /// successor must gather from each predecessor's execution site — the
+  /// bandwidth knob of the experiment.
+  std::uint32_t min_payload_bytes = 256;
+  std::uint32_t max_payload_bytes = 4096;
+
+  std::uint32_t task_count() const noexcept { return layers * width; }
+};
+
+using TaskId = std::uint32_t;
+
+/// One task of the materialised DAG.
+struct Task {
+  support::SimTime cost = 0;
+  std::uint32_t payload_bytes = 0;
+  std::vector<TaskId> predecessors;
+  std::vector<TaskId> successors;
+};
+
+/// Fully materialised DAG. Unlike the implicit UTS tree this is built up
+/// front: dependency counting needs the reverse edges anyway, and the sizes
+/// used in simulation (<= a few hundred thousand tasks) fit comfortably.
+class Dag {
+ public:
+  explicit Dag(const DagParams& params);
+
+  const DagParams& params() const noexcept { return params_; }
+  std::uint32_t task_count() const noexcept {
+    return static_cast<std::uint32_t>(tasks_.size());
+  }
+  const Task& task(TaskId id) const;
+
+  std::uint32_t layer_of(TaskId id) const noexcept {
+    return id / params_.width;
+  }
+
+  /// Tasks with no predecessors (all of layer 0).
+  const std::vector<TaskId>& sources() const noexcept { return sources_; }
+
+  std::uint64_t edge_count() const noexcept { return edges_; }
+
+  /// Sum of all task costs: the T(1) baseline for speedup.
+  support::SimTime total_cost() const noexcept { return total_cost_; }
+
+  /// Length (in virtual time) of the longest cost-weighted path — the
+  /// theoretical lower bound on any schedule's makespan.
+  support::SimTime critical_path() const;
+
+ private:
+  DagParams params_;
+  std::vector<Task> tasks_;
+  std::vector<TaskId> sources_;
+  std::uint64_t edges_ = 0;
+  support::SimTime total_cost_ = 0;
+};
+
+}  // namespace dws::dag

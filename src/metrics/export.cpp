@@ -1,0 +1,86 @@
+#include "metrics/export.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "metrics/occupancy.hpp"
+#include "support/check.hpp"
+
+namespace dws::metrics {
+
+namespace {
+
+const char* phase_name(Phase p) {
+  return p == Phase::kActive ? "active" : "idle";
+}
+
+Phase parse_phase(const std::string& s) {
+  if (s == "active") return Phase::kActive;
+  DWS_CHECK(s == "idle");
+  return Phase::kIdle;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const JobTrace& trace) {
+  out << "# total_time_ns," << trace.total_time << "\n";
+  out << "rank,time_ns,phase\n";
+  for (std::size_t r = 0; r < trace.ranks.size(); ++r) {
+    for (const auto& ev : trace.ranks[r].events()) {
+      out << r << ',' << ev.time << ',' << phase_name(ev.phase) << "\n";
+    }
+  }
+}
+
+std::string trace_to_csv(const JobTrace& trace) {
+  std::ostringstream out;
+  write_trace_csv(out, trace);
+  return out.str();
+}
+
+JobTrace read_trace_csv(std::istream& in) {
+  JobTrace trace;
+  std::string line;
+
+  DWS_CHECK(static_cast<bool>(std::getline(in, line)));
+  DWS_CHECK(line.rfind("# total_time_ns,", 0) == 0);
+  trace.total_time = std::stoll(line.substr(line.find(',') + 1));
+
+  DWS_CHECK(static_cast<bool>(std::getline(in, line)));
+  DWS_CHECK(line == "rank,time_ns,phase");
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto c1 = line.find(',');
+    const auto c2 = line.find(',', c1 + 1);
+    DWS_CHECK(c1 != std::string::npos && c2 != std::string::npos);
+    const auto rank = static_cast<std::size_t>(std::stoull(line.substr(0, c1)));
+    const support::SimTime time = std::stoll(line.substr(c1 + 1, c2 - c1 - 1));
+    const Phase phase = parse_phase(line.substr(c2 + 1));
+
+    DWS_CHECK(rank <= trace.ranks.size());  // ranks arrive in order
+    if (rank == trace.ranks.size()) {
+      trace.ranks.emplace_back(phase, time);
+    } else {
+      trace.ranks[rank].record(time, phase);
+    }
+  }
+  return trace;
+}
+
+JobTrace trace_from_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  return read_trace_csv(in);
+}
+
+void write_occupancy_csv(std::ostream& out, const JobTrace& trace) {
+  const OccupancyCurve curve(trace);
+  out << "time_ns,active_workers\n";
+  out << "0," << curve.workers_at(0) << "\n";
+  for (const auto& [time, workers] : curve.steps()) {
+    out << time << ',' << workers << "\n";
+  }
+}
+
+}  // namespace dws::metrics

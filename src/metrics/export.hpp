@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/trace.hpp"
+
+namespace dws::metrics {
+
+/// Serialise a JobTrace as CSV for external plotting (gnuplot, pandas...):
+///
+///   # total_time_ns,<T>
+///   rank,time_ns,phase
+///   0,0,active
+///   0,12345,idle
+///   ...
+///
+/// The paper's figures 4/5/12/13 were produced from exactly this kind of
+/// per-rank transition dump.
+void write_trace_csv(std::ostream& out, const JobTrace& trace);
+std::string trace_to_csv(const JobTrace& trace);
+
+/// Parse a CSV produced by write_trace_csv. Aborts (DWS_CHECK) on malformed
+/// input — the format is machine-generated, not user-facing.
+JobTrace read_trace_csv(std::istream& in);
+JobTrace trace_from_csv(const std::string& csv);
+
+/// Serialise the occupancy *step function* (time, active workers) — smaller
+/// than the raw trace and directly plottable as the occupancy curve.
+void write_occupancy_csv(std::ostream& out, const JobTrace& trace);
+
+}  // namespace dws::metrics

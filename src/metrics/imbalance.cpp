@@ -1,0 +1,46 @@
+#include "metrics/imbalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dws::metrics {
+
+Imbalance compute_imbalance(const std::vector<std::uint64_t>& per_rank_work) {
+  DWS_CHECK(!per_rank_work.empty());
+  const double n = static_cast<double>(per_rank_work.size());
+
+  Imbalance out;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::uint64_t starved = 0;
+  for (const auto w : per_rank_work) {
+    const double x = static_cast<double>(w);
+    sum += x;
+    sum_sq += x * x;
+    out.max = std::max(out.max, x);
+    if (w == 0) ++starved;
+  }
+  out.mean = sum / n;
+  out.starved_fraction = static_cast<double>(starved) / n;
+  if (sum == 0.0) return out;  // nobody worked: everything else is 0
+
+  out.imbalance_factor = out.max / out.mean;
+  const double variance = std::max(0.0, sum_sq / n - out.mean * out.mean);
+  out.cov = std::sqrt(variance) / out.mean;
+
+  // Gini via the sorted-rank formula:
+  //   G = (2 * sum_i i*x_(i) / (n * sum x)) - (n + 1)/n,  i = 1..n ascending.
+  std::vector<std::uint64_t> sorted = per_rank_work;
+  std::sort(sorted.begin(), sorted.end());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+  }
+  out.gini = 2.0 * weighted / (n * sum) - (n + 1.0) / n;
+  out.gini = std::max(0.0, out.gini);
+  return out;
+}
+
+}  // namespace dws::metrics

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dws::metrics {
+
+/// Distribution statistics over per-rank work (nodes or tasks processed) —
+/// the outcome a load balancer is judged on. Complements the time-domain
+/// occupancy metrics: occupancy says *when* ranks worked, imbalance says
+/// *how much* each ended up doing.
+struct Imbalance {
+  double mean = 0.0;
+  double max = 0.0;
+  /// max/mean: 1.0 is perfect balance; the classic "imbalance factor".
+  double imbalance_factor = 0.0;
+  /// Coefficient of variation (stddev/mean).
+  double cov = 0.0;
+  /// Gini coefficient in [0, 1): 0 = everyone did the same amount,
+  /// -> 1 = one rank did everything.
+  double gini = 0.0;
+  /// Fraction of ranks that processed nothing at all (starvation).
+  double starved_fraction = 0.0;
+};
+
+/// Compute from per-rank work counts (at least one rank required).
+Imbalance compute_imbalance(const std::vector<std::uint64_t>& per_rank_work);
+
+}  // namespace dws::metrics

@@ -1,0 +1,103 @@
+#include "metrics/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dws::metrics {
+
+OccupancyCurve::OccupancyCurve(const JobTrace& trace)
+    : num_ranks_(trace.num_ranks()), total_time_(trace.total_time) {
+  DWS_CHECK(num_ranks_ > 0);
+  DWS_CHECK(total_time_ >= 0);
+
+  // Merge all transitions into (time, delta) pairs, then prefix-sum.
+  std::vector<std::pair<support::SimTime, std::int32_t>> deltas;
+  for (const auto& rank : trace.ranks) {
+    const auto& evs = rank.events();
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      const bool was_active = i > 0 && evs[i - 1].phase == Phase::kActive;
+      const bool is_active = evs[i].phase == Phase::kActive;
+      if (is_active && !was_active) deltas.emplace_back(evs[i].time, +1);
+      if (!is_active && was_active) deltas.emplace_back(evs[i].time, -1);
+    }
+  }
+  std::sort(deltas.begin(), deltas.end());
+
+  std::int32_t count = 0;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    count += deltas[i].second;
+    DWS_CHECK(count >= 0);
+    DWS_CHECK(count <= static_cast<std::int32_t>(num_ranks_));
+    // Collapse simultaneous transitions into one step point.
+    if (i + 1 < deltas.size() && deltas[i + 1].first == deltas[i].first) continue;
+    steps_.emplace_back(deltas[i].first, static_cast<std::uint32_t>(count));
+    max_workers_ = std::max(max_workers_, static_cast<std::uint32_t>(count));
+  }
+}
+
+std::uint32_t OccupancyCurve::workers_at(support::SimTime t) const {
+  // Last step at or before t.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](support::SimTime v, const auto& s) { return v < s.first; });
+  if (it == steps_.begin()) return 0;
+  return std::prev(it)->second;
+}
+
+std::uint32_t OccupancyCurve::threshold_count(double x) const {
+  DWS_CHECK(x >= 0.0 && x <= 1.0);
+  // O(t) >= x  <=>  workers >= ceil(x * N) (and at least 1 for x > 0).
+  const auto needed =
+      static_cast<std::uint32_t>(std::ceil(x * static_cast<double>(num_ranks_)));
+  return std::max<std::uint32_t>(needed, x > 0.0 ? 1 : 0);
+}
+
+std::optional<double> OccupancyCurve::starting_latency(double x) const {
+  const std::uint32_t needed = threshold_count(x);
+  if (needed == 0) return 0.0;
+  for (const auto& [t, workers] : steps_) {
+    if (workers >= needed) {
+      return total_time_ > 0
+                 ? static_cast<double>(t) / static_cast<double>(total_time_)
+                 : 0.0;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> OccupancyCurve::ending_latency(double x) const {
+  const std::uint32_t needed = threshold_count(x);
+  if (needed == 0) return 0.0;
+  // Find the end of the last interval during which workers >= needed. The
+  // interval [steps_[i].time, steps_[i+1].time) has steps_[i].second workers;
+  // "the last time O(t) = x held" is that interval's end.
+  for (std::size_t i = steps_.size(); i-- > 0;) {
+    if (steps_[i].second >= needed) {
+      const support::SimTime until =
+          i + 1 < steps_.size() ? steps_[i + 1].first : total_time_;
+      return total_time_ > 0 ? static_cast<double>(total_time_ - until) /
+                                   static_cast<double>(total_time_)
+                             : 0.0;
+    }
+  }
+  return std::nullopt;
+}
+
+double OccupancyCurve::mean_occupancy() const {
+  if (total_time_ == 0 || steps_.empty()) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const support::SimTime from = steps_[i].first;
+    const support::SimTime to =
+        i + 1 < steps_.size() ? steps_[i + 1].first : total_time_;
+    if (to > from) {
+      weighted += static_cast<double>(steps_[i].second) *
+                  static_cast<double>(to - from);
+    }
+  }
+  return weighted / (static_cast<double>(total_time_) * num_ranks_);
+}
+
+}  // namespace dws::metrics

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "metrics/trace.hpp"
+
+namespace dws::metrics {
+
+/// The paper's load-balancing-efficiency metric (§III), computed post-mortem
+/// from a JobTrace:
+///
+///  - workers(t): number of processes in an active phase at time t,
+///  - W_max: max workers over the run,
+///  - O(t) = workers(t) / N,
+///  - starting latency SL(x) = min{t : O(t) >= x} / T,
+///  - ending latency  EL(x) = (T - max{t : O(t) >= x}) / T.
+///
+/// SL(x) asks "how far into the run did occupancy x first appear"; EL(x)
+/// asks "how far before the end was it last held". Both are fractions of T.
+class OccupancyCurve {
+ public:
+  explicit OccupancyCurve(const JobTrace& trace);
+
+  std::uint32_t num_ranks() const noexcept { return num_ranks_; }
+  support::SimTime total_time() const noexcept { return total_time_; }
+
+  /// Number of active workers at time t (step function, right-continuous).
+  std::uint32_t workers_at(support::SimTime t) const;
+  std::uint32_t max_workers() const noexcept { return max_workers_; }
+  double max_occupancy() const noexcept {
+    return static_cast<double>(max_workers_) / num_ranks_;
+  }
+
+  /// SL(x) for occupancy fraction x in [0, 1]; nullopt if x was never
+  /// reached. Returned as a fraction of total time.
+  std::optional<double> starting_latency(double x) const;
+
+  /// EL(x); nullopt if x was never reached.
+  std::optional<double> ending_latency(double x) const;
+
+  /// Time-average of O(t) over the run — a single-number summary used by the
+  /// bench harness next to the per-x latencies.
+  double mean_occupancy() const;
+
+  /// The underlying step points (time, workers-after), for plotting.
+  const std::vector<std::pair<support::SimTime, std::uint32_t>>& steps() const {
+    return steps_;
+  }
+
+ private:
+  std::uint32_t threshold_count(double x) const;
+
+  std::uint32_t num_ranks_ = 0;
+  support::SimTime total_time_ = 0;
+  std::uint32_t max_workers_ = 0;
+  std::vector<std::pair<support::SimTime, std::uint32_t>> steps_;
+};
+
+}  // namespace dws::metrics

@@ -1,0 +1,40 @@
+#include "metrics/rank_stats.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dws::metrics {
+
+JobStats aggregate(const std::vector<RankStats>& per_rank) {
+  DWS_CHECK(!per_rank.empty());
+  JobStats job;
+  support::SimTime session_time = 0;
+  double search_total = 0.0;
+  double distance_total = 0.0;
+  for (const auto& r : per_rank) {
+    job.nodes_processed += r.nodes_processed;
+    job.steal_attempts += r.steal_attempts;
+    job.failed_steals += r.failed_steals;
+    job.successful_steals += r.successful_steals;
+    job.chunks_sent += r.chunks_sent;
+    job.sessions += r.sessions;
+    distance_total += r.steal_distance_sum;
+    session_time += r.total_session_time;
+    const double search_s = support::to_seconds(r.total_search_time);
+    search_total += search_s;
+    job.max_search_time_s = std::max(job.max_search_time_s, search_s);
+  }
+  job.mean_session_ms =
+      job.sessions > 0
+          ? support::to_millis(session_time) / static_cast<double>(job.sessions)
+          : 0.0;
+  job.mean_search_time_s = search_total / static_cast<double>(per_rank.size());
+  job.mean_steal_distance =
+      job.successful_steals > 0
+          ? distance_total / static_cast<double>(job.successful_steals)
+          : 0.0;
+  return job;
+}
+
+}  // namespace dws::metrics

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/sim_time.hpp"
+
+namespace dws::metrics {
+
+/// Per-rank scheduler counters, filled by the work-stealing worker. Mirrors
+/// the statistics the UTS benchmark reports (plus a few of our own):
+/// search time, failed steals, work-discovery sessions (§V-A of the paper).
+struct RankStats {
+  std::uint64_t nodes_processed = 0;
+  std::uint64_t leaves_seen = 0;
+
+  std::uint64_t steal_attempts = 0;     ///< requests sent
+  std::uint64_t failed_steals = 0;      ///< responses carrying no work
+  std::uint64_t successful_steals = 0;  ///< responses carrying work
+  std::uint64_t requests_served = 0;    ///< requests answered (either way)
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t chunks_received = 0;
+
+  /// Sum over *successful* steals of the 6D Euclidean distance to the
+  /// victim — mean distance is direct evidence of where a victim-selection
+  /// policy actually sends its traffic (near for Tofu, uniform for Rand).
+  double steal_distance_sum = 0.0;
+
+  /// Lifeline extension (IdlePolicy::kLifeline): times this rank went
+  /// dormant on its lifelines / times it pushed work to a dependent.
+  std::uint64_t lifeline_registrations = 0;
+  std::uint64_t lifeline_pushes = 0;
+
+  /// Work-discovery sessions: from work exhaustion until either work is in
+  /// the queue again or the application terminates (paper §IV-B).
+  std::uint64_t sessions = 0;
+  support::SimTime total_session_time = 0;
+
+  /// Time spent waiting for steal answers (UTS's "search time", Fig. 14).
+  support::SimTime total_search_time = 0;
+
+  /// DAG workloads only (src/dag): virtual time spent gathering input data
+  /// from remote predecessors, and how many inputs were remote — the
+  /// bandwidth-sensitivity the paper's §VII predicts for dependent tasks.
+  support::SimTime total_gather_time = 0;
+  std::uint64_t remote_inputs = 0;
+
+  support::SimTime finish_time = 0;  ///< when this rank learnt of termination
+};
+
+/// Job-wide aggregation of per-rank counters.
+struct JobStats {
+  std::uint64_t nodes_processed = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t failed_steals = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t sessions = 0;
+  double mean_session_ms = 0.0;       ///< avg duration of a discovery session
+  double mean_search_time_s = 0.0;    ///< avg per-rank total search time
+  double max_search_time_s = 0.0;
+  double mean_steal_distance = 0.0;   ///< avg victim distance of ok steals
+};
+
+JobStats aggregate(const std::vector<RankStats>& per_rank);
+
+}  // namespace dws::metrics

@@ -1,0 +1,92 @@
+#include "metrics/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "metrics/occupancy.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace dws::metrics {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_report(const ReportInput& input) {
+  DWS_CHECK(!input.per_rank.empty());
+  DWS_CHECK(input.num_ranks == input.per_rank.size());
+  const JobStats job = aggregate(input.per_rank);
+
+  std::string out;
+  line(out, "=== %s ===", input.title.c_str());
+
+  const double speedup =
+      input.runtime > 0 ? static_cast<double>(input.sequential_time) /
+                              static_cast<double>(input.runtime)
+                        : 0.0;
+  line(out, "ranks          : %u", input.num_ranks);
+  line(out, "runtime        : %.3f ms (T1 = %.3f ms)",
+       support::to_millis(input.runtime),
+       support::to_millis(input.sequential_time));
+  line(out, "speedup        : %.2f (efficiency %.1f%%)", speedup,
+       100.0 * speedup / input.num_ranks);
+  line(out, "work items     : %llu",
+       static_cast<unsigned long long>(job.nodes_processed));
+
+  line(out, "--- stealing");
+  line(out, "attempts       : %llu (%llu ok, %llu failed)",
+       static_cast<unsigned long long>(job.steal_attempts),
+       static_cast<unsigned long long>(job.successful_steals),
+       static_cast<unsigned long long>(job.failed_steals));
+  line(out, "chunks moved   : %llu",
+       static_cast<unsigned long long>(job.chunks_sent));
+  line(out, "mean distance  : %.2f (successful steals)",
+       job.mean_steal_distance);
+  line(out, "sessions       : %llu, avg %.3f ms",
+       static_cast<unsigned long long>(job.sessions), job.mean_session_ms);
+  line(out, "search time    : avg %.3f ms/rank, max %.3f ms",
+       job.mean_search_time_s * 1e3, job.max_search_time_s * 1e3);
+
+  std::vector<std::uint64_t> work;
+  work.reserve(input.per_rank.size());
+  for (const auto& r : input.per_rank) work.push_back(r.nodes_processed);
+  const Imbalance im = compute_imbalance(work);
+  line(out, "--- load imbalance");
+  line(out, "max/mean       : %.2f   cov: %.2f   gini: %.3f   starved: %.1f%%",
+       im.imbalance_factor, im.cov, im.gini, 100.0 * im.starved_fraction);
+
+  if (input.trace != nullptr && input.trace->num_ranks() > 0) {
+    const OccupancyCurve occ(*input.trace);
+    line(out, "--- occupancy");
+    line(out, "peak           : %.1f%% (%u ranks)   mean: %.1f%%",
+         100.0 * occ.max_occupancy(), occ.max_workers(),
+         100.0 * occ.mean_occupancy());
+    for (const double x : {0.5, 0.9}) {
+      const auto sl = occ.starting_latency(x);
+      const auto el = occ.ending_latency(x);
+      if (sl && el) {
+        line(out, "SL/EL(%2.0f%%)     : %.1f%% / %.1f%% of runtime", x * 100.0,
+             *sl * 100.0, *el * 100.0);
+      } else {
+        line(out, "SL/EL(%2.0f%%)     : never reached", x * 100.0);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dws::metrics

@@ -1,0 +1,45 @@
+#include "metrics/trace.hpp"
+
+#include "support/check.hpp"
+
+namespace dws::metrics {
+
+RankTrace::RankTrace(Phase initial, support::SimTime start) {
+  events_.push_back(PhaseEvent{start, initial});
+}
+
+void RankTrace::record(support::SimTime t, Phase phase) {
+  DWS_CHECK(!events_.empty());
+  DWS_CHECK(t >= events_.back().time);
+  if (events_.back().phase == phase) return;
+  events_.push_back(PhaseEvent{t, phase});
+}
+
+Phase RankTrace::phase_at_end() const noexcept { return events_.back().phase; }
+
+support::SimTime RankTrace::active_time(support::SimTime end) const {
+  support::SimTime total = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].phase != Phase::kActive) continue;
+    const support::SimTime from = events_[i].time;
+    const support::SimTime to =
+        i + 1 < events_.size() ? events_[i + 1].time : end;
+    if (to > from) total += to - from;
+  }
+  return total;
+}
+
+void RankTrace::shift(support::SimTime offset) {
+  // Skew correction may push an initial timestamp slightly below zero; the
+  // occupancy analysis is defined on signed times, so that is fine.
+  for (auto& e : events_) e.time += offset;
+}
+
+void align_traces(JobTrace& trace, const std::vector<support::SimTime>& offsets) {
+  DWS_CHECK(offsets.size() == trace.ranks.size());
+  for (std::size_t r = 0; r < trace.ranks.size(); ++r) {
+    trace.ranks[r].shift(offsets[r]);
+  }
+}
+
+}  // namespace dws::metrics

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/sim_time.hpp"
+
+namespace dws::metrics {
+
+/// Activity state of a process. "Active" is the paper's definition (§III):
+/// the process's stack contains work — node generation *and* the MPI
+/// housekeeping done in between (answering steal requests) all count as
+/// active; a process is idle exactly when it has no local work.
+enum class Phase : std::uint8_t {
+  kIdle = 0,
+  kActive = 1,
+};
+
+/// Transition record: at `time`, the process entered `phase`.
+struct PhaseEvent {
+  support::SimTime time;
+  Phase phase;
+
+  friend bool operator==(const PhaseEvent&, const PhaseEvent&) = default;
+};
+
+/// Lightweight per-process activity trace — the paper's instrument: "a trace
+/// of all processes indicating the time of each transition from one type of
+/// phase to the other". Records only transitions (consecutive duplicates are
+/// collapsed), so its size is proportional to the number of work-discovery
+/// sessions, not to runtime.
+class RankTrace {
+ public:
+  explicit RankTrace(Phase initial = Phase::kIdle, support::SimTime start = 0);
+
+  /// Record that the process is in `phase` from time `t` on. Out-of-order
+  /// times are rejected; re-recording the current phase is a no-op.
+  void record(support::SimTime t, Phase phase);
+
+  Phase phase_at_end() const noexcept;
+  const std::vector<PhaseEvent>& events() const noexcept { return events_; }
+
+  /// Total time spent active in [0, end].
+  support::SimTime active_time(support::SimTime end) const;
+
+  /// Shift every timestamp by `offset` (clock-skew correction; the paper
+  /// adjusted K Computer traces the same way). Corrected times may dip
+  /// slightly below zero; downstream analysis operates on signed times.
+  void shift(support::SimTime offset);
+
+ private:
+  std::vector<PhaseEvent> events_;
+};
+
+/// Whole-job trace: one RankTrace per rank plus the total execution time T
+/// that the latency metrics are expressed against.
+struct JobTrace {
+  support::SimTime total_time = 0;
+  std::vector<RankTrace> ranks;
+
+  std::uint32_t num_ranks() const noexcept {
+    return static_cast<std::uint32_t>(ranks.size());
+  }
+};
+
+/// Clock-skew correction: align per-rank traces given each rank's clock
+/// offset (trace timestamps are local clocks; offset[r] is added to rank r's
+/// events). The simulator's clock is global so offsets are zero there, but
+/// the correction is exercised by tests with synthetic skew, mirroring the
+/// paper's methodology on real traces.
+void align_traces(JobTrace& trace, const std::vector<support::SimTime>& offsets);
+
+}  // namespace dws::metrics

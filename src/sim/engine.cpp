@@ -1,0 +1,29 @@
+#include "sim/engine.hpp"
+
+namespace dws::sim {
+
+void Engine::schedule_at(support::SimTime t, Action action) {
+  DWS_CHECK(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast — safe because
+  // the element is popped immediately and never reordered after top().
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (n < max_events && !stopped_ && step()) ++n;
+  return n;
+}
+
+}  // namespace dws::sim

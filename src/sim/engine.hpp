@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/sim_time.hpp"
+
+namespace dws::sim {
+
+/// Deterministic discrete-event engine.
+///
+/// This is the substrate that replaces the K Computer in our reproduction:
+/// all simulated MPI ranks live in one address space and advance a shared
+/// virtual clock. Events fire in (time, insertion sequence) order, so two
+/// events at the same instant run in the order they were scheduled — runs
+/// are bit-reproducible, which the whole test suite leans on.
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  support::SimTime now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute virtual time `t` (>= now).
+  void schedule_at(support::SimTime t, Action action);
+
+  /// Schedule `action` `delay` ns after the current virtual time.
+  void schedule_after(support::SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Execute the earliest pending event. Returns false when none remain.
+  bool step();
+
+  /// Run until the queue drains, stop() is called, or `max_events` fire.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Halt run() after the current event; pending events stay queued.
+  void stop() noexcept { stopped_ = true; }
+  bool stopped() const noexcept { return stopped_; }
+
+  std::uint64_t events_executed() const noexcept { return executed_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    support::SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  support::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace dws::sim

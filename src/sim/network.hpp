@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "support/sim_time.hpp"
+#include "topo/latency.hpp"
+
+namespace dws::sim {
+
+/// Aggregate traffic counters, reported by the bench harness.
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t intra_node_messages = 0;
+  double max_load_hops = 0.0;  ///< peak in-flight hop-units (congestion)
+};
+
+/// Fluid-approximation congestion model. Every in-flight inter-node message
+/// occupies `hops` link-units; the network-portion of a new message's
+/// latency is scaled by (1 + load / capacity_hops). This captures the effect
+/// the paper attributes to the physical scale of the K Computer: uniform
+/// random steal traffic crosses many links and saturates the fabric, while
+/// distance-skewed traffic stays local and cheap. Intra-node messages are
+/// unaffected. Disabled by default (tests exercise raw latencies); the bench
+/// harness enables it with a capacity derived from the allocation's link
+/// count (see ws::RunConfig::enable_congestion and bench/common.hpp).
+struct CongestionParams {
+  bool enabled = false;
+  /// In-flight hop-units at which the network latency doubles. A reasonable
+  /// physical anchor is the number of links inside the job's allocation
+  /// (~6 links/node in a 6D torus).
+  double capacity_hops = 1.0;
+};
+
+/// Point-to-point message transport between simulated ranks.
+///
+/// Models what the paper's UTS implementation gets from MPI two-sided
+/// messaging: asynchronous sends whose delivery delay comes from the physical
+/// distance between ranks (LatencyModel), with per-channel non-overtaking
+/// (MPI's ordering guarantee for a (source, dest) pair). Delivery invokes a
+/// callback at the arrival time; the work-stealing worker layered above
+/// decides what "receiving" means (it polls between node expansions, like the
+/// reference implementation polls MPI).
+template <typename Message>
+class Network {
+ public:
+  /// `deliver(dst, msg)` runs at each message's arrival time.
+  using DeliverFn = std::function<void(topo::Rank dst, Message msg)>;
+
+  Network(Engine& engine, const topo::LatencyModel& latency, DeliverFn deliver,
+          CongestionParams congestion = {})
+      : engine_(&engine),
+        latency_(&latency),
+        deliver_(std::move(deliver)),
+        congestion_(congestion) {
+    DWS_CHECK(deliver_ != nullptr);
+    DWS_CHECK(!congestion_.enabled || congestion_.capacity_hops > 0.0);
+  }
+
+  /// Send `msg` of `bytes` payload bytes from `src` to `dst` (src != dst).
+  void send(topo::Rank src, topo::Rank dst, Message msg, std::uint32_t bytes) {
+    DWS_CHECK(src != dst);
+    support::SimTime latency = latency_->message_latency(src, dst, bytes);
+    std::int32_t hops = 0;
+    if (congestion_.enabled && !latency_->layout().same_node(src, dst)) {
+      hops = latency_->hops(src, dst);
+      const double multiplier = 1.0 + load_hops_ / congestion_.capacity_hops;
+      latency = static_cast<support::SimTime>(
+          static_cast<double>(latency) * multiplier);
+      load_hops_ += hops;
+      stats_.max_load_hops = std::max(stats_.max_load_hops, load_hops_);
+    }
+    support::SimTime arrival = engine_->now() + latency;
+
+    // MPI non-overtaking: a later send on the same channel may not arrive
+    // before an earlier one (possible here when a small message chases a
+    // large one). Clamp to the channel's previous arrival time.
+    auto [it, inserted] = last_arrival_.try_emplace(channel_key(src, dst), arrival);
+    if (!inserted) {
+      if (arrival < it->second) arrival = it->second;
+      it->second = arrival;
+    }
+
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    if (latency_->layout().same_node(src, dst)) ++stats_.intra_node_messages;
+
+    engine_->schedule_at(arrival,
+                         [this, dst, hops, m = std::move(msg)]() mutable {
+                           load_hops_ -= hops;
+                           deliver_(dst, std::move(m));
+                         });
+  }
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+
+ private:
+  static std::uint64_t channel_key(topo::Rank src, topo::Rank dst) noexcept {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
+  Engine* engine_;
+  const topo::LatencyModel* latency_;
+  DeliverFn deliver_;
+  CongestionParams congestion_;
+  double load_hops_ = 0.0;  // in-flight hop-units (congestion state)
+  NetworkStats stats_;
+  std::unordered_map<std::uint64_t, support::SimTime> last_arrival_;
+};
+
+}  // namespace dws::sim

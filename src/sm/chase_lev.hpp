@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dws::sm {
+
+/// Lock-free work-stealing deque (Chase & Lev, "Dynamic Circular
+/// Work-Stealing Deque", SPAA 2005; memory orderings after Lê et al.,
+/// "Correct and Efficient Work-Stealing for Weak Memory Models", PPoPP 2013).
+///
+/// This is the intra-node counterpart of the paper's distributed scheduler:
+/// the single-owner deque underlying Cilk-style shared-memory work stealing
+/// (paper §VI). One thread owns the bottom end (push/pop, LIFO); any number
+/// of thief threads steal from the top end (FIFO — oldest work, mirroring
+/// the distributed scheduler stealing the bottom chunks of a stack).
+///
+/// T must be trivially copyable — elements are published through atomics.
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : buffer_(new Buffer(round_up(initial_capacity))) {}
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Amortised O(1); grows the buffer when full.
+  void push_bottom(const T& value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      grow(buf, t, b);
+      buf = buffer_.load(std::memory_order_relaxed);
+    }
+    buf->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. LIFO end; contends with thieves only for the last element.
+  std::optional<T> pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // a thief got it
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  /// Any thread. FIFO end; lock-free.
+  std::optional<T> steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T value = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race
+    }
+    return value;
+  }
+
+  /// Racy size estimate (exact only when quiescent).
+  std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  // Slots are plain storage, not atomics: a 24-byte payload cannot be a
+  // lock-free std::atomic. The element races are the classic "benign" ones
+  // of published Chase-Lev implementations — a thief that loses the CAS on
+  // top_ discards whatever it read, and a slot is only reused after top_
+  // has advanced past it (which the winning CAS orders via seq_cst).
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new T[cap]) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<T[]> slots;
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+    void put(std::int64_t i, const T& v) {
+      slots[static_cast<std::size_t>(i) & mask] = v;
+    }
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t p = 8;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    // Retire the old buffer: thieves may still hold a pointer to it, so it
+    // cannot be freed here. Park it until the deque is destroyed (bounded:
+    // each retired buffer is half the size of its successor).
+    retired_.emplace_back(old);
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only mutation
+};
+
+}  // namespace dws::sm

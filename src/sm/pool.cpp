@@ -1,0 +1,93 @@
+#include "sm/pool.hpp"
+
+#include "support/check.hpp"
+
+namespace dws::sm {
+
+UtsThreadPool::UtsThreadPool(const uts::TreeParams& tree, unsigned num_threads,
+                             std::uint64_t seed)
+    : tree_(tree), num_threads_(num_threads), seed_(seed) {
+  DWS_CHECK(num_threads_ >= 1);
+  deques_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    deques_.push_back(std::make_unique<ChaseLevDeque<uts::TreeNode>>());
+  }
+  stats_.resize(num_threads_);
+}
+
+uts::TreeStats UtsThreadPool::run() {
+  DWS_CHECK(!ran_);
+  ran_ = true;
+
+  // Seed worker 0 with the root before any thread starts.
+  deques_[0]->push_bottom(uts::root_node(tree_));
+  in_flight_.store(1, std::memory_order_relaxed);
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    threads.emplace_back([this, i] { worker(i); });
+  }
+  for (auto& t : threads) t.join();
+
+  DWS_CHECK(in_flight_.load(std::memory_order_relaxed) == 0);
+  uts::TreeStats out;
+  for (const auto& st : stats_) {
+    out.nodes += st.nodes_processed;
+    out.leaves += st.leaves_seen;
+    out.max_depth = std::max(out.max_depth, st.max_depth);
+  }
+  return out;
+}
+
+void UtsThreadPool::process(unsigned id, const uts::TreeNode& node) {
+  auto& st = stats_[id];
+  ++st.nodes_processed;
+  st.max_depth = std::max(st.max_depth, node.height);
+
+  const std::uint32_t n = uts::num_children(tree_, node);
+  if (n == 0) {
+    ++st.leaves_seen;
+  } else {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      deques_[id]->push_bottom(uts::child_node(node, c));
+    }
+  }
+  // One fused update: account the n children and retire this node. Because
+  // it is a single atomic, the counter can never dip to zero while work
+  // remains anywhere.
+  in_flight_.fetch_add(static_cast<std::int64_t>(n) - 1,
+                       std::memory_order_acq_rel);
+}
+
+void UtsThreadPool::worker(unsigned id) {
+  support::Xoshiro256StarStar rng(seed_ ^ (0x9e3779b97f4a7c15ull * (id + 1)));
+  auto& st = stats_[id];
+  unsigned consecutive_failures = 0;
+
+  while (true) {
+    // Drain own deque first (LIFO: depth-first, cache-friendly).
+    while (auto node = deques_[id]->pop_bottom()) {
+      process(id, *node);
+    }
+    // Out of local work: steal or detect completion.
+    if (in_flight_.load(std::memory_order_acquire) == 0) return;
+    if (num_threads_ == 1) continue;  // work may appear only from ourselves
+    const auto victim = static_cast<unsigned>(rng.next_below(num_threads_ - 1));
+    const unsigned v = victim >= id ? victim + 1 : victim;
+    ++st.steal_attempts;
+    if (auto node = deques_[v]->steal_top()) {
+      ++st.successful_steals;
+      consecutive_failures = 0;
+      process(id, *node);
+    } else if (++consecutive_failures >= 2 * num_threads_) {
+      // Back off when the whole neighbourhood looks empty: spinning thieves
+      // otherwise serialise the victims' deque tops through cache-line
+      // contention (the shared-memory analogue of the paper's steal storms).
+      std::this_thread::yield();
+      consecutive_failures = 0;
+    }
+  }
+}
+
+}  // namespace dws::sm

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sm/chase_lev.hpp"
+#include "support/rng.hpp"
+#include "uts/sequential.hpp"
+#include "uts/tree.hpp"
+
+namespace dws::sm {
+
+/// Per-thread counters mirroring (a subset of) the distributed scheduler's
+/// RankStats, so shared-memory and simulated runs can be compared.
+/// Cache-line aligned: each worker updates its own entry on every node, and
+/// false sharing here serialises the whole pool.
+struct alignas(64) ThreadStats {
+  std::uint64_t nodes_processed = 0;
+  std::uint64_t leaves_seen = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint32_t max_depth = 0;
+};
+
+/// Real-threads work-stealing executor for UTS trees: one Chase-Lev deque
+/// per worker, uniform random victim selection, termination via a global
+/// in-flight task counter.
+///
+/// This is the shared-memory substrate the paper's related-work section
+/// builds on (Cilk-style intra-node stealing). In this repo it serves two
+/// purposes: a second, independently-implemented traversal that must agree
+/// node-for-node with both the sequential enumerator and the distributed
+/// simulator (cross-validation), and a usable parallel UTS runner for the
+/// examples.
+class UtsThreadPool {
+ public:
+  /// `num_threads` >= 1. Uses exactly that many std::threads.
+  UtsThreadPool(const uts::TreeParams& tree, unsigned num_threads,
+                std::uint64_t seed = 1);
+
+  /// Traverse the whole tree; returns exact totals. Callable once per pool.
+  uts::TreeStats run();
+
+  const std::vector<ThreadStats>& thread_stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  void worker(unsigned id);
+  void process(unsigned id, const uts::TreeNode& node);
+
+  const uts::TreeParams tree_;
+  unsigned num_threads_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<ChaseLevDeque<uts::TreeNode>>> deques_;
+  std::vector<ThreadStats> stats_;
+  // The one shared hot counter: tasks pushed minus tasks completed. Zero
+  // means global quiescence (children are accounted in the same atomic
+  // update that retires their parent, so it can never dip to zero early).
+  std::atomic<std::int64_t> in_flight_{0};
+  bool ran_ = false;
+};
+
+}  // namespace dws::sm

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Always-on invariant checks.
+///
+/// The simulator and scheduler are deterministic state machines: a violated
+/// invariant means the run is meaningless, so we fail fast rather than limp
+/// along. DWS_CHECK stays enabled in release builds; DWS_DCHECK compiles away
+/// outside debug builds and is meant for hot paths (per-event, per-node).
+namespace dws::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "DWS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace dws::support
+
+#define DWS_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::dws::support::check_failed(#expr, __FILE__, __LINE__);   \
+    }                                                            \
+  } while (0)
+
+#ifndef NDEBUG
+#define DWS_DCHECK(expr) DWS_CHECK(expr)
+#else
+#define DWS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif

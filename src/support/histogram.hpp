@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dws::support {
+
+/// Fixed-width linear histogram over [lo, hi). Out-of-range samples land in
+/// saturating under/overflow buckets so totals are never lost — the metrics
+/// layer relies on `total()` matching the number of recorded events.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const;
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Multi-line ASCII rendering ("#### " bars), used by trace_viewer and for
+  /// quick eyeballing in bench output.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dws::support

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dws::support {
+
+/// O(1)-memory sampler for a discrete distribution given by a weight
+/// *function* rather than a materialised weight vector.
+///
+/// Rationale: the paper's skewed victim selection builds, on every MPI rank,
+/// an N-entry GSL discrete distribution — fine when each rank is its own
+/// process, but our simulator hosts all N ranks in one address space, and N
+/// alias tables of N entries is O(N^2) memory (≈0.8 GiB at N = 8192). The
+/// rejection sampler draws a candidate uniformly and accepts with probability
+/// w(candidate)/w_max; it produces the *same* distribution as the alias table
+/// (verified by tests) with no per-rank storage.
+///
+/// Acceptance rate equals mean(w)/max(w). For the 1/euclidean-distance weights
+/// this stays around 5-20% on realistic allocations, i.e. a handful of cheap
+/// distance evaluations per steal.
+template <typename WeightFn>
+class RejectionSampler {
+ public:
+  /// `weight(i)` must return a value in [0, w_max] for all i in [0, n);
+  /// at least one index must have positive weight.
+  RejectionSampler(std::size_t n, double w_max, WeightFn weight)
+      : n_(n), w_max_(w_max), weight_(std::move(weight)) {
+    DWS_CHECK(n_ > 0);
+    DWS_CHECK(w_max_ > 0.0);
+  }
+
+  std::size_t sample(Xoshiro256StarStar& rng) const {
+    for (;;) {
+      const auto candidate = static_cast<std::size_t>(rng.next_below(n_));
+      const double w = weight_(candidate);
+      DWS_DCHECK(w >= 0.0 && w <= w_max_);
+      if (w <= 0.0) continue;
+      if (rng.next_double() * w_max_ < w) return candidate;
+    }
+  }
+
+ private:
+  std::size_t n_;
+  double w_max_;
+  WeightFn weight_;
+};
+
+template <typename WeightFn>
+RejectionSampler(std::size_t, double, WeightFn) -> RejectionSampler<WeightFn>;
+
+}  // namespace dws::support

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+/// Simulated time. One unit = 1 nanosecond of virtual time, stored as a
+/// signed 64-bit count (signed so durations/differences are safe). 2^63 ns is
+/// ~292 years of virtual time — far beyond any run.
+namespace dws::support {
+
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+constexpr double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+constexpr double to_micros(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e3;
+}
+
+constexpr SimTime from_micros(double us) noexcept {
+  return static_cast<SimTime>(us * 1e3);
+}
+constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+}  // namespace dws::support

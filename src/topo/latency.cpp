@@ -1,0 +1,48 @@
+#include "topo/latency.hpp"
+
+#include "support/check.hpp"
+
+namespace dws::topo {
+
+LatencyModel::LatencyModel(const JobLayout& layout, LatencyParams params)
+    : layout_(&layout), params_(params) {
+  DWS_CHECK(params_.same_node >= 0);
+  DWS_CHECK(params_.same_blade >= params_.same_node);
+  DWS_CHECK(params_.network_base >= 0);
+  DWS_CHECK(params_.per_hop >= 0);
+  DWS_CHECK(params_.bytes_per_ns > 0.0);
+}
+
+support::SimTime LatencyModel::message_latency(Rank src, Rank dst,
+                                               std::uint32_t bytes) const {
+  const auto serialization =
+      static_cast<support::SimTime>(static_cast<double>(bytes) / params_.bytes_per_ns);
+  if (layout_->same_node(src, dst)) {
+    return params_.same_node + serialization;
+  }
+  const auto& machine = layout_->machine();
+  const auto& pc = layout_->coord_of(src);
+  const auto& qc = layout_->coord_of(dst);
+  if (machine.same_blade(pc, qc)) {
+    return params_.same_blade + serialization;
+  }
+  const std::int32_t h = machine.hops(pc, qc);
+  return params_.network_base + params_.per_hop * (h - 1) + serialization;
+}
+
+std::int32_t LatencyModel::hops(Rank r1, Rank r2) const {
+  if (layout_->same_node(r1, r2)) return 0;
+  return layout_->machine().hops(layout_->coord_of(r1), layout_->coord_of(r2));
+}
+
+double LatencyModel::euclidean(Rank r1, Rank r2) const {
+  return layout_->machine().euclidean(layout_->coord_of(r1),
+                                      layout_->coord_of(r2));
+}
+
+double LatencyModel::victim_weight(Rank from, Rank to) const {
+  const double e = euclidean(from, to);
+  return e != 0.0 ? 1.0 / e : 1.0;
+}
+
+}  // namespace dws::topo

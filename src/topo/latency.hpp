@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/sim_time.hpp"
+#include "topo/allocation.hpp"
+
+namespace dws::topo {
+
+/// Tunable latency constants for rank-to-rank messages. Defaults are
+/// calibrated against published K Computer / Tofu numbers (~1.5 us MPI
+/// neighbour latency, ~100 ns per additional hop, intra-node shared-memory
+/// MPI well under 1 us, ~5 GB/s per link). The *ratios* are what drive the
+/// paper's effect; EXPERIMENTS.md discusses sensitivity.
+struct LatencyParams {
+  support::SimTime same_node = 400;    ///< ns, shared-memory transport
+  support::SimTime same_blade = 900;   ///< ns, intra-blade transport
+  support::SimTime network_base = 1300;  ///< ns, injection + first link
+  support::SimTime per_hop = 100;      ///< ns per additional hop
+  double bytes_per_ns = 5.0;           ///< link bandwidth (~5 GB/s)
+};
+
+/// Computes message latency and victim-selection distances between ranks of
+/// one job. Stateless beyond cached coordinates: O(1) memory per query, no
+/// N x N tables (important when simulating 8192 ranks in-process).
+class LatencyModel {
+ public:
+  explicit LatencyModel(const JobLayout& layout, LatencyParams params = {});
+
+  /// One-way delivery latency of a `bytes`-byte message from rank src to
+  /// rank dst. Two ranks on the same node never touch the network.
+  support::SimTime message_latency(Rank src, Rank dst,
+                                   std::uint32_t bytes) const;
+
+  /// Hop count between the ranks' nodes (0 when co-located).
+  std::int32_t hops(Rank r1, Rank r2) const;
+
+  /// 6D Euclidean distance between the ranks' nodes (0 when co-located) —
+  /// the `e(i,j)` of the paper's victim weight.
+  double euclidean(Rank r1, Rank r2) const;
+
+  /// The paper's skewed-selection weight:
+  ///   w(i,j) = 1/e(i,j) if e(i,j) != 0, else 1.
+  double victim_weight(Rank from, Rank to) const;
+
+  const JobLayout& layout() const noexcept { return *layout_; }
+  const LatencyParams& params() const noexcept { return params_; }
+
+ private:
+  const JobLayout* layout_;
+  LatencyParams params_;
+};
+
+}  // namespace dws::topo

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/uts_rng.hpp"
+
+namespace dws::uts {
+
+/// One tree node: the *entire* information needed to generate its subtree.
+/// This is UTS's "implicit tree" property — a node can be shipped to another
+/// process in 24 bytes and expanded there, which is what makes chunked work
+/// stealing cheap (no task closures, just plain data; see paper §II-A).
+struct TreeNode {
+  crypto::UtsRng rng;
+  std::uint32_t height = 0;  ///< depth; root is 0
+
+  friend bool operator==(const TreeNode&, const TreeNode&) = default;
+};
+
+static_assert(sizeof(TreeNode) == 24, "TreeNode must stay a small POD");
+
+}  // namespace dws::uts

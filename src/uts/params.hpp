@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dws::uts {
+
+/// Tree families supported by UTS (Olivier et al., "UTS: An Unbalanced Tree
+/// Search Benchmark"). The paper under reproduction uses binomial trees
+/// exclusively (Table I), but geometric and hybrid trees are part of the
+/// benchmark definition and exercised by our tests and examples.
+enum class TreeType {
+  kBinomial,   ///< root has b0 children; every other node has m children with
+               ///< probability q, else none. E[size] = 1 + b0/(1-mq) for mq<1.
+  kGeometric,  ///< branching factor is a function of depth, cut off at gen_mx.
+  kHybrid,     ///< geometric down to a fraction of gen_mx, binomial below.
+};
+
+/// Depth profile of the branching factor for geometric trees. The taxonomy
+/// follows UTS; exact constants are documented per shape in tree.cpp.
+enum class GeoShape {
+  kLinear,  ///< b(d) = b0 * (1 - d/gen_mx): linear decrease to zero.
+  kExpDec,  ///< b(d) = b0 ^ (1 - d/gen_mx): exponential decrease.
+  kCyclic,  ///< b(d) oscillates with depth; produces bursts of fanout.
+  kFixed,   ///< b(d) = b0 for d < gen_mx: balanced b0-ary tree.
+};
+
+/// Full parameter set identifying one UTS tree. Two TreeParams with equal
+/// fields generate bit-identical trees on any machine.
+struct TreeParams {
+  std::string name;            ///< identifier used in reports
+  TreeType type = TreeType::kBinomial;
+  std::uint32_t root_seed = 0;     ///< the paper's `r`
+  std::uint32_t root_branching = 1;  ///< the paper's `b` (b0)
+  std::uint32_t m = 2;             ///< binomial: children on success
+  double q = 0.25;                 ///< binomial: success probability
+  std::uint32_t gen_mx = 6;        ///< geometric/hybrid: depth cutoff
+  GeoShape shape = GeoShape::kLinear;
+  double shift = 0.5;              ///< hybrid: fraction of gen_mx that is geometric
+  std::uint32_t max_children = 1u << 20;  ///< safety clamp on per-node fanout
+
+  /// Expected node count for binomial trees (infinite/undefined when mq >= 1).
+  std::optional<double> expected_size() const;
+};
+
+/// Named catalogue: the paper's Table I trees, the UTS sample trees our tests
+/// rely on, and the scaled simulation trees used by the bench harness (see
+/// DESIGN.md §1 on scaling).
+///
+/// Scaled trees keep the paper's binomial structure (m = 2, q just below 1/2,
+/// b0 = 2000) with q backed off so realised sizes fit the simulator budget.
+/// Verified realised sizes are recorded in tests/uts/catalogue_test.cpp.
+const std::vector<TreeParams>& catalogue();
+
+/// Find a catalogue tree by name; aborts if unknown (bench binaries pass
+/// compile-time constants).
+const TreeParams& tree_by_name(std::string_view name);
+
+const char* to_string(TreeType t);
+const char* to_string(GeoShape s);
+
+}  // namespace dws::uts

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "uts/tree.hpp"
+
+namespace dws::uts {
+
+/// Exact whole-tree statistics. Produced by the sequential enumerator and by
+/// every parallel implementation (simulator, shared-memory pool); equality of
+/// `nodes` across implementations is the repo's master correctness oracle.
+struct TreeStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t leaves = 0;
+  std::uint32_t max_depth = 0;
+  bool truncated = false;  ///< node_limit was hit; counts are partial
+};
+
+/// Depth-first sequential traversal counting all nodes.
+///
+/// `node_limit` aborts the walk once that many nodes were generated — a
+/// guard so a mistyped parameter set (mq >= 1 makes binomial trees
+/// supercritical) cannot hang a test run.
+TreeStats enumerate_sequential(const TreeParams& params,
+                               std::uint64_t node_limit = UINT64_MAX);
+
+}  // namespace dws::uts

@@ -1,0 +1,92 @@
+#include "uts/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/check.hpp"
+
+namespace dws::uts {
+
+namespace {
+
+/// Geometric-distribution sample with mean ~b: p = 1/(1+b),
+/// N = floor(log(1-u) / log(1-p)). This is the standard inverse-CDF draw used
+/// by UTS for geometric trees.
+std::uint32_t sample_geometric_children(double b, double u,
+                                        std::uint32_t max_children) {
+  if (b <= 0.0) return 0;
+  const double p = 1.0 / (1.0 + b);
+  // u is in [0,1); 1-u in (0,1], log(1-u) <= 0, log(1-p) < 0.
+  const double draw = std::floor(std::log(1.0 - u) / std::log(1.0 - p));
+  if (draw <= 0.0) return 0;
+  if (draw >= static_cast<double>(max_children)) return max_children;
+  return static_cast<std::uint32_t>(draw);
+}
+
+std::uint32_t binomial_children(const TreeParams& params, const TreeNode& node) {
+  if (node.height == 0) return params.root_branching;
+  return node.rng.to_prob() < params.q ? params.m : 0;
+}
+
+std::uint32_t geometric_children(const TreeParams& params, const TreeNode& node) {
+  const double b = geo_branching_factor(params, node.height);
+  return sample_geometric_children(b, node.rng.to_prob(), params.max_children);
+}
+
+}  // namespace
+
+double geo_branching_factor(const TreeParams& params, std::uint32_t depth) {
+  if (depth >= params.gen_mx) return 0.0;
+  const double b0 = static_cast<double>(params.root_branching);
+  const double frac =
+      static_cast<double>(depth) / static_cast<double>(params.gen_mx);
+  switch (params.shape) {
+    case GeoShape::kLinear:
+      return b0 * (1.0 - frac);
+    case GeoShape::kExpDec:
+      // b0^(1-d/gen_mx): full fanout at the root decaying to 1 at the cutoff.
+      return std::pow(b0, 1.0 - frac);
+    case GeoShape::kCyclic:
+      // Fanout pulses along depth (several bursts per tree); the phase shift
+      // keeps the root's fanout at b0 instead of zero.
+      return b0 * std::abs(std::sin((frac * 4.0 + 0.5) * std::numbers::pi));
+    case GeoShape::kFixed:
+      return b0;
+  }
+  return 0.0;
+}
+
+TreeNode root_node(const TreeParams& params) {
+  TreeNode n;
+  n.rng = crypto::UtsRng::from_seed(params.root_seed);
+  n.height = 0;
+  return n;
+}
+
+std::uint32_t num_children(const TreeParams& params, const TreeNode& node) {
+  switch (params.type) {
+    case TreeType::kBinomial:
+      return binomial_children(params, node);
+    case TreeType::kGeometric:
+      return geometric_children(params, node);
+    case TreeType::kHybrid: {
+      const auto geo_limit =
+          static_cast<std::uint32_t>(params.shift * params.gen_mx);
+      if (node.height < geo_limit) return geometric_children(params, node);
+      // Below the shift boundary the tree behaves binomially; the root rule
+      // does not reapply (height > 0 here by construction).
+      return node.rng.to_prob() < params.q ? params.m : 0;
+    }
+  }
+  DWS_CHECK(false && "unreachable tree type");
+}
+
+TreeNode child_node(const TreeNode& parent, std::uint32_t index) {
+  TreeNode c;
+  c.rng = parent.rng.spawn(index);
+  c.height = parent.height + 1;
+  return c;
+}
+
+}  // namespace dws::uts

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "uts/node.hpp"
+#include "uts/params.hpp"
+
+namespace dws::uts {
+
+/// Root node of a tree.
+TreeNode root_node(const TreeParams& params);
+
+/// Number of children of `node`. Pure: depends only on (params, node state,
+/// node height), so every process computes the same value for the same node.
+std::uint32_t num_children(const TreeParams& params, const TreeNode& node);
+
+/// The i-th child. Pure, independent of evaluation order.
+TreeNode child_node(const TreeNode& parent, std::uint32_t index);
+
+/// Deterministic branching-factor profile b(d) for geometric trees (exposed
+/// for tests and the docs; num_children samples a geometric distribution with
+/// this mean).
+double geo_branching_factor(const TreeParams& params, std::uint32_t depth);
+
+}  // namespace dws::uts

@@ -1,0 +1,51 @@
+#include "ws/chunk_stack.hpp"
+
+#include "support/check.hpp"
+
+namespace dws::ws {
+
+ChunkStack::ChunkStack(std::uint32_t chunk_size) : chunk_size_(chunk_size) {
+  DWS_CHECK(chunk_size_ > 0);
+}
+
+void ChunkStack::push(const uts::TreeNode& node) {
+  if (chunks_.empty() || chunks_.back().size() >= chunk_size_) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(chunk_size_);
+  }
+  chunks_.back().push_back(node);
+  ++total_nodes_;
+}
+
+std::optional<uts::TreeNode> ChunkStack::pop() {
+  if (chunks_.empty()) return std::nullopt;
+  Chunk& top = chunks_.back();
+  DWS_DCHECK(!top.empty());
+  const uts::TreeNode node = top.back();
+  top.pop_back();
+  --total_nodes_;
+  if (top.empty()) chunks_.pop_back();
+  return node;
+}
+
+void ChunkStack::install(std::vector<Chunk> chunks) {
+  for (auto& chunk : chunks) {
+    DWS_CHECK(!chunk.empty());
+    total_nodes_ += chunk.size();
+    chunks_.push_back(std::move(chunk));
+  }
+}
+
+std::vector<Chunk> ChunkStack::steal(std::size_t n) {
+  DWS_CHECK(n <= stealable_chunks());
+  std::vector<Chunk> stolen;
+  stolen.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    total_nodes_ -= chunks_.front().size();
+    stolen.push_back(std::move(chunks_.front()));
+    chunks_.pop_front();
+  }
+  return stolen;
+}
+
+}  // namespace dws::ws

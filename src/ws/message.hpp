@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "topo/allocation.hpp"
+#include "uts/node.hpp"
+
+namespace dws::ws {
+
+/// A chunk of work items — the steal granularity unit (§II-A: "a thief will
+/// steal a single chunk of nodes instead of a single node").
+using Chunk = std::vector<uts::TreeNode>;
+
+/// Thief -> victim: ask for work.
+struct StealRequest {
+  topo::Rank thief;
+};
+
+/// Victim -> thief: the answer. Empty `chunks` is a refusal (a failed steal
+/// in the paper's statistics).
+struct StealResponse {
+  std::vector<Chunk> chunks;
+};
+
+/// Termination-detection token circulating the ring 0 -> 1 -> ... -> N-1 -> 0.
+/// Carries a Dijkstra-style color plus cumulative work-message counters
+/// (Mattern-style counting handles messages still in flight when the token
+/// passes; see worker.cpp for the combined rule).
+struct Token {
+  bool black = false;
+  std::uint64_t sent = 0;  ///< cumulative work-carrying responses sent
+  std::uint64_t recv = 0;  ///< cumulative work-carrying responses received
+};
+
+/// Rank 0 -> everyone: all work is globally exhausted, stop.
+struct Terminate {};
+
+/// Dormant thief -> lifeline buddy: "push me work when you have surplus"
+/// (IdlePolicy::kLifeline).
+struct LifelineRegister {
+  topo::Rank dependent;
+};
+
+/// Lifeline buddy -> dormant thief: unsolicited work delivery.
+struct LifelinePush {
+  std::vector<Chunk> chunks;
+};
+
+using Message = std::variant<StealRequest, StealResponse, Token, Terminate,
+                             LifelineRegister, LifelinePush>;
+
+}  // namespace dws::ws

@@ -1,0 +1,80 @@
+#include "ws/scheduler.hpp"
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "ws/worker.hpp"
+
+namespace dws::ws {
+
+RunResult run_simulation(const RunConfig& config) {
+  DWS_CHECK(config.num_ranks >= 1);
+
+  topo::JobLayout layout(config.machine, config.num_ranks, config.placement,
+                         config.procs_per_node, config.origin_cube);
+  topo::LatencyModel latency(layout, config.latency);
+
+  sim::Engine engine;
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(config.num_ranks);
+
+  sim::Network<Message> network(
+      engine, latency,
+      [&workers](topo::Rank dst, Message msg) {
+        workers[dst]->on_message(std::move(msg));
+      },
+      config.congestion);
+
+  RunContext ctx;
+  ctx.engine = &engine;
+  ctx.network = &network;
+  ctx.config = &config.ws;
+  ctx.tree = &config.tree;
+  ctx.latency = &latency;
+  ctx.num_ranks = config.num_ranks;
+
+  for (topo::Rank r = 0; r < config.num_ranks; ++r) {
+    workers.push_back(std::make_unique<Worker>(r, ctx));
+  }
+  for (auto& w : workers) {
+    engine.schedule_at(0, [worker = w.get()] { worker->start(); });
+  }
+
+  engine.run();
+
+  // Post-run invariants: the token protocol must have fired, every worker
+  // must have drained its stack, and every shipped chunk must have landed.
+  DWS_CHECK(ctx.terminated);
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t chunks_received = 0;
+  for (const auto& w : workers) {
+    DWS_CHECK(w->done());
+    DWS_CHECK(w->stack_size() == 0);
+    chunks_sent += w->stats().chunks_sent;
+    chunks_received += w->stats().chunks_received;
+  }
+  DWS_CHECK(chunks_sent == chunks_received);
+
+  RunResult result;
+  result.runtime = ctx.termination_time;
+  result.per_node_cost = config.ws.node_cost();
+  result.per_rank.reserve(config.num_ranks);
+  for (const auto& w : workers) {
+    result.nodes += w->stats().nodes_processed;
+    result.leaves += w->stats().leaves_seen;
+    result.per_rank.push_back(w->stats());
+  }
+  result.stats = metrics::aggregate(result.per_rank);
+  result.network = network.stats();
+  result.engine_events = engine.events_executed();
+
+  if (config.ws.record_trace) {
+    result.trace.total_time = ctx.termination_time;
+    result.trace.ranks.reserve(config.num_ranks);
+    for (const auto& w : workers) result.trace.ranks.push_back(w->trace());
+  }
+  return result;
+}
+
+}  // namespace dws::ws

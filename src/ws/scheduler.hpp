@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/rank_stats.hpp"
+#include "metrics/trace.hpp"
+#include "sim/network.hpp"
+#include "topo/allocation.hpp"
+#include "topo/latency.hpp"
+#include "topo/tofu.hpp"
+#include "uts/params.hpp"
+#include "ws/config.hpp"
+
+namespace dws::ws {
+
+/// Everything identifying one simulated UTS work-stealing execution: the
+/// tree, the scheduler knobs, and the machine/job geometry.
+struct RunConfig {
+  uts::TreeParams tree;
+  WsConfig ws;
+
+  topo::TofuMachine machine;  // defaults to the K Computer
+  topo::Rank num_ranks = 2;
+  topo::Placement placement = topo::Placement::kOnePerNode;
+  std::uint32_t procs_per_node = 1;
+  std::uint32_t origin_cube = 0;
+  topo::LatencyParams latency;
+  sim::CongestionParams congestion;
+
+  /// Enable the fluid congestion model with capacity anchored to the job's
+  /// allocation size (~5 usable links per compute node in the 6D torus).
+  /// `scale` > 1 models a fatter network, < 1 a more contended one.
+  void enable_congestion(double scale = 1.0) {
+    congestion.enabled = true;
+    congestion.capacity_hops =
+        scale * 5.0 * static_cast<double>(num_ranks / procs_per_node);
+  }
+};
+
+/// Results of one run: timings, the paper's metrics inputs, and everything
+/// the bench harness prints.
+struct RunResult {
+  support::SimTime runtime = 0;  ///< T: virtual time until global termination
+  std::uint64_t nodes = 0;       ///< total tree nodes processed (oracle value)
+  std::uint64_t leaves = 0;
+
+  metrics::JobStats stats;                    ///< aggregated counters
+  std::vector<metrics::RankStats> per_rank;   ///< raw per-rank counters
+  metrics::JobTrace trace;                    ///< activity trace (if recorded)
+  sim::NetworkStats network;
+  std::uint64_t engine_events = 0;
+
+  support::SimTime per_node_cost = 0;  ///< ws.node_cost() used by the run
+
+  /// Virtual time a single process would need: nodes * per-node cost. This
+  /// is the paper's extrapolated T(1) ("all single MPI process executions
+  /// ... should have the same speed", §II-B).
+  support::SimTime sequential_time() const noexcept {
+    return static_cast<support::SimTime>(nodes) * per_node_cost;
+  }
+  double speedup() const noexcept {
+    return runtime > 0 ? static_cast<double>(sequential_time()) /
+                             static_cast<double>(runtime)
+                       : 0.0;
+  }
+  double efficiency(topo::Rank num_ranks) const noexcept {
+    return speedup() / static_cast<double>(num_ranks);
+  }
+};
+
+/// Execute one full UTS work-stealing run on the simulator. Deterministic:
+/// equal RunConfigs produce bit-identical results. Aborts (DWS_CHECK) if the
+/// run violates conservation — termination with unfinished work, lost
+/// chunks, or a worker left in a non-terminated state.
+RunResult run_simulation(const RunConfig& config);
+
+}  // namespace dws::ws

@@ -1,0 +1,165 @@
+#include "ws/victim.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dws::ws {
+
+namespace {
+
+/// Per-rank RNG stream: decorrelate the shared seed with SplitMix over the
+/// rank so neighbouring ranks do not draw correlated victim sequences.
+std::uint64_t rank_seed(std::uint64_t seed, topo::Rank rank) {
+  support::SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ull * (rank + 1)));
+  return sm.next();
+}
+
+}  // namespace
+
+RoundRobinSelector::RoundRobinSelector(topo::Rank self, topo::Rank num_ranks)
+    : self_(self), num_ranks_(num_ranks), cursor_((self + 1) % num_ranks) {
+  DWS_CHECK(num_ranks_ >= 2);
+}
+
+topo::Rank RoundRobinSelector::next() {
+  if (cursor_ == self_) cursor_ = (cursor_ + 1) % num_ranks_;
+  const topo::Rank victim = cursor_;
+  cursor_ = (cursor_ + 1) % num_ranks_;
+  return victim;
+}
+
+UniformRandomSelector::UniformRandomSelector(topo::Rank self,
+                                             topo::Rank num_ranks,
+                                             std::uint64_t seed)
+    : self_(self), num_ranks_(num_ranks), rng_(rank_seed(seed, self)) {
+  DWS_CHECK(num_ranks_ >= 2);
+}
+
+topo::Rank UniformRandomSelector::next() {
+  // Uniform over the N-1 other ranks, no rejection needed.
+  const auto draw = static_cast<topo::Rank>(rng_.next_below(num_ranks_ - 1));
+  return draw >= self_ ? draw + 1 : draw;
+}
+
+TofuSkewedSelector::TofuSkewedSelector(topo::Rank self,
+                                       const topo::LatencyModel& latency,
+                                       std::uint64_t seed,
+                                       std::uint32_t alias_table_max_ranks)
+    : self_(self),
+      num_ranks_(latency.layout().num_ranks()),
+      latency_(&latency),
+      rng_(rank_seed(seed, self)) {
+  DWS_CHECK(num_ranks_ >= 2);
+  for (topo::Rank j = 0; j < num_ranks_; ++j) {
+    if (j != self_) weight_sum_ += latency_->victim_weight(self_, j);
+  }
+  if (num_ranks_ <= alias_table_max_ranks) {
+    std::vector<double> weights(num_ranks_);
+    for (topo::Rank j = 0; j < num_ranks_; ++j) {
+      weights[j] = j == self_ ? 0.0 : latency_->victim_weight(self_, j);
+    }
+    alias_.emplace(weights);
+  }
+}
+
+topo::Rank TofuSkewedSelector::next() {
+  if (alias_.has_value()) {
+    return static_cast<topo::Rank>(alias_->sample(rng_));
+  }
+  // Rejection sampling with w_max = 1 (see header).
+  for (;;) {
+    const auto candidate = static_cast<topo::Rank>(rng_.next_below(num_ranks_));
+    if (candidate == self_) continue;
+    const double w = latency_->victim_weight(self_, candidate);
+    DWS_DCHECK(w > 0.0 && w <= 1.0);
+    if (rng_.next_double() < w) return candidate;
+  }
+}
+
+double TofuSkewedSelector::probability(topo::Rank victim) const {
+  DWS_CHECK(victim < num_ranks_);
+  if (victim == self_) return 0.0;
+  return latency_->victim_weight(self_, victim) / weight_sum_;
+}
+
+HierarchicalSelector::HierarchicalSelector(topo::Rank self,
+                                           const topo::LatencyModel& latency,
+                                           std::uint64_t seed,
+                                           std::uint32_t local_tries)
+    : self_(self),
+      num_ranks_(latency.layout().num_ranks()),
+      local_tries_(local_tries),
+      rng_(rank_seed(seed, self)) {
+  DWS_CHECK(num_ranks_ >= 2);
+  const auto& layout = latency.layout();
+  const auto& machine = layout.machine();
+  // Local level: co-located ranks if any, else ranks in the same Tofu cube.
+  for (topo::Rank j = 0; j < num_ranks_; ++j) {
+    if (j != self_ && layout.same_node(self_, j)) local_.push_back(j);
+  }
+  if (local_.empty()) {
+    for (topo::Rank j = 0; j < num_ranks_; ++j) {
+      if (j != self_ &&
+          machine.same_cube(layout.coord_of(self_), layout.coord_of(j))) {
+        local_.push_back(j);
+      }
+    }
+  }
+}
+
+topo::Rank HierarchicalSelector::next() {
+  const bool pick_local =
+      !local_.empty() && (phase_++ % (local_tries_ + 1)) < local_tries_;
+  if (pick_local) {
+    return local_[static_cast<std::size_t>(rng_.next_below(local_.size()))];
+  }
+  const auto draw = static_cast<topo::Rank>(rng_.next_below(num_ranks_ - 1));
+  return draw >= self_ ? draw + 1 : draw;
+}
+
+std::unique_ptr<VictimSelector> make_selector(const WsConfig& config,
+                                              topo::Rank self,
+                                              const topo::LatencyModel& latency) {
+  const topo::Rank n = latency.layout().num_ranks();
+  switch (config.victim_policy) {
+    case VictimPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinSelector>(self, n);
+    case VictimPolicy::kRandom:
+      return std::make_unique<UniformRandomSelector>(self, n, config.seed);
+    case VictimPolicy::kTofuSkewed:
+      return std::make_unique<TofuSkewedSelector>(self, latency, config.seed,
+                                                  config.alias_table_max_ranks);
+    case VictimPolicy::kHierarchical:
+      return std::make_unique<HierarchicalSelector>(self, latency, config.seed);
+  }
+  DWS_CHECK(false && "unreachable victim policy");
+}
+
+const char* to_string(VictimPolicy p) {
+  switch (p) {
+    case VictimPolicy::kRoundRobin: return "Reference";
+    case VictimPolicy::kRandom: return "Rand";
+    case VictimPolicy::kTofuSkewed: return "Tofu";
+    case VictimPolicy::kHierarchical: return "Hier";
+  }
+  return "?";
+}
+
+const char* to_string(StealAmount a) {
+  switch (a) {
+    case StealAmount::kOneChunk: return "OneChunk";
+    case StealAmount::kHalf: return "Half";
+  }
+  return "?";
+}
+
+const char* to_string(IdlePolicy p) {
+  switch (p) {
+    case IdlePolicy::kPersistentSteal: return "PersistentSteal";
+    case IdlePolicy::kLifeline: return "Lifeline";
+  }
+  return "?";
+}
+
+}  // namespace dws::ws

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/alias_table.hpp"
+#include "support/rng.hpp"
+#include "topo/latency.hpp"
+#include "ws/config.hpp"
+
+namespace dws::ws {
+
+/// Chooses the next victim for one specific thief rank. One instance per
+/// rank, holding that rank's selection state (round-robin cursor or RNG) —
+/// mirroring the per-process state of the MPI implementation.
+class VictimSelector {
+ public:
+  virtual ~VictimSelector() = default;
+
+  /// The next victim to try; never the thief itself. Called once per steal
+  /// attempt; selectors are free to keep state between calls.
+  virtual topo::Rank next() = 0;
+};
+
+/// The reference implementation's deterministic scheme: start at rank+1 and
+/// walk the ring; the cursor persists across sessions and is NOT reset by
+/// successful steals (§II-A).
+class RoundRobinSelector final : public VictimSelector {
+ public:
+  RoundRobinSelector(topo::Rank self, topo::Rank num_ranks);
+  topo::Rank next() override;
+
+ private:
+  topo::Rank self_;
+  topo::Rank num_ranks_;
+  topo::Rank cursor_;
+};
+
+/// Uniform random over the other N-1 ranks.
+class UniformRandomSelector final : public VictimSelector {
+ public:
+  UniformRandomSelector(topo::Rank self, topo::Rank num_ranks,
+                        std::uint64_t seed);
+  topo::Rank next() override;
+
+ private:
+  topo::Rank self_;
+  topo::Rank num_ranks_;
+  support::Xoshiro256StarStar rng_;
+};
+
+/// The paper's distance-skewed selection: victim j is drawn with probability
+/// proportional to w(i,j) = 1/e(i,j) (1 if e = 0), e being the 6D Euclidean
+/// distance on the Tofu network.
+///
+/// Two interchangeable sampling backends (verified equal in distribution by
+/// tests): a Walker alias table per rank — the paper's GSL approach — below
+/// `alias_table_max_ranks`, and rejection sampling above, because N ranks
+/// with N-entry tables is O(N^2) memory inside a single simulator process.
+/// Rejection exploits w <= 1 (nodes sit on an integer lattice, so e >= 1
+/// whenever nonzero).
+class TofuSkewedSelector final : public VictimSelector {
+ public:
+  TofuSkewedSelector(topo::Rank self, const topo::LatencyModel& latency,
+                     std::uint64_t seed, std::uint32_t alias_table_max_ranks);
+  topo::Rank next() override;
+
+  bool uses_alias_table() const noexcept { return alias_.has_value(); }
+
+  /// Normalised selection probability of `victim` (for tests and Fig. 8).
+  double probability(topo::Rank victim) const;
+
+ private:
+  topo::Rank self_;
+  topo::Rank num_ranks_;
+  const topo::LatencyModel* latency_;
+  support::Xoshiro256StarStar rng_;
+  std::optional<support::AliasTable> alias_;  // index = rank (self has weight 0)
+  double weight_sum_ = 0.0;                   // for probability()
+};
+
+/// Two-level hierarchical selection (related-work style, §VI): alternate
+/// between the local neighbourhood (ranks on the same compute node, or — for
+/// 1/N placements — the same Tofu cube) and the global rank set on a fixed
+/// schedule of `local_tries` local picks followed by one remote pick.
+///
+/// Unlike TofuSkewedSelector this uses *fixed per-level policies* rather
+/// than distance weights, which is exactly the design the paper argues its
+/// skewed selection generalises.
+class HierarchicalSelector final : public VictimSelector {
+ public:
+  HierarchicalSelector(topo::Rank self, const topo::LatencyModel& latency,
+                       std::uint64_t seed, std::uint32_t local_tries = 2);
+  topo::Rank next() override;
+
+  std::size_t local_peers() const noexcept { return local_.size(); }
+
+ private:
+  topo::Rank self_;
+  topo::Rank num_ranks_;
+  std::uint32_t local_tries_;
+  std::uint32_t phase_ = 0;
+  support::Xoshiro256StarStar rng_;
+  std::vector<topo::Rank> local_;  // same node (or same cube) peers
+};
+
+/// Factory keyed by WsConfig. Seeds are decorrelated per rank.
+std::unique_ptr<VictimSelector> make_selector(const WsConfig& config,
+                                              topo::Rank self,
+                                              const topo::LatencyModel& latency);
+
+}  // namespace dws::ws

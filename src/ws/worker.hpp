@@ -1,0 +1,133 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metrics/rank_stats.hpp"
+#include "metrics/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "topo/latency.hpp"
+#include "uts/tree.hpp"
+#include "ws/chunk_stack.hpp"
+#include "ws/config.hpp"
+#include "ws/message.hpp"
+#include "ws/victim.hpp"
+
+namespace dws::ws {
+
+class Worker;
+
+/// Shared, immutable-per-run context handed to every worker, plus the one
+/// piece of cross-worker mutable state: the termination flag that rank 0
+/// sets when the token ring proves global quiescence.
+struct RunContext {
+  sim::Engine* engine = nullptr;
+  sim::Network<Message>* network = nullptr;
+  const WsConfig* config = nullptr;
+  const uts::TreeParams* tree = nullptr;
+  const topo::LatencyModel* latency = nullptr;
+  topo::Rank num_ranks = 0;
+
+  bool terminated = false;
+  support::SimTime termination_time = 0;
+};
+
+/// One simulated MPI rank running the UTS work-stealing loop of the paper's
+/// reference implementation (Fig. 1 of the paper):
+///
+///   while not finished:
+///     while node <- GET(stack):   expand node, PUSH children
+///     while stack empty:          v <- SELECT_VICTIM; STEAL(v)
+///
+/// with chunked stacks, asynchronous steal request/response messaging,
+/// token-ring termination detection, and per-rank activity tracing.
+///
+/// Faithfulness notes (matching §II-A):
+///  - no continuations: workers exchange plain tree nodes in chunks;
+///  - the victim services steal requests *between* node expansions (we queue
+///    messages arriving mid-expansion and drain them at the next poll
+///    boundary, charging steal_handling_cost each);
+///  - no work-first: the thief blocks on its outstanding request and retries
+///    (with a new victim) on refusal;
+///  - victim selection is pluggable (the paper's experimental axis).
+class Worker {
+ public:
+  Worker(topo::Rank rank, RunContext& ctx);
+
+  /// Schedule this worker's t = 0 behaviour: rank 0 seeds the tree root and
+  /// starts expanding; everyone else starts a work-discovery session.
+  void start();
+
+  /// Network delivery entry point.
+  void on_message(Message msg);
+
+  const metrics::RankStats& stats() const noexcept { return stats_; }
+  const metrics::RankTrace& trace() const noexcept { return trace_; }
+
+  /// True once this rank has learnt of global termination.
+  bool done() const noexcept { return state_ == State::kDone; }
+  std::size_t stack_size() const noexcept { return stack_.size(); }
+
+ private:
+  enum class State {
+    kActive,  ///< stack non-empty; expanding nodes
+    kIdle,    ///< stack empty; stealing (a request may be outstanding)
+    kDone,    ///< terminated
+  };
+
+  void schedule_step();
+  void step();
+  /// Serve queued messages at a poll boundary; returns virtual time spent.
+  support::SimTime drain_inbox();
+  void handle(Message msg);
+  void handle_steal_request(const StealRequest& req, support::SimTime send_delay);
+  void handle_steal_response(StealResponse resp);
+  void handle_token(Token token);
+  void handle_lifeline_register(const LifelineRegister& reg);
+  void receive_pushed_work(std::vector<Chunk> chunks);
+  /// kLifeline: hand surplus chunks to dormant dependents (at poll points).
+  void feed_lifeline_dependents();
+  void register_on_lifelines();
+  void enter_idle();
+  void try_steal();
+  void send_token(bool black, std::uint64_t sent_acc = 0,
+                  std::uint64_t recv_acc = 0);
+  void declare_termination();
+  void finish(support::SimTime at);
+
+  topo::Rank rank_;
+  RunContext& ctx_;
+  ChunkStack stack_;
+  std::unique_ptr<VictimSelector> selector_;
+
+  State state_ = State::kIdle;
+  bool step_scheduled_ = false;
+  bool waiting_response_ = false;
+  std::vector<Message> inbox_;  // arrived while expanding; drained at polls
+
+  // Termination detection (Dijkstra-style coloring, conservative variant:
+  // *any* work send blackens the sender, combined with Mattern-style
+  // sent/received counting; see worker.cpp for the argument).
+  bool black_ = false;
+  bool holds_token_ = false;
+  Token held_token_;
+  bool token_outstanding_ = false;  // rank 0 only: a probe is circulating
+  std::uint64_t work_msgs_sent_ = 0;
+  std::uint64_t work_msgs_recv_ = 0;
+
+  support::SimTime session_start_ = 0;
+  support::SimTime request_sent_ = 0;
+  topo::Rank request_victim_ = 0;  // victim of the outstanding request
+
+  // Lifeline extension (IdlePolicy::kLifeline).
+  bool dormant_ = false;                       // registered, not stealing
+  std::uint32_t session_failures_ = 0;         // failed steals this session
+  std::vector<topo::Rank> lifeline_targets_;   // our hypercube buddies
+  std::vector<topo::Rank> registered_dependents_;  // who waits on us
+
+  metrics::RankStats stats_;
+  metrics::RankTrace trace_;
+};
+
+}  // namespace dws::ws

@@ -1,0 +1,90 @@
+#include "crypto/uts_rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dws::crypto {
+namespace {
+
+TEST(UtsRng, SeedIsDeterministic) {
+  const auto a = UtsRng::from_seed(316);
+  const auto b = UtsRng::from_seed(316);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.rand31(), b.rand31());
+}
+
+TEST(UtsRng, DifferentSeedsDiffer) {
+  EXPECT_NE(UtsRng::from_seed(316), UtsRng::from_seed(559));
+}
+
+TEST(UtsRng, SpawnIsDeterministic) {
+  const auto root = UtsRng::from_seed(42);
+  EXPECT_EQ(root.spawn(0), root.spawn(0));
+  EXPECT_EQ(root.spawn(7), root.spawn(7));
+}
+
+TEST(UtsRng, SiblingsDiffer) {
+  const auto root = UtsRng::from_seed(42);
+  std::set<std::string> states;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    states.insert(to_hex(root.spawn(i).state()));
+  }
+  EXPECT_EQ(states.size(), 64u);
+}
+
+TEST(UtsRng, SpawnIndependentOfCallOrder) {
+  // The splittable property: child states depend only on (parent, index),
+  // never on how many draws happened before — the foundation of UTS's
+  // machine-independent tree.
+  const auto root = UtsRng::from_seed(5);
+  const auto c3_first = root.spawn(3);
+  (void)root.spawn(0);
+  (void)root.spawn(1);
+  const auto c3_again = root.spawn(3);
+  EXPECT_EQ(c3_first, c3_again);
+}
+
+TEST(UtsRng, Rand31IsNonNegative31Bit) {
+  auto node = UtsRng::from_seed(1);
+  for (int depth = 0; depth < 1000; ++depth) {
+    EXPECT_LE(node.rand31(), 0x7fffffffu);
+    node = node.spawn(0);
+  }
+}
+
+TEST(UtsRng, ToProbInUnitInterval) {
+  auto node = UtsRng::from_seed(2);
+  for (int depth = 0; depth < 1000; ++depth) {
+    const double p = node.to_prob();
+    ASSERT_GE(p, 0.0);
+    ASSERT_LT(p, 1.0);
+    node = node.spawn(1);
+  }
+}
+
+TEST(UtsRng, ToProbLooksUniform) {
+  // Walk a chain, bucket the probabilities; each decile should hold roughly
+  // 10% of draws. SHA-1 output is effectively uniform.
+  auto node = UtsRng::from_seed(77);
+  int buckets[10] = {};
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const double p = node.to_prob();
+    ++buckets[static_cast<int>(p * 10.0)];
+    node = node.spawn(static_cast<std::uint32_t>(i % 3));
+  }
+  for (int b : buckets) EXPECT_NEAR(b, draws / 10, draws / 10 * 0.15);
+}
+
+TEST(UtsRng, DeepChainsDoNotCycle) {
+  auto node = UtsRng::from_seed(9);
+  std::set<std::string> seen;
+  for (int depth = 0; depth < 4096; ++depth) {
+    ASSERT_TRUE(seen.insert(to_hex(node.state())).second) << depth;
+    node = node.spawn(0);
+  }
+}
+
+}  // namespace
+}  // namespace dws::crypto

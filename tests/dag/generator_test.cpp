@@ -1,0 +1,135 @@
+#include "dag/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dws::dag {
+namespace {
+
+DagParams small_params() {
+  DagParams p;
+  p.layers = 6;
+  p.width = 16;
+  p.edge_probability = 0.2;
+  p.seed = 7;
+  return p;
+}
+
+TEST(DagGenerator, TaskCountMatchesGrid) {
+  const Dag dag(small_params());
+  EXPECT_EQ(dag.task_count(), 6u * 16u);
+}
+
+TEST(DagGenerator, DeterministicAcrossBuilds) {
+  const Dag a(small_params());
+  const Dag b(small_params());
+  ASSERT_EQ(a.task_count(), b.task_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.total_cost(), b.total_cost());
+  for (TaskId id = 0; id < a.task_count(); ++id) {
+    ASSERT_EQ(a.task(id).predecessors, b.task(id).predecessors) << id;
+    ASSERT_EQ(a.task(id).cost, b.task(id).cost) << id;
+    ASSERT_EQ(a.task(id).payload_bytes, b.task(id).payload_bytes) << id;
+  }
+}
+
+TEST(DagGenerator, SeedChangesTheGraph) {
+  auto p = small_params();
+  const Dag a(p);
+  p.seed = 8;
+  const Dag b(p);
+  EXPECT_NE(a.edge_count(), b.edge_count());
+}
+
+TEST(DagGenerator, SourcesAreExactlyLayerZero) {
+  const Dag dag(small_params());
+  EXPECT_EQ(dag.sources().size(), 16u);
+  for (const TaskId s : dag.sources()) {
+    EXPECT_EQ(dag.layer_of(s), 0u);
+    EXPECT_TRUE(dag.task(s).predecessors.empty());
+  }
+}
+
+TEST(DagGenerator, EveryNonSourceHasAPredecessorInPreviousLayer) {
+  const Dag dag(small_params());
+  for (TaskId id = 16; id < dag.task_count(); ++id) {
+    const auto& preds = dag.task(id).predecessors;
+    ASSERT_FALSE(preds.empty()) << id;
+    for (const TaskId p : preds) {
+      ASSERT_EQ(dag.layer_of(p) + 1, dag.layer_of(id)) << id;
+    }
+  }
+}
+
+TEST(DagGenerator, SuccessorsMirrorPredecessors) {
+  const Dag dag(small_params());
+  std::uint64_t forward = 0;
+  for (TaskId id = 0; id < dag.task_count(); ++id) {
+    forward += dag.task(id).successors.size();
+    for (const TaskId s : dag.task(id).successors) {
+      const auto& back = dag.task(s).predecessors;
+      ASSERT_NE(std::find(back.begin(), back.end(), id), back.end());
+    }
+  }
+  EXPECT_EQ(forward, dag.edge_count());
+}
+
+TEST(DagGenerator, EdgeDensityTracksProbability) {
+  auto p = small_params();
+  p.layers = 20;
+  p.width = 64;
+  p.edge_probability = 0.25;
+  const Dag dag(p);
+  // Expected edges ~ (layers-1) * width * width * prob (plus forced edges).
+  const double expected = 19.0 * 64.0 * 64.0 * 0.25;
+  EXPECT_NEAR(static_cast<double>(dag.edge_count()), expected, expected * 0.1);
+}
+
+TEST(DagGenerator, CostsAndPayloadsWithinRanges) {
+  const auto p = small_params();
+  const Dag dag(p);
+  for (TaskId id = 0; id < dag.task_count(); ++id) {
+    const auto& t = dag.task(id);
+    EXPECT_GE(t.cost, p.min_task_cost);
+    EXPECT_LE(t.cost, p.max_task_cost);
+    EXPECT_GE(t.payload_bytes, p.min_payload_bytes);
+    EXPECT_LE(t.payload_bytes, p.max_payload_bytes);
+  }
+}
+
+TEST(DagGenerator, CriticalPathBounds) {
+  const Dag dag(small_params());
+  // The critical path is at least the costliest single chain of layers and
+  // at most the total work.
+  EXPECT_GT(dag.critical_path(), 0);
+  EXPECT_LT(dag.critical_path(), dag.total_cost());
+  // At least `layers` tasks deep of at least min cost each.
+  EXPECT_GE(dag.critical_path(),
+            static_cast<support::SimTime>(dag.params().layers) *
+                dag.params().min_task_cost);
+}
+
+TEST(DagGenerator, FullEdgeProbabilityIsCompleteBipartite) {
+  auto p = small_params();
+  p.layers = 3;
+  p.width = 5;
+  p.edge_probability = 1.0;
+  const Dag dag(p);
+  EXPECT_EQ(dag.edge_count(), 2u * 5u * 5u);
+  EXPECT_EQ(dag.critical_path(), [&] {
+    // Exact: max cost in layer 0 + max in layer 1 + max in layer 2.
+    support::SimTime total = 0;
+    for (std::uint32_t l = 0; l < 3; ++l) {
+      support::SimTime best = 0;
+      for (std::uint32_t i = 0; i < 5; ++i) {
+        best = std::max(best, dag.task(l * 5 + i).cost);
+      }
+      total += best;
+    }
+    return total;
+  }());
+}
+
+}  // namespace
+}  // namespace dws::dag

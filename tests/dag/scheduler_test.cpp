@@ -1,0 +1,156 @@
+#include "dag/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace dws::dag {
+namespace {
+
+DagParams small_params() {
+  DagParams p;
+  p.layers = 8;
+  p.width = 32;
+  p.edge_probability = 0.15;
+  p.seed = 3;
+  return p;
+}
+
+TEST(DagScheduler, SingleRankRunsEverythingSequentially) {
+  const Dag dag(small_params());
+  DagRunConfig cfg;
+  cfg.num_ranks = 1;
+  const auto r = run_dag_simulation(dag, cfg);
+  EXPECT_EQ(r.tasks_executed, dag.task_count());
+  // Alone: no gathers, no steals, runtime exactly the total cost.
+  EXPECT_EQ(r.runtime, dag.total_cost());
+  EXPECT_EQ(r.remote_inputs, 0u);
+  EXPECT_DOUBLE_EQ(r.speedup(), 1.0);
+}
+
+TEST(DagScheduler, EveryTaskRunsExactlyOnce) {
+  const Dag dag(small_params());
+  DagRunConfig cfg;
+  cfg.num_ranks = 16;
+  const auto r = run_dag_simulation(dag, cfg);
+  EXPECT_EQ(r.tasks_executed, dag.task_count());
+  std::uint64_t sum = 0;
+  for (const auto& rank : r.per_rank) sum += rank.nodes_processed;
+  EXPECT_EQ(sum, dag.task_count());
+}
+
+TEST(DagScheduler, RuntimeRespectsTheoreticalBounds) {
+  const Dag dag(small_params());
+  DagRunConfig cfg;
+  cfg.num_ranks = 16;
+  const auto r = run_dag_simulation(dag, cfg);
+  EXPECT_GE(r.runtime, dag.critical_path());  // can't beat the critical path
+  EXPECT_LE(r.runtime, dag.total_cost());     // can't be slower than serial*
+  // (*holds because stealing overhead is far below the parallelism gain at
+  //  these sizes; it pins the simulator to sane cost accounting.)
+}
+
+TEST(DagScheduler, DeterministicRuns) {
+  const Dag dag(small_params());
+  DagRunConfig cfg;
+  cfg.num_ranks = 8;
+  cfg.victim_policy = ws::VictimPolicy::kRandom;
+  const auto a = run_dag_simulation(dag, cfg);
+  const auto b = run_dag_simulation(dag, cfg);
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.stats.failed_steals, b.stats.failed_steals);
+  EXPECT_EQ(a.remote_inputs, b.remote_inputs);
+}
+
+TEST(DagScheduler, WorkActuallyDistributes) {
+  const Dag dag(small_params());
+  DagRunConfig cfg;
+  cfg.num_ranks = 8;
+  const auto r = run_dag_simulation(dag, cfg);
+  int ranks_with_work = 0;
+  for (const auto& rank : r.per_rank) {
+    if (rank.nodes_processed > 0) ++ranks_with_work;
+  }
+  EXPECT_GE(ranks_with_work, 6);
+  EXPECT_GT(r.speedup(), 2.0);
+  EXPECT_GT(r.stats.successful_steals, 0u);
+}
+
+TEST(DagScheduler, StolenTasksCauseRemoteGathers) {
+  const Dag dag(small_params());
+  DagRunConfig cfg;
+  cfg.num_ranks = 8;
+  const auto r = run_dag_simulation(dag, cfg);
+  EXPECT_GT(r.remote_inputs, 0u);
+  EXPECT_GT(r.mean_gather_ms, 0.0);
+}
+
+TEST(DagScheduler, HeavierPayloadsSlowTheRun) {
+  // The §VII prediction in one assertion: same DAG topology, bigger data.
+  auto p = small_params();
+  p.min_payload_bytes = 64;
+  p.max_payload_bytes = 256;
+  const Dag light(p);
+  p.min_payload_bytes = 1 << 18;  // 256 KiB
+  p.max_payload_bytes = 1 << 20;  // 1 MiB
+  const Dag heavy(p);
+  DagRunConfig cfg;
+  cfg.num_ranks = 16;
+  const auto lr = run_dag_simulation(light, cfg);
+  const auto hr = run_dag_simulation(heavy, cfg);
+  // Topology identical -> same task costs; the only difference is gathers.
+  EXPECT_EQ(light.total_cost(), heavy.total_cost());
+  EXPECT_GT(hr.runtime, lr.runtime);
+  EXPECT_GT(hr.mean_gather_ms, 10.0 * lr.mean_gather_ms);
+}
+
+TEST(DagScheduler, TraceIsWellFormedAndEndsIdleOrStopped) {
+  const Dag dag(small_params());
+  DagRunConfig cfg;
+  cfg.num_ranks = 4;
+  const auto r = run_dag_simulation(dag, cfg);
+  ASSERT_EQ(r.trace.num_ranks(), 4u);
+  for (const auto& rank : r.trace.ranks) {
+    const auto& evs = rank.events();
+    for (std::size_t i = 1; i < evs.size(); ++i) {
+      ASSERT_GE(evs[i].time, evs[i - 1].time);
+      ASSERT_NE(evs[i].phase, evs[i - 1].phase);
+    }
+  }
+}
+
+class DagConfigSweep
+    : public ::testing::TestWithParam<
+          std::tuple<topo::Rank, ws::VictimPolicy, topo::Placement, std::uint32_t>> {};
+
+TEST_P(DagConfigSweep, AllTasksExecuteOnce) {
+  const auto& [ranks, policy, placement, ppn] = GetParam();
+  const Dag dag(small_params());
+  DagRunConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.victim_policy = policy;
+  cfg.placement = placement;
+  cfg.procs_per_node = ppn;
+  cfg.enable_congestion();
+  const auto r = run_dag_simulation(dag, cfg);
+  EXPECT_EQ(r.tasks_executed, dag.task_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DagConfigSweep,
+    ::testing::Values(
+        std::tuple{topo::Rank{2}, ws::VictimPolicy::kRoundRobin,
+                   topo::Placement::kOnePerNode, 1u},
+        std::tuple{topo::Rank{8}, ws::VictimPolicy::kRandom,
+                   topo::Placement::kOnePerNode, 1u},
+        std::tuple{topo::Rank{16}, ws::VictimPolicy::kTofuSkewed,
+                   topo::Placement::kOnePerNode, 1u},
+        std::tuple{topo::Rank{16}, ws::VictimPolicy::kHierarchical,
+                   topo::Placement::kGrouped, 8u},
+        std::tuple{topo::Rank{32}, ws::VictimPolicy::kTofuSkewed,
+                   topo::Placement::kRoundRobin, 8u},
+        std::tuple{topo::Rank{64}, ws::VictimPolicy::kRandom,
+                   topo::Placement::kOnePerNode, 1u}));
+
+}  // namespace
+}  // namespace dws::dag

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "uts/sequential.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws {
+namespace {
+
+/// Randomised configuration fuzzing: each case derives a full RunConfig —
+/// tree parameters, rank count, placement, scheduler knobs — from a seed and
+/// checks the conservation oracle. The goal is to hit protocol interleavings
+/// no hand-written case thought of (token vs in-flight work, lifeline pushes
+/// racing steal responses, one-sided steals during drain...).
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfigFuzz, RandomConfigConserves) {
+  support::Xoshiro256StarStar rng(GetParam());
+
+  ws::RunConfig cfg;
+  cfg.tree.name = "fuzz";
+  // Subcritical binomial or bounded geometric, sized for test budget.
+  if (rng.next_below(3) == 0) {
+    cfg.tree.type = uts::TreeType::kGeometric;
+    cfg.tree.root_branching = 2 + static_cast<std::uint32_t>(rng.next_below(4));
+    cfg.tree.gen_mx = 4 + static_cast<std::uint32_t>(rng.next_below(5));
+    cfg.tree.shape = static_cast<uts::GeoShape>(rng.next_below(4));
+  } else {
+    cfg.tree.type = uts::TreeType::kBinomial;
+    cfg.tree.root_branching =
+        10 + static_cast<std::uint32_t>(rng.next_below(500));
+    cfg.tree.m = 2 + static_cast<std::uint32_t>(rng.next_below(4));
+    // mq in [0.5, 0.95]: guaranteed finite, interestingly unbalanced.
+    cfg.tree.q = (0.5 + rng.next_double() * 0.45) / cfg.tree.m;
+  }
+  cfg.tree.root_seed = static_cast<std::uint32_t>(rng.next_below(1000));
+
+  const std::uint32_t ppn_choice = static_cast<std::uint32_t>(rng.next_below(3));
+  if (ppn_choice == 0) {
+    cfg.placement = topo::Placement::kOnePerNode;
+    cfg.procs_per_node = 1;
+    cfg.num_ranks = 2 + static_cast<topo::Rank>(rng.next_below(40));
+  } else {
+    cfg.placement = ppn_choice == 1 ? topo::Placement::kRoundRobin
+                                    : topo::Placement::kGrouped;
+    cfg.procs_per_node = 1u << (1 + rng.next_below(3));  // 2, 4, 8
+    cfg.num_ranks =
+        cfg.procs_per_node * (1 + static_cast<topo::Rank>(rng.next_below(8)));
+  }
+
+  cfg.ws.chunk_size = 1 + static_cast<std::uint32_t>(rng.next_below(30));
+  cfg.ws.victim_policy = static_cast<ws::VictimPolicy>(rng.next_below(4));
+  cfg.ws.steal_amount = static_cast<ws::StealAmount>(rng.next_below(2));
+  cfg.ws.idle_policy = static_cast<ws::IdlePolicy>(rng.next_below(2));
+  cfg.ws.lifeline_tries = 1 + static_cast<std::uint32_t>(rng.next_below(6));
+  cfg.ws.one_sided_steals = rng.next_below(2) == 1;
+  cfg.ws.poll_interval = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  cfg.ws.sha_rounds = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  cfg.ws.seed = rng.next();
+  cfg.origin_cube = static_cast<std::uint32_t>(rng.next_below(500));
+  if (rng.next_below(2) == 1) cfg.enable_congestion(0.5 + rng.next_double());
+
+  const auto seq = uts::enumerate_sequential(cfg.tree, 2'000'000);
+  if (seq.truncated) GTEST_SKIP() << "tree too large for fuzz budget";
+
+  const auto result = ws::run_simulation(cfg);
+  EXPECT_EQ(result.nodes, seq.nodes) << "ranks=" << cfg.num_ranks
+                                     << " chunk=" << cfg.ws.chunk_size;
+  EXPECT_EQ(result.leaves, seq.leaves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+}  // namespace
+}  // namespace dws

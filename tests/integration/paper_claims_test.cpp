@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "metrics/occupancy.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws {
+namespace {
+
+/// Scaled-down versions of the paper's headline claims, small enough to run
+/// in the test suite (the full-scale versions live in bench/). These guard
+/// against regressions that keep all the unit tests green but silently
+/// destroy the phenomenon the library exists to study.
+
+ws::RunResult run(const char* tree, topo::Rank ranks, ws::VictimPolicy policy,
+                  ws::StealAmount amount,
+                  topo::Placement placement = topo::Placement::kOnePerNode,
+                  std::uint32_t ppn = 1) {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name(tree);
+  cfg.num_ranks = ranks;
+  cfg.placement = placement;
+  cfg.procs_per_node = ppn;
+  cfg.ws.victim_policy = policy;
+  cfg.ws.steal_amount = amount;
+  cfg.ws.chunk_size = 4;
+  cfg.enable_congestion(1.0);
+  return ws::run_simulation(cfg);
+}
+
+TEST(PaperClaims, StealHalfBeatsOneChunkAtScale) {
+  // §IV-C: half-stealing makes thieves immediately stealable; at scale this
+  // dominates everything else.
+  const auto one = run("SIM200K", 256, ws::VictimPolicy::kTofuSkewed,
+                       ws::StealAmount::kOneChunk);
+  const auto half = run("SIM200K", 256, ws::VictimPolicy::kTofuSkewed,
+                        ws::StealAmount::kHalf);
+  EXPECT_GT(half.speedup(), 1.3 * one.speedup());
+}
+
+TEST(PaperClaims, OptimisedBeatsReferenceSubstantially) {
+  // Fig. 11's headline: Tofu Half vs the original (reference + one chunk).
+  const auto ref = run("SIM200K", 256, ws::VictimPolicy::kRoundRobin,
+                       ws::StealAmount::kOneChunk);
+  const auto opt = run("SIM200K", 256, ws::VictimPolicy::kTofuSkewed,
+                       ws::StealAmount::kHalf);
+  EXPECT_GT(opt.speedup(), 1.5 * ref.speedup());
+}
+
+TEST(PaperClaims, OptimisedReducesFailedSteals) {
+  // Fig. 15: better distribution -> fewer refusals.
+  const auto ref = run("SIM200K", 256, ws::VictimPolicy::kRoundRobin,
+                       ws::StealAmount::kOneChunk);
+  const auto opt = run("SIM200K", 256, ws::VictimPolicy::kTofuSkewed,
+                       ws::StealAmount::kHalf);
+  EXPECT_LT(opt.stats.failed_steals, ref.stats.failed_steals);
+}
+
+TEST(PaperClaims, OptimisedShortensDiscoverySessions) {
+  // Fig. 10: work discovery is faster under the optimised strategy.
+  const auto ref = run("SIM200K", 256, ws::VictimPolicy::kRoundRobin,
+                       ws::StealAmount::kOneChunk);
+  const auto opt = run("SIM200K", 256, ws::VictimPolicy::kTofuSkewed,
+                       ws::StealAmount::kHalf);
+  EXPECT_LT(opt.stats.mean_session_ms, ref.stats.mean_session_ms);
+}
+
+TEST(PaperClaims, OptimisedReachesHigherOccupancy) {
+  // Figs. 12/13: the optimised version reaches (and holds) far higher
+  // occupancy than the reference at scale.
+  const auto ref = run("SIM200K", 256, ws::VictimPolicy::kRoundRobin,
+                       ws::StealAmount::kOneChunk);
+  const auto opt = run("SIM200K", 256, ws::VictimPolicy::kTofuSkewed,
+                       ws::StealAmount::kHalf);
+  const metrics::OccupancyCurve ref_occ(ref.trace);
+  const metrics::OccupancyCurve opt_occ(opt.trace);
+  EXPECT_GT(opt_occ.max_occupancy(), ref_occ.max_occupancy());
+  EXPECT_GT(opt_occ.mean_occupancy(), ref_occ.mean_occupancy());
+}
+
+TEST(PaperClaims, SmallScaleHidesTheProblem) {
+  // Fig. 2 vs Fig. 3: at 16 ranks the reference is fine (efficiency high);
+  // the pathology needs scale.
+  const auto small = run("SIM200K", 16, ws::VictimPolicy::kRoundRobin,
+                         ws::StealAmount::kOneChunk);
+  EXPECT_GT(small.efficiency(16), 0.80);
+}
+
+TEST(PaperClaims, GranularityShrinksTheSelectionGap) {
+  // Fig. 16: more compute per node -> victim selection matters less.
+  auto improvement = [&](std::uint32_t rounds) {
+    ws::RunConfig ref_cfg;
+    ref_cfg.tree = uts::tree_by_name("SIM200K");
+    ref_cfg.num_ranks = 256;
+    ref_cfg.ws.chunk_size = 4;
+    ref_cfg.ws.sha_rounds = rounds;
+    ref_cfg.ws.victim_policy = ws::VictimPolicy::kRoundRobin;
+    ref_cfg.ws.steal_amount = ws::StealAmount::kHalf;
+    ref_cfg.enable_congestion(1.0);
+    auto opt_cfg = ref_cfg;
+    opt_cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
+    const auto ref = ws::run_simulation(ref_cfg);
+    const auto opt = ws::run_simulation(opt_cfg);
+    return (static_cast<double>(ref.runtime) - static_cast<double>(opt.runtime)) /
+           static_cast<double>(ref.runtime);
+  };
+  // The gap at fine granularity exceeds the gap at coarse granularity.
+  EXPECT_GT(improvement(1), improvement(16) - 0.02);
+}
+
+}  // namespace
+}  // namespace dws

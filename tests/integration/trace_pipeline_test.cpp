@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "metrics/occupancy.hpp"
+#include "uts/sequential.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws {
+namespace {
+
+/// End-to-end checks of the trace -> occupancy -> SL/EL pipeline on traces
+/// produced by real simulated runs (the unit tests use hand-built traces).
+class TracePipeline : public ::testing::Test {
+ protected:
+  static ws::RunResult make_run() {
+    ws::RunConfig cfg;
+    cfg.tree = uts::tree_by_name("TEST_BIN_SMALL");
+    cfg.num_ranks = 8;
+    cfg.ws.victim_policy = ws::VictimPolicy::kRandom;
+    cfg.ws.steal_amount = ws::StealAmount::kHalf;
+    return ws::run_simulation(cfg);
+  }
+};
+
+TEST_F(TracePipeline, TraceIsWellFormed) {
+  const auto run = make_run();
+  ASSERT_EQ(run.trace.num_ranks(), 8u);
+  for (const auto& rank : run.trace.ranks) {
+    const auto& evs = rank.events();
+    ASSERT_FALSE(evs.empty());
+    for (std::size_t i = 1; i < evs.size(); ++i) {
+      // Times monotone, phases strictly alternating.
+      ASSERT_GE(evs[i].time, evs[i - 1].time);
+      ASSERT_NE(evs[i].phase, evs[i - 1].phase);
+    }
+    // Everyone ends idle (termination requires global quiescence).
+    EXPECT_EQ(rank.phase_at_end(), metrics::Phase::kIdle);
+  }
+}
+
+TEST_F(TracePipeline, ActiveTimeBoundedByRuntime) {
+  const auto run = make_run();
+  for (const auto& rank : run.trace.ranks) {
+    const auto active = rank.active_time(run.runtime);
+    EXPECT_GE(active, 0);
+    EXPECT_LE(active, run.runtime);
+  }
+}
+
+TEST_F(TracePipeline, ActiveTimeConsistentWithWork) {
+  // Each rank's active time is at least the compute time of the nodes it
+  // processed (it also includes time spent serving steals).
+  const auto run = make_run();
+  for (topo::Rank r = 0; r < 8; ++r) {
+    const auto min_active = static_cast<support::SimTime>(
+        run.per_rank[r].nodes_processed) * run.per_node_cost;
+    EXPECT_GE(run.trace.ranks[r].active_time(run.runtime) +
+                  support::kMicrosecond,
+              min_active)
+        << r;
+  }
+}
+
+TEST_F(TracePipeline, OccupancyCurveInvariants) {
+  const auto run = make_run();
+  const metrics::OccupancyCurve occ(run.trace);
+  EXPECT_LE(occ.max_workers(), 8u);
+  EXPECT_GE(occ.max_workers(), 1u);
+  // Rank 0 is active at t = 0 and everyone is idle at the end.
+  EXPECT_EQ(occ.workers_at(0), 1u);
+  EXPECT_EQ(occ.workers_at(run.runtime), 0u);
+  // SL is monotone in x wherever defined.
+  double prev = 0.0;
+  for (double x = 0.1; x <= 1.0; x += 0.1) {
+    const auto sl = occ.starting_latency(x);
+    if (!sl.has_value()) break;
+    EXPECT_GE(*sl + 1e-12, prev);
+    prev = *sl;
+  }
+  // SL + EL never exceed the whole runtime for any reached occupancy.
+  for (double x = 0.1; x <= 1.0; x += 0.1) {
+    const auto sl = occ.starting_latency(x);
+    const auto el = occ.ending_latency(x);
+    if (sl && el) {
+      EXPECT_LE(*sl + *el, 1.0 + 1e-12) << x;
+    }
+  }
+}
+
+TEST_F(TracePipeline, MeanOccupancyMatchesPerRankActiveTime) {
+  // Integral identity: mean occupancy * N * T == sum of per-rank active time.
+  const auto run = make_run();
+  const metrics::OccupancyCurve occ(run.trace);
+  support::SimTime total_active = 0;
+  for (const auto& rank : run.trace.ranks) {
+    total_active += rank.active_time(run.runtime);
+  }
+  const double lhs = occ.mean_occupancy() * 8.0 * static_cast<double>(run.runtime);
+  EXPECT_NEAR(lhs, static_cast<double>(total_active),
+              static_cast<double>(run.runtime) * 0.01);
+}
+
+TEST_F(TracePipeline, DeterministicTraces) {
+  const auto a = make_run();
+  const auto b = make_run();
+  ASSERT_EQ(a.trace.num_ranks(), b.trace.num_ranks());
+  for (std::size_t r = 0; r < a.trace.ranks.size(); ++r) {
+    ASSERT_EQ(a.trace.ranks[r].events(), b.trace.ranks[r].events()) << r;
+  }
+}
+
+}  // namespace
+}  // namespace dws

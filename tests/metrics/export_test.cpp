@@ -1,0 +1,76 @@
+#include "metrics/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/occupancy.hpp"
+
+namespace dws::metrics {
+namespace {
+
+JobTrace sample_trace() {
+  JobTrace trace;
+  trace.total_time = 1000;
+  trace.ranks.emplace_back(Phase::kActive, 0);
+  trace.ranks[0].record(400, Phase::kIdle);
+  trace.ranks[0].record(600, Phase::kActive);
+  trace.ranks[0].record(900, Phase::kIdle);
+  trace.ranks.emplace_back(Phase::kIdle, 0);
+  trace.ranks[1].record(350, Phase::kActive);
+  trace.ranks[1].record(800, Phase::kIdle);
+  return trace;
+}
+
+TEST(Export, CsvContainsHeaderAndRows) {
+  const auto csv = trace_to_csv(sample_trace());
+  EXPECT_NE(csv.find("# total_time_ns,1000"), std::string::npos);
+  EXPECT_NE(csv.find("rank,time_ns,phase"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,active"), std::string::npos);
+  EXPECT_NE(csv.find("0,400,idle"), std::string::npos);
+  EXPECT_NE(csv.find("1,350,active"), std::string::npos);
+}
+
+TEST(Export, RoundTripPreservesEverything) {
+  const auto original = sample_trace();
+  const auto restored = trace_from_csv(trace_to_csv(original));
+  ASSERT_EQ(restored.total_time, original.total_time);
+  ASSERT_EQ(restored.num_ranks(), original.num_ranks());
+  for (std::size_t r = 0; r < original.ranks.size(); ++r) {
+    EXPECT_EQ(restored.ranks[r].events(), original.ranks[r].events()) << r;
+  }
+}
+
+TEST(Export, RoundTripOfSingleRankSingleEvent) {
+  JobTrace trace;
+  trace.total_time = 7;
+  trace.ranks.emplace_back(Phase::kIdle, 0);
+  const auto restored = trace_from_csv(trace_to_csv(trace));
+  EXPECT_EQ(restored.num_ranks(), 1u);
+  EXPECT_EQ(restored.ranks[0].events().size(), 1u);
+  EXPECT_EQ(restored.ranks[0].events()[0].phase, Phase::kIdle);
+}
+
+TEST(Export, OccupancyCsvHasStepPoints) {
+  std::ostringstream out;
+  write_occupancy_csv(out, sample_trace());
+  const auto csv = out.str();
+  EXPECT_NE(csv.find("time_ns,active_workers"), std::string::npos);
+  // At t=0 rank 0 is active -> 1 worker; at 350 rank 1 joins -> 2.
+  EXPECT_NE(csv.find("0,1"), std::string::npos);
+  EXPECT_NE(csv.find("350,2"), std::string::npos);
+}
+
+TEST(Export, RestoredTraceAnalysesIdentically) {
+  const auto original = sample_trace();
+  const auto restored = trace_from_csv(trace_to_csv(original));
+  const OccupancyCurve a(original);
+  const OccupancyCurve b(restored);
+  EXPECT_EQ(a.max_workers(), b.max_workers());
+  EXPECT_EQ(a.workers_at(500), b.workers_at(500));
+  EXPECT_EQ(a.starting_latency(0.5), b.starting_latency(0.5));
+  EXPECT_EQ(a.ending_latency(0.5), b.ending_latency(0.5));
+}
+
+}  // namespace
+}  // namespace dws::metrics

@@ -1,0 +1,65 @@
+#include "metrics/imbalance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dws::metrics {
+namespace {
+
+TEST(Imbalance, PerfectBalance) {
+  const auto im = compute_imbalance({100, 100, 100, 100});
+  EXPECT_DOUBLE_EQ(im.mean, 100.0);
+  EXPECT_DOUBLE_EQ(im.max, 100.0);
+  EXPECT_DOUBLE_EQ(im.imbalance_factor, 1.0);
+  EXPECT_DOUBLE_EQ(im.cov, 0.0);
+  EXPECT_NEAR(im.gini, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(im.starved_fraction, 0.0);
+}
+
+TEST(Imbalance, OneRankDoesEverything) {
+  const auto im = compute_imbalance({0, 0, 0, 400});
+  EXPECT_DOUBLE_EQ(im.mean, 100.0);
+  EXPECT_DOUBLE_EQ(im.imbalance_factor, 4.0);
+  EXPECT_DOUBLE_EQ(im.starved_fraction, 0.75);
+  // Gini for a single non-zero holder of n ranks is (n-1)/n.
+  EXPECT_NEAR(im.gini, 0.75, 1e-12);
+}
+
+TEST(Imbalance, AllZeroWork) {
+  const auto im = compute_imbalance({0, 0, 0});
+  EXPECT_DOUBLE_EQ(im.mean, 0.0);
+  EXPECT_DOUBLE_EQ(im.imbalance_factor, 0.0);
+  EXPECT_DOUBLE_EQ(im.gini, 0.0);
+  EXPECT_DOUBLE_EQ(im.starved_fraction, 1.0);
+}
+
+TEST(Imbalance, SingleRank) {
+  const auto im = compute_imbalance({42});
+  EXPECT_DOUBLE_EQ(im.mean, 42.0);
+  EXPECT_DOUBLE_EQ(im.imbalance_factor, 1.0);
+  EXPECT_NEAR(im.gini, 0.0, 1e-12);
+}
+
+TEST(Imbalance, KnownGiniHandComputed) {
+  // x = {1, 3}: G = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  const auto im = compute_imbalance({3, 1});
+  EXPECT_NEAR(im.gini, 0.25, 1e-12);
+}
+
+TEST(Imbalance, MoreSkewMeansBiggerGini) {
+  const auto mild = compute_imbalance({90, 100, 110, 100});
+  const auto wild = compute_imbalance({10, 100, 1000, 10});
+  EXPECT_LT(mild.gini, wild.gini);
+  EXPECT_LT(mild.cov, wild.cov);
+  EXPECT_LT(mild.imbalance_factor, wild.imbalance_factor);
+}
+
+TEST(Imbalance, OrderInvariant) {
+  const auto a = compute_imbalance({5, 1, 9, 3});
+  const auto b = compute_imbalance({9, 3, 5, 1});
+  EXPECT_DOUBLE_EQ(a.gini, b.gini);
+  EXPECT_DOUBLE_EQ(a.cov, b.cov);
+  EXPECT_DOUBLE_EQ(a.imbalance_factor, b.imbalance_factor);
+}
+
+}  // namespace
+}  // namespace dws::metrics

@@ -1,0 +1,152 @@
+#include "metrics/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dws::metrics {
+namespace {
+
+/// Build a JobTrace from per-rank (time, phase) scripts.
+JobTrace make_trace(
+    support::SimTime total,
+    const std::vector<std::vector<std::pair<support::SimTime, Phase>>>& scripts) {
+  JobTrace job;
+  job.total_time = total;
+  for (const auto& script : scripts) {
+    job.ranks.emplace_back(Phase::kIdle);
+    for (const auto& [t, p] : script) job.ranks.back().record(t, p);
+  }
+  return job;
+}
+
+TEST(Occupancy, SingleAlwaysActiveRank) {
+  JobTrace job;
+  job.total_time = 100;
+  job.ranks.emplace_back(Phase::kActive);
+  OccupancyCurve c(job);
+  EXPECT_EQ(c.max_workers(), 1u);
+  EXPECT_DOUBLE_EQ(c.max_occupancy(), 1.0);
+  EXPECT_EQ(c.workers_at(0), 1u);
+  EXPECT_EQ(c.workers_at(99), 1u);
+  EXPECT_DOUBLE_EQ(c.mean_occupancy(), 1.0);
+}
+
+TEST(Occupancy, WorkersAtTracksTransitions) {
+  const auto job = make_trace(
+      100, {{{10, Phase::kActive}, {60, Phase::kIdle}},
+            {{20, Phase::kActive}, {80, Phase::kIdle}}});
+  OccupancyCurve c(job);
+  EXPECT_EQ(c.workers_at(5), 0u);
+  EXPECT_EQ(c.workers_at(10), 1u);
+  EXPECT_EQ(c.workers_at(20), 2u);
+  EXPECT_EQ(c.workers_at(59), 2u);
+  EXPECT_EQ(c.workers_at(60), 1u);
+  EXPECT_EQ(c.workers_at(85), 0u);
+  EXPECT_EQ(c.max_workers(), 2u);
+}
+
+TEST(Occupancy, StartingLatencyPaperExample) {
+  // The paper's worked example: "an execution where the first time 10% of
+  // the processes have work happens 5% of the execution time after beginning
+  // has SL(10%) = 5%". Ten ranks, first rank activates at t = 5 of T = 100.
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts(10);
+  scripts[0] = {{5, Phase::kActive}};
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  const auto sl = c.starting_latency(0.10);
+  ASSERT_TRUE(sl.has_value());
+  EXPECT_DOUBLE_EQ(*sl, 0.05);
+}
+
+TEST(Occupancy, StartingLatencyMonotoneInX) {
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts;
+  for (int r = 0; r < 8; ++r) {
+    scripts.push_back({{10 * (r + 1), Phase::kActive}});
+  }
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  double prev = -1.0;
+  for (double x : {0.125, 0.25, 0.5, 0.75, 1.0}) {
+    const auto sl = c.starting_latency(x);
+    ASSERT_TRUE(sl.has_value()) << x;
+    EXPECT_GE(*sl, prev);
+    prev = *sl;
+  }
+  EXPECT_DOUBLE_EQ(*c.starting_latency(1.0), 0.8);
+}
+
+TEST(Occupancy, StartingLatencyNulloptWhenNeverReached) {
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts(4);
+  scripts[0] = {{0, Phase::kActive}};  // only 25% occupancy ever
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  EXPECT_TRUE(c.starting_latency(0.25).has_value());
+  EXPECT_FALSE(c.starting_latency(0.5).has_value());
+  EXPECT_DOUBLE_EQ(c.max_occupancy(), 0.25);
+}
+
+TEST(Occupancy, EndingLatencyMeasuresFromEnd) {
+  // One of two ranks active in [0, 80) of T = 100: EL(50%) = 20%.
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts(2);
+  scripts[0] = {{0, Phase::kActive}, {80, Phase::kIdle}};
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  const auto el = c.ending_latency(0.5);
+  ASSERT_TRUE(el.has_value());
+  EXPECT_DOUBLE_EQ(*el, 0.2);
+}
+
+TEST(Occupancy, EndingLatencyZeroWhenHeldToEnd) {
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts(2);
+  scripts[0] = {{0, Phase::kActive}};
+  scripts[1] = {{10, Phase::kActive}};
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  EXPECT_DOUBLE_EQ(*c.ending_latency(1.0), 0.0);
+}
+
+TEST(Occupancy, LatenciesAtZeroAreZero) {
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts(3);
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  EXPECT_DOUBLE_EQ(*c.starting_latency(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(*c.ending_latency(0.0), 0.0);
+}
+
+TEST(Occupancy, MeanOccupancyWeightsByTime) {
+  // One rank of one: active [0,50) -> mean 0.5 over T=100.
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts(1);
+  scripts[0] = {{0, Phase::kActive}, {50, Phase::kIdle}};
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  EXPECT_DOUBLE_EQ(c.mean_occupancy(), 0.5);
+}
+
+TEST(Occupancy, ReactivationCountsAgain) {
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts(1);
+  scripts[0] = {{10, Phase::kActive},
+                {20, Phase::kIdle},
+                {30, Phase::kActive},
+                {40, Phase::kIdle}};
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  EXPECT_EQ(c.workers_at(15), 1u);
+  EXPECT_EQ(c.workers_at(25), 0u);
+  EXPECT_EQ(c.workers_at(35), 1u);
+  // Last time occupancy 100% held ended at t = 40 -> EL = 60%.
+  EXPECT_DOUBLE_EQ(*c.ending_latency(1.0), 0.6);
+  // SL(100%) hit at t = 10.
+  EXPECT_DOUBLE_EQ(*c.starting_latency(1.0), 0.1);
+}
+
+TEST(Occupancy, SimultaneousTransitionsMergeIntoOneStep) {
+  std::vector<std::vector<std::pair<support::SimTime, Phase>>> scripts(4);
+  for (auto& s : scripts) s = {{10, Phase::kActive}};
+  const auto job = make_trace(100, scripts);
+  OccupancyCurve c(job);
+  EXPECT_EQ(c.workers_at(9), 0u);
+  EXPECT_EQ(c.workers_at(10), 4u);
+  EXPECT_EQ(c.steps().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dws::metrics

@@ -1,0 +1,64 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dws::metrics {
+namespace {
+
+ReportInput sample_input() {
+  ReportInput in;
+  in.title = "unit test run";
+  in.num_ranks = 2;
+  in.runtime = 10 * support::kMillisecond;
+  in.sequential_time = 15 * support::kMillisecond;
+  in.per_rank.resize(2);
+  in.per_rank[0].nodes_processed = 900;
+  in.per_rank[1].nodes_processed = 100;
+  in.per_rank[0].steal_attempts = 3;
+  in.per_rank[1].steal_attempts = 7;
+  in.per_rank[1].successful_steals = 2;
+  in.per_rank[1].failed_steals = 5;
+  in.per_rank[1].sessions = 2;
+  in.per_rank[1].total_session_time = 4 * support::kMillisecond;
+  return in;
+}
+
+TEST(Report, ContainsHeadlineNumbers) {
+  const auto text = render_report(sample_input());
+  EXPECT_NE(text.find("=== unit test run ==="), std::string::npos);
+  EXPECT_NE(text.find("ranks          : 2"), std::string::npos);
+  EXPECT_NE(text.find("speedup        : 1.50"), std::string::npos);
+  EXPECT_NE(text.find("work items     : 1000"), std::string::npos);
+}
+
+TEST(Report, StealSection) {
+  const auto text = render_report(sample_input());
+  EXPECT_NE(text.find("attempts       : 10 (2 ok, 5 failed)"), std::string::npos);
+  EXPECT_NE(text.find("sessions       : 2, avg 2.000 ms"), std::string::npos);
+}
+
+TEST(Report, ImbalanceSection) {
+  const auto text = render_report(sample_input());
+  // 900 vs 100: max/mean = 1.8, nobody starved.
+  EXPECT_NE(text.find("max/mean       : 1.80"), std::string::npos);
+  EXPECT_NE(text.find("starved: 0.0%"), std::string::npos);
+}
+
+TEST(Report, OccupancyBlockOnlyWithTrace) {
+  auto in = sample_input();
+  const auto without = render_report(in);
+  EXPECT_EQ(without.find("occupancy"), std::string::npos);
+
+  JobTrace trace;
+  trace.total_time = in.runtime;
+  trace.ranks.emplace_back(Phase::kActive, 0);
+  trace.ranks.emplace_back(Phase::kIdle, 0);
+  trace.ranks[1].record(2 * support::kMillisecond, Phase::kActive);
+  in.trace = &trace;
+  const auto with = render_report(in);
+  EXPECT_NE(with.find("--- occupancy"), std::string::npos);
+  EXPECT_NE(with.find("peak           : 100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dws::metrics

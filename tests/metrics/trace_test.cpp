@@ -1,0 +1,85 @@
+#include "metrics/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dws::metrics {
+namespace {
+
+TEST(RankTrace, StartsWithInitialPhase) {
+  RankTrace t(Phase::kActive);
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].phase, Phase::kActive);
+  EXPECT_EQ(t.events()[0].time, 0);
+  EXPECT_EQ(t.phase_at_end(), Phase::kActive);
+}
+
+TEST(RankTrace, RecordsAlternatingTransitions) {
+  RankTrace t(Phase::kIdle);
+  t.record(10, Phase::kActive);
+  t.record(30, Phase::kIdle);
+  t.record(50, Phase::kActive);
+  ASSERT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.phase_at_end(), Phase::kActive);
+}
+
+TEST(RankTrace, CollapsesDuplicatePhases) {
+  RankTrace t(Phase::kIdle);
+  t.record(10, Phase::kIdle);    // no-op
+  t.record(20, Phase::kActive);
+  t.record(25, Phase::kActive);  // no-op
+  EXPECT_EQ(t.events().size(), 2u);
+}
+
+TEST(RankTrace, ActiveTimeSumsIntervals) {
+  RankTrace t(Phase::kIdle);
+  t.record(10, Phase::kActive);
+  t.record(30, Phase::kIdle);   // 20 active
+  t.record(50, Phase::kActive); // active until end
+  EXPECT_EQ(t.active_time(80), 20 + 30);
+}
+
+TEST(RankTrace, ActiveTimeWhenAlwaysActive) {
+  RankTrace t(Phase::kActive);
+  EXPECT_EQ(t.active_time(100), 100);
+}
+
+TEST(RankTrace, ActiveTimeWhenNeverActive) {
+  RankTrace t(Phase::kIdle);
+  EXPECT_EQ(t.active_time(100), 0);
+}
+
+TEST(RankTrace, ShiftMovesAllTimestamps) {
+  RankTrace t(Phase::kIdle, 5);
+  t.record(10, Phase::kActive);
+  t.shift(100);
+  EXPECT_EQ(t.events()[0].time, 105);
+  EXPECT_EQ(t.events()[1].time, 110);
+}
+
+TEST(AlignTraces, AppliesPerRankOffsets) {
+  JobTrace job;
+  job.total_time = 100;
+  job.ranks.emplace_back(Phase::kActive);
+  job.ranks.emplace_back(Phase::kIdle);
+  job.ranks[1].record(10, Phase::kActive);
+  align_traces(job, {5, 7});
+  EXPECT_EQ(job.ranks[0].events()[0].time, 5);
+  EXPECT_EQ(job.ranks[1].events()[1].time, 17);
+}
+
+TEST(AlignTraces, SkewCorrectionRestoresGlobalOrder) {
+  // Two ranks whose local clocks are skewed by -3 and +3: after alignment
+  // with the inverse offsets, the "same instant" events coincide.
+  JobTrace job;
+  job.total_time = 100;
+  job.ranks.emplace_back(Phase::kIdle, 0);
+  job.ranks.emplace_back(Phase::kIdle, 0);
+  job.ranks[0].record(13, Phase::kActive);  // local clock ahead by 3 (true: 10)
+  job.ranks[1].record(7, Phase::kActive);   // local clock behind by 3 (true: 10)
+  align_traces(job, {-3, +3});
+  EXPECT_EQ(job.ranks[0].events()[1].time, 10);
+  EXPECT_EQ(job.ranks[1].events()[1].time, 10);
+}
+
+}  // namespace
+}  // namespace dws::metrics

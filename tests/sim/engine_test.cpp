@@ -1,0 +1,140 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dws::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, TiesFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+  Engine e;
+  support::SimTime seen = -1;
+  e.schedule_at(42, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(e.now(), 42);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  support::SimTime inner = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_after(50, [&] { inner = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(inner, 150);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) e.schedule_after(1, chain);
+  };
+  e.schedule_at(0, chain);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.now(), 4);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(i, [&] {
+      ++fired;
+      if (fired == 3) e.stop();
+    });
+  }
+  e.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(e.pending(), 7u);
+  EXPECT_TRUE(e.stopped());
+}
+
+TEST(Engine, RunAgainAfterStopResumes) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 4; ++i) {
+    e.schedule_at(i, [&] {
+      ++fired;
+      if (fired == 2) e.stop();
+    });
+  }
+  e.run();
+  EXPECT_EQ(fired, 2);
+  e.run();
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Engine, MaxEventsLimitsExecution) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) e.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(e.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(e.run(), 6u);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 7u);
+}
+
+TEST(Engine, SchedulingAtCurrentTimeIsAllowed) {
+  Engine e;
+  bool ran = false;
+  e.schedule_at(10, [&] { e.schedule_at(e.now(), [&] { ran = true; }); });
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(e.now(), 10);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto trace = [] {
+    Engine e;
+    std::vector<std::pair<support::SimTime, int>> log;
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_at(i % 7, [&log, &e, i] { log.emplace_back(e.now(), i); });
+    }
+    e.run();
+    return log;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+}  // namespace
+}  // namespace dws::sim

@@ -1,0 +1,207 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dws::sim {
+namespace {
+
+struct TestMsg {
+  int id = 0;
+};
+
+struct Delivery {
+  topo::Rank dst;
+  int id;
+  support::SimTime at;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : layout_(machine_, 64, topo::Placement::kOnePerNode),
+        model_(layout_),
+        net_(engine_, model_, [this](topo::Rank dst, TestMsg m) {
+          log_.push_back({dst, m.id, engine_.now()});
+        }) {}
+
+  topo::TofuMachine machine_;
+  topo::JobLayout layout_;
+  topo::LatencyModel model_;
+  Engine engine_;
+  Network<TestMsg> net_;
+  std::vector<Delivery> log_;
+};
+
+TEST_F(NetworkTest, DeliversAfterModelLatency) {
+  const auto expect = model_.message_latency(0, 63, 16);
+  net_.send(0, 63, TestMsg{1}, 16);
+  engine_.run();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(log_[0].dst, 63u);
+  EXPECT_EQ(log_[0].id, 1);
+  EXPECT_EQ(log_[0].at, expect);
+}
+
+TEST_F(NetworkTest, NearRanksArriveBeforeFarRanks) {
+  net_.send(0, 63, TestMsg{2}, 0);  // far
+  net_.send(0, 1, TestMsg{1}, 0);   // same blade
+  engine_.run();
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[0].id, 1);
+  EXPECT_EQ(log_[1].id, 2);
+}
+
+TEST_F(NetworkTest, ChannelDoesNotOvertake) {
+  // A large message followed immediately by a tiny one on the same channel:
+  // the tiny one would arrive first by raw latency, but MPI ordering says no.
+  net_.send(0, 63, TestMsg{1}, 100000);  // 20 us serialization
+  net_.send(0, 63, TestMsg{2}, 0);
+  engine_.run();
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[0].id, 1);
+  EXPECT_EQ(log_[1].id, 2);
+  EXPECT_GE(log_[1].at, log_[0].at);
+}
+
+TEST_F(NetworkTest, DistinctChannelsMayOvertake) {
+  // Same sender, different destinations: no ordering constraint.
+  net_.send(0, 63, TestMsg{1}, 100000);
+  net_.send(0, 1, TestMsg{2}, 0);
+  engine_.run();
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[0].id, 2);
+}
+
+TEST_F(NetworkTest, CountsMessagesAndBytes) {
+  net_.send(0, 1, TestMsg{1}, 100);
+  net_.send(1, 2, TestMsg{2}, 50);
+  engine_.run();
+  EXPECT_EQ(net_.stats().messages, 2u);
+  EXPECT_EQ(net_.stats().bytes, 150u);
+  EXPECT_EQ(net_.stats().intra_node_messages, 0u);
+}
+
+TEST_F(NetworkTest, SeparateSendersInterleaveByLatency) {
+  net_.send(5, 6, TestMsg{1}, 0);
+  net_.send(10, 50, TestMsg{2}, 0);
+  engine_.run();
+  ASSERT_EQ(log_.size(), 2u);
+  // Deliveries interleave purely by model latency (ids sorted accordingly).
+  const bool first_is_nearer = model_.message_latency(5, 6, 0) <=
+                               model_.message_latency(10, 50, 0);
+  EXPECT_EQ(log_[0].id, first_is_nearer ? 1 : 2);
+  EXPECT_EQ(log_[0].at, std::min(model_.message_latency(5, 6, 0),
+                                 model_.message_latency(10, 50, 0)));
+}
+
+TEST(NetworkIntraNode, CountsSharedMemoryTraffic) {
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 16, topo::Placement::kGrouped, 8);
+  topo::LatencyModel model(layout);
+  Engine engine;
+  int delivered = 0;
+  Network<TestMsg> net(engine, model,
+                       [&](topo::Rank, TestMsg) { ++delivered; });
+  net.send(0, 1, TestMsg{1}, 0);  // ranks 0,1 share node 0 under kGrouped
+  net.send(0, 8, TestMsg{2}, 0);  // rank 8 is on node 1
+  engine.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.stats().intra_node_messages, 1u);
+}
+
+TEST(NetworkCongestion, LoadInflatesLatency) {
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 64, topo::Placement::kOnePerNode);
+  topo::LatencyModel model(layout);
+  Engine engine;
+  std::vector<support::SimTime> arrivals;
+  CongestionParams congestion;
+  congestion.enabled = true;
+  congestion.capacity_hops = 10.0;
+  Network<TestMsg> net(
+      engine, model,
+      [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now()); },
+      congestion);
+  // First message sails through; an identical second one sent at the same
+  // instant sees the first one's hops as load and takes longer.
+  net.send(0, 63, TestMsg{1}, 0);
+  net.send(1, 62, TestMsg{2}, 0);
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const auto raw1 = model.message_latency(0, 63, 0);
+  const auto raw2 = model.message_latency(1, 62, 0);
+  EXPECT_EQ(arrivals[0], raw1);
+  EXPECT_GT(arrivals[1], raw2);
+  EXPECT_GT(net.stats().max_load_hops, 0.0);
+}
+
+TEST(NetworkCongestion, LoadDrainsAfterDelivery) {
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 64, topo::Placement::kOnePerNode);
+  topo::LatencyModel model(layout);
+  Engine engine;
+  int delivered = 0;
+  CongestionParams congestion;
+  congestion.enabled = true;
+  congestion.capacity_hops = 10.0;
+  Network<TestMsg> net(engine, model,
+                       [&](topo::Rank, TestMsg) { ++delivered; }, congestion);
+  net.send(0, 63, TestMsg{1}, 0);
+  engine.run();
+  // After the in-flight message lands, a fresh send sees an empty network.
+  std::vector<support::SimTime> arrivals;
+  const auto t0 = engine.now();
+  Network<TestMsg> net2(
+      engine, model,
+      [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now() - t0); },
+      congestion);
+  net2.send(0, 63, TestMsg{2}, 0);
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], model.message_latency(0, 63, 0));
+}
+
+TEST(NetworkCongestion, SameNodeTrafficIsImmune) {
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 16, topo::Placement::kGrouped, 8);
+  topo::LatencyModel model(layout);
+  Engine engine;
+  std::vector<support::SimTime> arrivals;
+  CongestionParams congestion;
+  congestion.enabled = true;
+  congestion.capacity_hops = 1.0;  // tiny capacity: network badly congested
+  Network<TestMsg> net(
+      engine, model,
+      [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now()); },
+      congestion);
+  net.send(0, 8, TestMsg{1}, 0);  // inter-node: loads the network
+  net.send(0, 1, TestMsg{2}, 0);  // intra-node: unaffected by the load
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], model.params().same_node);
+}
+
+TEST(NetworkDeterminism, SameSendsSameDeliveries) {
+  auto run_once = [] {
+    topo::TofuMachine machine;
+    topo::JobLayout layout(machine, 128, topo::Placement::kOnePerNode);
+    topo::LatencyModel model(layout);
+    Engine engine;
+    std::vector<std::pair<topo::Rank, support::SimTime>> log;
+    Network<TestMsg> net(engine, model, [&](topo::Rank dst, TestMsg) {
+      log.emplace_back(dst, engine.now());
+    });
+    for (topo::Rank r = 0; r < 127; ++r) {
+      net.send(r, r + 1, TestMsg{static_cast<int>(r)}, r * 8);
+    }
+    engine.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dws::sim

@@ -1,0 +1,141 @@
+#include "sm/chase_lev.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace dws::sm {
+namespace {
+
+TEST(ChaseLev, EmptyPopAndStealReturnNothing) {
+  ChaseLevDeque<int> d;
+  EXPECT_FALSE(d.pop_bottom().has_value());
+  EXPECT_FALSE(d.steal_top().has_value());
+  EXPECT_EQ(d.size_estimate(), 0u);
+}
+
+TEST(ChaseLev, OwnerLifoOrder) {
+  ChaseLevDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push_bottom(i);
+  for (int i = 9; i >= 0; --i) {
+    const auto v = d.pop_bottom();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(d.pop_bottom().has_value());
+}
+
+TEST(ChaseLev, StealTakesOldest) {
+  ChaseLevDeque<int> d;
+  for (int i = 0; i < 5; ++i) d.push_bottom(i);
+  EXPECT_EQ(*d.steal_top(), 0);
+  EXPECT_EQ(*d.steal_top(), 1);
+  EXPECT_EQ(*d.pop_bottom(), 4);
+  EXPECT_EQ(*d.steal_top(), 2);
+}
+
+TEST(ChaseLev, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> d(8);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) d.push_bottom(i);
+  EXPECT_EQ(d.size_estimate(), static_cast<std::size_t>(n));
+  long long sum = 0;
+  while (auto v = d.pop_bottom()) sum += *v;
+  EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ChaseLev, InterleavedPushPopStealConserves) {
+  ChaseLevDeque<int> d;
+  int pushed = 0;
+  int got = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 3; ++i) d.push_bottom(pushed++);
+    if (d.pop_bottom()) ++got;
+    if (d.steal_top()) ++got;
+  }
+  while (d.pop_bottom()) ++got;
+  EXPECT_EQ(got, pushed);
+}
+
+TEST(ChaseLevStress, ConcurrentThievesConserveEverything) {
+  // Owner pushes/pops while 4 thieves hammer steal_top. Every pushed value
+  // must be consumed exactly once (checksum over distinct values).
+  ChaseLevDeque<std::uint64_t> d;
+  constexpr std::uint64_t kN = 200000;
+  constexpr int kThieves = 4;
+
+  std::atomic<std::uint64_t> stolen_sum{0};
+  std::atomic<std::uint64_t> stolen_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = d.steal_top()) {
+          stolen_sum.fetch_add(*v, std::memory_order_relaxed);
+          stolen_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Final drain after the owner finished.
+      while (auto v = d.steal_top()) {
+        stolen_sum.fetch_add(*v, std::memory_order_relaxed);
+        stolen_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::uint64_t own_sum = 0;
+  std::uint64_t own_count = 0;
+  for (std::uint64_t i = 1; i <= kN; ++i) {
+    d.push_bottom(i);
+    if (i % 3 == 0) {
+      if (auto v = d.pop_bottom()) {
+        own_sum += *v;
+        ++own_count;
+      }
+    }
+  }
+  while (auto v = d.pop_bottom()) {
+    own_sum += *v;
+    ++own_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  // A thief may have grabbed an element between our final pop and the drain;
+  // run one more owner drain to be sure the deque is empty.
+  EXPECT_FALSE(d.pop_bottom().has_value());
+
+  EXPECT_EQ(own_count + stolen_count.load(), kN);
+  EXPECT_EQ(own_sum + stolen_sum.load(), kN * (kN + 1) / 2);
+}
+
+TEST(ChaseLevStress, GrowUnderConcurrentSteals) {
+  // Start tiny so the buffer grows many times while thieves are active.
+  ChaseLevDeque<std::uint64_t> d(8);
+  constexpr std::uint64_t kN = 100000;
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<bool> done{false};
+
+  std::thread thief([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (d.steal_top()) consumed.fetch_add(1, std::memory_order_relaxed);
+    }
+    while (d.steal_top()) consumed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  std::uint64_t own = 0;
+  for (std::uint64_t i = 0; i < kN; ++i) d.push_bottom(i);
+  while (d.pop_bottom()) ++own;
+  done.store(true, std::memory_order_release);
+  thief.join();
+
+  EXPECT_EQ(own + consumed.load(), kN);
+}
+
+}  // namespace
+}  // namespace dws::sm

@@ -1,0 +1,78 @@
+#include "sm/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "uts/params.hpp"
+
+namespace dws::sm {
+namespace {
+
+TEST(UtsThreadPool, SingleThreadMatchesSequential) {
+  const auto& tree = uts::tree_by_name("TEST_BIN_SMALL");
+  UtsThreadPool pool(tree, 1);
+  const auto parallel = pool.run();
+  const auto seq = uts::enumerate_sequential(tree);
+  EXPECT_EQ(parallel.nodes, seq.nodes);
+  EXPECT_EQ(parallel.leaves, seq.leaves);
+  EXPECT_EQ(parallel.max_depth, seq.max_depth);
+}
+
+TEST(UtsThreadPool, WorkActuallyDistributes) {
+  const auto& tree = uts::tree_by_name("SIM200K");
+  UtsThreadPool pool(tree, 4);
+  const auto result = pool.run();
+  EXPECT_EQ(result.nodes, 224133u);
+  int threads_with_work = 0;
+  std::uint64_t total = 0;
+  for (const auto& st : pool.thread_stats()) {
+    if (st.nodes_processed > 0) ++threads_with_work;
+    total += st.nodes_processed;
+  }
+  EXPECT_EQ(total, result.nodes);
+  // On a single-core host the OS may schedule so few quanta to late threads
+  // that only some of them win steals; two is the robust lower bound.
+  EXPECT_GE(threads_with_work, 2);
+}
+
+TEST(UtsThreadPool, StealsHappen) {
+  const auto& tree = uts::tree_by_name("SIM200K");
+  UtsThreadPool pool(tree, 4);
+  (void)pool.run();
+  std::uint64_t steals = 0;
+  for (const auto& st : pool.thread_stats()) steals += st.successful_steals;
+  EXPECT_GT(steals, 0u);
+}
+
+/// Determinism of the *result* (not the schedule): any thread count and any
+/// seed must produce identical tree totals. This is the cross-validation
+/// oracle shared with the simulator.
+class PoolSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, unsigned, std::uint64_t>> {};
+
+TEST_P(PoolSweep, CountsMatchSequential) {
+  const auto& [name, threads, seed] = GetParam();
+  const auto& tree = uts::tree_by_name(name);
+  UtsThreadPool pool(tree, threads, seed);
+  const auto parallel = pool.run();
+  const auto seq = uts::enumerate_sequential(tree);
+  EXPECT_EQ(parallel.nodes, seq.nodes);
+  EXPECT_EQ(parallel.leaves, seq.leaves);
+  EXPECT_EQ(parallel.max_depth, seq.max_depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PoolSweep,
+    ::testing::Values(std::tuple{"TEST_BIN_TINY", 2u, 1ull},
+                      std::tuple{"TEST_BIN_TINY", 8u, 2ull},
+                      std::tuple{"TEST_BIN_SMALL", 3u, 3ull},
+                      std::tuple{"TEST_BIN_SMALL", 8u, 4ull},
+                      std::tuple{"TEST_BIN_WIDE", 4u, 5ull},
+                      std::tuple{"TEST_GEO_EXP", 4u, 6ull},
+                      std::tuple{"TEST_HYBRID", 6u, 7ull},
+                      std::tuple{"SIM200K", 8u, 8ull},
+                      std::tuple{"SIM200K", 16u, 9ull}));
+
+}  // namespace
+}  // namespace dws::sm

@@ -1,0 +1,98 @@
+#include "support/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dws::support {
+namespace {
+
+TEST(AliasTable, SingleEntryAlwaysReturnsIt) {
+  AliasTable t({5.0});
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(t.probability(0), 1.0);
+}
+
+TEST(AliasTable, NormalisesWeights) {
+  AliasTable t({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.probability(1), 0.75);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable t({1.0, 0.0, 1.0, 0.0});
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = t.sample(rng);
+    ASSERT_TRUE(s == 0 || s == 2) << s;
+  }
+}
+
+TEST(AliasTable, UniformWeightsSampleUniformly) {
+  const std::size_t n = 16;
+  AliasTable t(std::vector<double>(n, 1.0));
+  Xoshiro256StarStar rng(7);
+  std::vector<int> counts(n, 0);
+  const int draws = 160000;
+  for (int i = 0; i < draws; ++i) ++counts[t.sample(rng)];
+  const double expected = draws / static_cast<double>(n);
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.06);
+}
+
+TEST(AliasTable, SkewedWeightsMatchProbabilities) {
+  std::vector<double> w{10.0, 1.0, 5.0, 0.5, 3.5};
+  AliasTable t(w);
+  Xoshiro256StarStar rng(13);
+  std::vector<int> counts(w.size(), 0);
+  const int draws = 500000;
+  for (int i = 0; i < draws; ++i) ++counts[t.sample(rng)];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double expected = t.probability(i) * draws;
+    EXPECT_NEAR(counts[i], expected, 4.0 * std::sqrt(expected) + 1.0)
+        << "index " << i;
+  }
+}
+
+TEST(AliasTable, ChiSquareGoodnessOfFit) {
+  // 1/distance-like weights as used for victim selection.
+  std::vector<double> w;
+  for (int i = 1; i <= 64; ++i) w.push_back(1.0 / i);
+  AliasTable t(w);
+  Xoshiro256StarStar rng(99);
+  std::vector<int> counts(w.size(), 0);
+  const int draws = 640000;
+  for (int i = 0; i < draws; ++i) ++counts[t.sample(rng)];
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double e = t.probability(i) * draws;
+    chi2 += (counts[i] - e) * (counts[i] - e) / e;
+  }
+  // 63 degrees of freedom; the 99.9th percentile is ~103.4.
+  EXPECT_LT(chi2, 104.0);
+}
+
+TEST(AliasTable, ProbabilitiesSumToOne) {
+  std::vector<double> w{0.1, 0.0, 17.0, 2.5, 1e-6, 8.0};
+  AliasTable t(w);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) sum += t.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AliasTable, LargeTableConstructionIsSane) {
+  std::vector<double> w(8192);
+  Xoshiro256StarStar rng(5);
+  for (auto& x : w) x = rng.next_double() + 1e-9;
+  AliasTable t(w);
+  EXPECT_EQ(t.size(), w.size());
+  EXPECT_GT(t.memory_bytes(), w.size() * sizeof(double));
+  Xoshiro256StarStar draw_rng(6);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(t.sample(draw_rng), w.size());
+}
+
+}  // namespace
+}  // namespace dws::support

@@ -1,0 +1,57 @@
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/sim_time.hpp"
+
+namespace dws::support {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  DWS_CHECK(1 + 1 == 2);
+  DWS_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(DWS_CHECK(false), "DWS_CHECK failed: false");
+}
+
+TEST(CheckDeathTest, MessageNamesTheExpression) {
+  const int x = 3;
+  EXPECT_DEATH(DWS_CHECK(x == 4), "x == 4");
+}
+
+TEST(Check, SideEffectsRunExactlyOnce) {
+  int calls = 0;
+  auto f = [&] {
+    ++calls;
+    return true;
+  };
+  DWS_CHECK(f());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SimTime, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000 * 1000 * 1000);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(to_millis(1500 * kMicrosecond), 1.5);
+  EXPECT_DOUBLE_EQ(to_micros(2500), 2.5);
+  EXPECT_EQ(from_micros(1.5), 1500);
+  EXPECT_EQ(from_seconds(0.25), 250 * kMillisecond);
+}
+
+TEST(SimTime, RoundTrips) {
+  for (const SimTime t : {SimTime{0}, kMicrosecond, 7 * kMillisecond,
+                          3 * kSecond}) {
+    EXPECT_EQ(from_seconds(to_seconds(t)), t);
+  }
+}
+
+}  // namespace
+}  // namespace dws::support

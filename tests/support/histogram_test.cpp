@@ -1,0 +1,64 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dws::support {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, SamplesLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0 (inclusive lower edge)
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflowAreCounted) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(0), 0u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+}
+
+TEST(Histogram, TotalsNeverLost) {
+  Histogram h(-5.0, 5.0, 10);
+  std::uint64_t inside = 0;
+  for (int i = -100; i <= 100; ++i) {
+    h.add(i * 0.1);
+    if (i >= -50 && i < 50) ++inside;
+  }
+  std::uint64_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.bin_count(b);
+  EXPECT_EQ(binned, inside);
+  EXPECT_EQ(h.total(), 201u);
+  EXPECT_EQ(binned + h.underflow() + h.overflow(), h.total());
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 4.0, 4);
+  for (int i = 0; i < 8; ++i) h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace dws::support

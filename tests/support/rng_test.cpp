@@ -1,0 +1,79 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dws::support {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values from the published SplitMix64 algorithm.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454full);
+}
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256StarStar rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 8192ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextBelowCoversAllResidues) {
+  Xoshiro256StarStar rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, RoughUniformityOfNextBelow) {
+  Xoshiro256StarStar rng(42);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = kDraws / static_cast<double>(kBuckets);
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.05);
+  }
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256StarStar::min() == 0);
+  static_assert(Xoshiro256StarStar::max() == ~0ull);
+  Xoshiro256StarStar rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace dws::support

@@ -1,0 +1,145 @@
+#include "topo/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace dws::topo {
+namespace {
+
+TEST(JobLayout, OnePerNodeIsBijective) {
+  TofuMachine m;
+  JobLayout layout(m, 128, Placement::kOnePerNode);
+  EXPECT_EQ(layout.num_ranks(), 128u);
+  EXPECT_EQ(layout.num_nodes(), 128u);
+  std::set<NodeId> nodes;
+  for (Rank r = 0; r < 128; ++r) nodes.insert(layout.node_of(r));
+  EXPECT_EQ(nodes.size(), 128u);
+}
+
+TEST(JobLayout, GroupedPacksConsecutiveRanks) {
+  TofuMachine m;
+  JobLayout layout(m, 64, Placement::kGrouped, 8);
+  EXPECT_EQ(layout.num_nodes(), 8u);
+  for (Rank r = 0; r < 64; ++r) {
+    EXPECT_EQ(layout.node_of(r), layout.node_of((r / 8) * 8)) << r;
+  }
+  // Ranks 0..7 share a node; rank 8 does not share with rank 0.
+  EXPECT_TRUE(layout.same_node(0, 7));
+  EXPECT_FALSE(layout.same_node(0, 8));
+}
+
+TEST(JobLayout, RoundRobinSpreadsConsecutiveRanks) {
+  TofuMachine m;
+  JobLayout layout(m, 64, Placement::kRoundRobin, 8);
+  EXPECT_EQ(layout.num_nodes(), 8u);
+  // Consecutive ranks land on different nodes; ranks i and i+8 share.
+  for (Rank r = 0; r + 1 < 8; ++r) {
+    EXPECT_FALSE(layout.same_node(r, r + 1));
+  }
+  for (Rank r = 0; r + 8 < 64; ++r) {
+    EXPECT_TRUE(layout.same_node(r, r + 8)) << r;
+  }
+}
+
+TEST(JobLayout, EveryNodeGetsExactlyProcsPerNode) {
+  TofuMachine m;
+  for (auto placement : {Placement::kRoundRobin, Placement::kGrouped}) {
+    JobLayout layout(m, 96, placement, 8);
+    std::map<NodeId, int> per_node;
+    for (Rank r = 0; r < 96; ++r) ++per_node[layout.node_of(r)];
+    EXPECT_EQ(per_node.size(), 12u);
+    for (const auto& [node, count] : per_node) EXPECT_EQ(count, 8) << node;
+  }
+}
+
+TEST(JobLayout, AllocationIsCompact) {
+  TofuMachine m;
+  // 1024 nodes need ceil(1024/12) = 86 cubes; a compact factoring should be
+  // near-cubic, i.e. max extent <= ~3x min extent and well below a 1D chain.
+  JobLayout layout(m, 1024, Placement::kOnePerNode);
+  const auto ex = layout.extent_x();
+  const auto ey = layout.extent_y();
+  const auto ez = layout.extent_z();
+  EXPECT_GE(ex * ey * ez, 86);
+  EXPECT_LE(ex, 8);
+  EXPECT_LE(ey, 8);
+  EXPECT_LE(ez, 8);
+}
+
+TEST(JobLayout, LargeJobFitsExtents) {
+  TofuMachine m;
+  JobLayout layout(m, 8192, Placement::kOnePerNode);
+  // 8192 nodes = 683 cubes; extents must respect machine limits.
+  EXPECT_LE(layout.extent_x(), m.nx());
+  EXPECT_LE(layout.extent_y(), m.ny());
+  EXPECT_LE(layout.extent_z(), m.nz());
+  std::set<NodeId> unique(layout.nodes().begin(), layout.nodes().end());
+  EXPECT_EQ(unique.size(), 8192u);
+}
+
+TEST(JobLayout, CoordCacheMatchesMachine) {
+  TofuMachine m;
+  JobLayout layout(m, 256, Placement::kOnePerNode);
+  for (Rank r = 0; r < 256; ++r) {
+    ASSERT_EQ(layout.coord_of(r), m.coord(layout.node_of(r)));
+  }
+}
+
+TEST(JobLayout, OriginOffsetShiftsAllocation) {
+  TofuMachine m;
+  JobLayout a(m, 48, Placement::kOnePerNode, 1, 0);
+  JobLayout b(m, 48, Placement::kOnePerNode, 1, 100);
+  EXPECT_NE(a.node_of(0), b.node_of(0));
+  // Same shape regardless of origin.
+  EXPECT_EQ(a.extent_x(), b.extent_x());
+  EXPECT_EQ(a.extent_y(), b.extent_y());
+  EXPECT_EQ(a.extent_z(), b.extent_z());
+}
+
+TEST(JobLayout, OriginWrapsAroundTorus) {
+  TofuMachine m(2, 2, 2);  // 96 nodes
+  // Origin at the last cube: allocation wraps, stays valid and unique.
+  JobLayout layout(m, 96, Placement::kOnePerNode, 1, 7);
+  std::set<NodeId> unique(layout.nodes().begin(), layout.nodes().end());
+  EXPECT_EQ(unique.size(), 96u);
+}
+
+TEST(JobLayout, PlacementNames) {
+  EXPECT_STREQ(to_string(Placement::kOnePerNode), "1/N");
+  EXPECT_STREQ(to_string(Placement::kRoundRobin), "RR");
+  EXPECT_STREQ(to_string(Placement::kGrouped), "G");
+}
+
+class LayoutSweep
+    : public ::testing::TestWithParam<std::tuple<Rank, Placement, std::uint32_t>> {};
+
+TEST_P(LayoutSweep, RanksAlwaysMapInsideJobNodes) {
+  const auto& [ranks, placement, ppn] = GetParam();
+  TofuMachine m;
+  JobLayout layout(m, ranks, placement, ppn);
+  std::set<NodeId> job_nodes(layout.nodes().begin(), layout.nodes().end());
+  for (Rank r = 0; r < ranks; ++r) {
+    ASSERT_TRUE(job_nodes.count(layout.node_of(r))) << r;
+  }
+  EXPECT_EQ(layout.num_ranks(), ranks);
+  EXPECT_EQ(layout.num_nodes() * ppn, ranks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayoutSweep,
+    ::testing::Values(
+        std::tuple{Rank{8}, Placement::kOnePerNode, 1u},
+        std::tuple{Rank{128}, Placement::kOnePerNode, 1u},
+        std::tuple{Rank{1024}, Placement::kOnePerNode, 1u},
+        std::tuple{Rank{128}, Placement::kRoundRobin, 8u},
+        std::tuple{Rank{128}, Placement::kGrouped, 8u},
+        std::tuple{Rank{8192}, Placement::kRoundRobin, 8u},
+        std::tuple{Rank{8192}, Placement::kGrouped, 8u},
+        std::tuple{Rank{64}, Placement::kGrouped, 4u},
+        std::tuple{Rank{64}, Placement::kRoundRobin, 2u}));
+
+}  // namespace
+}  // namespace dws::topo

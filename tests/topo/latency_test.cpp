@@ -1,0 +1,132 @@
+#include "topo/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace dws::topo {
+namespace {
+
+class LatencyTest : public ::testing::Test {
+ protected:
+  TofuMachine machine_;
+};
+
+TEST_F(LatencyTest, SameNodeUsesSharedMemoryPath) {
+  JobLayout layout(machine_, 16, Placement::kGrouped, 8);
+  LatencyModel model(layout);
+  // Ranks 0 and 1 share node 0.
+  EXPECT_EQ(model.message_latency(0, 1, 0), model.params().same_node);
+  EXPECT_EQ(model.hops(0, 1), 0);
+  EXPECT_DOUBLE_EQ(model.euclidean(0, 1), 0.0);
+}
+
+TEST_F(LatencyTest, SameBladeFasterThanNetwork) {
+  JobLayout layout(machine_, 96, Placement::kOnePerNode);
+  LatencyModel model(layout);
+  // Node ids 0 and 1 differ only in c -> same blade. Node 0 and 95 are in
+  // different cubes.
+  const auto blade = model.message_latency(0, 1, 0);
+  const auto far = model.message_latency(0, 95, 0);
+  EXPECT_EQ(blade, model.params().same_blade);
+  EXPECT_GT(far, blade);
+}
+
+TEST_F(LatencyTest, LatencyIsSymmetricWithoutPayload) {
+  JobLayout layout(machine_, 512, Placement::kOnePerNode);
+  LatencyModel model(layout);
+  support::Xoshiro256StarStar rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const auto r1 = static_cast<Rank>(rng.next_below(512));
+    const auto r2 = static_cast<Rank>(rng.next_below(512));
+    ASSERT_EQ(model.message_latency(r1, r2, 0), model.message_latency(r2, r1, 0));
+  }
+}
+
+TEST_F(LatencyTest, LatencyGrowsWithHops) {
+  JobLayout layout(machine_, 4096, Placement::kOnePerNode);
+  LatencyModel model(layout);
+  // Collect (hops, latency) pairs; same-hop pairs must have equal latency
+  // and more hops must never be faster.
+  support::Xoshiro256StarStar rng(7);
+  std::vector<std::pair<int, support::SimTime>> samples;
+  for (int i = 0; i < 500; ++i) {
+    const auto r1 = static_cast<Rank>(rng.next_below(4096));
+    const auto r2 = static_cast<Rank>(rng.next_below(4096));
+    if (layout.same_node(r1, r2)) continue;
+    if (machine_.same_blade(layout.coord_of(r1), layout.coord_of(r2))) continue;
+    samples.emplace_back(model.hops(r1, r2), model.message_latency(r1, r2, 0));
+  }
+  ASSERT_GT(samples.size(), 100u);
+  for (const auto& [h1, l1] : samples) {
+    for (const auto& [h2, l2] : samples) {
+      if (h1 < h2) {
+        ASSERT_LE(l1, l2);
+      }
+      if (h1 == h2) {
+        ASSERT_EQ(l1, l2);
+      }
+    }
+  }
+}
+
+TEST_F(LatencyTest, PayloadAddsSerializationDelay) {
+  JobLayout layout(machine_, 64, Placement::kOnePerNode);
+  LatencyModel model(layout);
+  const auto empty = model.message_latency(0, 63, 0);
+  const auto chunk = model.message_latency(0, 63, 560);  // 20-node chunk
+  // 560 bytes at 5 B/ns = 112 ns.
+  EXPECT_EQ(chunk - empty, 112);
+}
+
+TEST_F(LatencyTest, VictimWeightMatchesPaperFormula) {
+  JobLayout layout(machine_, 1024, Placement::kOnePerNode);
+  LatencyModel model(layout);
+  // Co-located / identical coords -> weight 1.
+  EXPECT_DOUBLE_EQ(model.victim_weight(0, 0), 1.0);
+  for (Rank j : {1u, 17u, 512u, 1023u}) {
+    const double e = model.euclidean(0, j);
+    ASSERT_GT(e, 0.0);
+    EXPECT_DOUBLE_EQ(model.victim_weight(0, j), 1.0 / e);
+  }
+}
+
+TEST_F(LatencyTest, VictimWeightNeverExceedsOne) {
+  // e(i,j) >= 1 whenever nodes differ (integer lattice), so w <= 1 — this
+  // bound is what the rejection sampler uses as w_max.
+  JobLayout layout(machine_, 2048, Placement::kOnePerNode);
+  LatencyModel model(layout);
+  support::Xoshiro256StarStar rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const auto r1 = static_cast<Rank>(rng.next_below(2048));
+    const auto r2 = static_cast<Rank>(rng.next_below(2048));
+    ASSERT_LE(model.victim_weight(r1, r2), 1.0);
+    ASSERT_GT(model.victim_weight(r1, r2), 0.0);
+  }
+}
+
+TEST_F(LatencyTest, CloseRanksWeighMoreThanFarRanks) {
+  JobLayout layout(machine_, 8192, Placement::kOnePerNode);
+  LatencyModel model(layout);
+  // Rank 1 is in the same cube as rank 0; rank 8191 is across the machine.
+  EXPECT_GT(model.victim_weight(0, 1), model.victim_weight(0, 8191));
+}
+
+TEST_F(LatencyTest, EightPerNodeSeesLatencySpread) {
+  // The effect motivating the paper: with 8 ranks per node, some victims are
+  // intra-node (cheap) and some are across the allocation (expensive).
+  JobLayout layout(machine_, 8192, Placement::kGrouped, 8);
+  LatencyModel model(layout);
+  support::SimTime lo = INT64_MAX;
+  support::SimTime hi = 0;
+  for (Rank j = 1; j < 8192; j += 7) {
+    const auto l = model.message_latency(0, j, 0);
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+  }
+  EXPECT_EQ(lo, model.params().same_node);
+  EXPECT_GT(hi, 2 * lo);
+}
+
+}  // namespace
+}  // namespace dws::topo

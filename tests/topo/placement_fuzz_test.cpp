@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/rng.hpp"
+#include "topo/allocation.hpp"
+#include "topo/latency.hpp"
+
+namespace dws::topo {
+namespace {
+
+/// Randomised layout fuzzing: arbitrary (ranks, placement, ppn, origin)
+/// combinations must always produce structurally valid layouts and metric
+/// latency functions.
+class PlacementFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacementFuzz, LayoutInvariantsHold) {
+  support::Xoshiro256StarStar rng(GetParam());
+  TofuMachine machine;
+
+  const std::uint32_t ppn_pick = static_cast<std::uint32_t>(rng.next_below(4));
+  const std::uint32_t ppn = ppn_pick == 0 ? 1 : (1u << ppn_pick);  // 1,2,4,8
+  const Placement placement =
+      ppn == 1 ? Placement::kOnePerNode
+               : (rng.next_below(2) ? Placement::kRoundRobin
+                                    : Placement::kGrouped);
+  const Rank ranks =
+      ppn * (1 + static_cast<Rank>(rng.next_below(300)));
+  const auto origin =
+      static_cast<std::uint32_t>(rng.next_below(machine.cube_count()));
+
+  const JobLayout layout(machine, ranks, placement, ppn, origin);
+
+  // (1) Exactly ranks/ppn distinct nodes, each carrying exactly ppn ranks.
+  std::map<NodeId, std::uint32_t> per_node;
+  for (Rank r = 0; r < ranks; ++r) ++per_node[layout.node_of(r)];
+  EXPECT_EQ(per_node.size(), ranks / ppn);
+  for (const auto& [node, count] : per_node) EXPECT_EQ(count, ppn) << node;
+
+  // (2) Coordinates in bounds and consistent with the machine.
+  for (Rank r = 0; r < ranks; ++r) {
+    ASSERT_EQ(machine.node_id(layout.coord_of(r)), layout.node_of(r));
+  }
+
+  // (3) Latency is a positive, symmetric function with same-node floor.
+  const LatencyModel model(layout);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = static_cast<Rank>(rng.next_below(ranks));
+    const auto b = static_cast<Rank>(rng.next_below(ranks));
+    if (a == b) continue;
+    const auto ab = model.message_latency(a, b, 0);
+    ASSERT_GT(ab, 0);
+    ASSERT_EQ(ab, model.message_latency(b, a, 0));
+    ASSERT_GE(ab, model.params().same_node);
+  }
+
+  // (4) Victim weights in (0, 1].
+  for (int i = 0; i < 50; ++i) {
+    const auto a = static_cast<Rank>(rng.next_below(ranks));
+    const auto b = static_cast<Rank>(rng.next_below(ranks));
+    if (a == b) continue;
+    const double w = model.victim_weight(a, b);
+    ASSERT_GT(w, 0.0);
+    ASSERT_LE(w, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace dws::topo

@@ -1,0 +1,129 @@
+#include "uts/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "uts/params.hpp"
+
+namespace dws::uts {
+namespace {
+
+TEST(Sequential, StarTreeExactCount) {
+  // q = 0 binomial: root + b0 leaves, depth 1.
+  TreeParams p;
+  p.name = "star";
+  p.root_seed = 2;
+  p.root_branching = 64;
+  p.m = 2;
+  p.q = 0.0;
+  const auto s = enumerate_sequential(p);
+  EXPECT_EQ(s.nodes, 65u);
+  EXPECT_EQ(s.leaves, 64u);
+  EXPECT_EQ(s.max_depth, 1u);
+  EXPECT_FALSE(s.truncated);
+}
+
+TEST(Sequential, SingleChildRoot) {
+  TreeParams p;
+  p.name = "stick";
+  p.root_seed = 5;
+  p.root_branching = 1;
+  p.q = 0.0;
+  const auto s = enumerate_sequential(p);
+  EXPECT_EQ(s.nodes, 2u);
+  EXPECT_EQ(s.leaves, 1u);
+}
+
+TEST(Sequential, DeterministicAcrossCalls) {
+  const auto& p = tree_by_name("TEST_BIN_SMALL");
+  const auto a = enumerate_sequential(p);
+  const auto b = enumerate_sequential(p);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.leaves, b.leaves);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+}
+
+TEST(Sequential, NodeLimitTruncates) {
+  const auto& p = tree_by_name("TEST_BIN_SMALL");
+  const auto full = enumerate_sequential(p);
+  ASSERT_GT(full.nodes, 100u);
+  const auto cut = enumerate_sequential(p, 100);
+  EXPECT_TRUE(cut.truncated);
+  EXPECT_EQ(cut.nodes, 100u);
+}
+
+TEST(Sequential, LeavesAndInternalNodesSumUp) {
+  // In a binomial tree every internal non-root node has exactly m children:
+  // nodes = 1 + b0 + m * (internal non-root nodes).
+  const auto& p = tree_by_name("TEST_BIN_SMALL");
+  const auto s = enumerate_sequential(p);
+  const std::uint64_t internal_nonroot = s.nodes - s.leaves - 1;
+  EXPECT_EQ(s.nodes, 1 + p.root_branching + p.m * internal_nonroot);
+}
+
+TEST(Sequential, RealizedSizeNearExpectationForSubcriticalTree) {
+  // Averaged over seeds the realised size should be near E[size]; for a
+  // single seed we allow a wide band (binomial trees are heavy-tailed).
+  TreeParams p;
+  p.name = "avg";
+  p.root_branching = 2000;
+  p.m = 2;
+  p.q = 0.45;  // E = 1 + 2000/0.1 = 20001
+  double total = 0.0;
+  const int kSeeds = 10;
+  for (std::uint32_t r = 0; r < kSeeds; ++r) {
+    p.root_seed = r;
+    total += static_cast<double>(enumerate_sequential(p).nodes);
+  }
+  const double mean = total / kSeeds;
+  EXPECT_NEAR(mean, 20001.0, 4000.0);
+}
+
+TEST(Sequential, GeometricFixedDepthBound) {
+  const auto& p = tree_by_name("TEST_GEO_FIX");
+  const auto s = enumerate_sequential(p);
+  EXPECT_LE(s.max_depth, p.gen_mx);
+  EXPECT_GT(s.nodes, 1u);
+}
+
+TEST(Sequential, HybridRuns) {
+  const auto& p = tree_by_name("TEST_HYBRID");
+  const auto s = enumerate_sequential(p, 10'000'000);
+  EXPECT_FALSE(s.truncated);
+  EXPECT_GT(s.nodes, 1u);
+  EXPECT_EQ(s.nodes, enumerate_sequential(p, 10'000'000).nodes);
+}
+
+/// Different seeds must give different trees (with overwhelming probability).
+TEST(Sequential, SeedChangesTree) {
+  TreeParams a = tree_by_name("TEST_BIN_SMALL");
+  TreeParams b = a;
+  b.root_seed = a.root_seed + 1;
+  EXPECT_NE(enumerate_sequential(a).nodes, enumerate_sequential(b).nodes);
+}
+
+class SequentialCatalogue : public ::testing::TestWithParam<std::string> {};
+
+/// Every small catalogue tree enumerates deterministically and is consistent
+/// with its structural invariants.
+TEST_P(SequentialCatalogue, WellFormed) {
+  const auto& p = tree_by_name(GetParam());
+  const auto s = enumerate_sequential(p, 50'000'000);
+  EXPECT_FALSE(s.truncated);
+  EXPECT_GE(s.nodes, 1u);
+  EXPECT_GE(s.leaves, 1u);
+  EXPECT_LT(s.leaves, s.nodes);
+  if (p.type == TreeType::kGeometric) {
+    EXPECT_LE(s.max_depth, p.gen_mx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallTrees, SequentialCatalogue,
+                         ::testing::Values("TEST_BIN_TINY", "TEST_BIN_SMALL",
+                                           "TEST_BIN_WIDE", "TEST_GEO_LIN",
+                                           "TEST_GEO_FIX", "TEST_GEO_EXP",
+                                           "TEST_GEO_CYC", "TEST_HYBRID"));
+
+}  // namespace
+}  // namespace dws::uts

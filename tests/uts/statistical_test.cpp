@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "uts/params.hpp"
+#include "uts/sequential.hpp"
+
+namespace dws::uts {
+namespace {
+
+/// Statistical properties of the generators, averaged over many seeds —
+/// these verify that the SHA-1-driven sampling actually realises the
+/// distributions the tree parameters promise.
+
+TEST(Statistical, BinomialMeanSizeMatchesTheory) {
+  // E[size] = 1 + b0/(1-mq). Average realised size over seeds should land
+  // near it (subcritical enough that the variance is manageable).
+  TreeParams p;
+  p.name = "stat";
+  p.root_branching = 500;
+  p.m = 2;
+  p.q = 0.4;  // E = 1 + 500/0.2 = 2501
+  double total = 0.0;
+  const int kSeeds = 40;
+  for (std::uint32_t r = 100; r < 100 + kSeeds; ++r) {
+    p.root_seed = r;
+    total += static_cast<double>(enumerate_sequential(p).nodes);
+  }
+  EXPECT_NEAR(total / kSeeds, 2501.0, 2501.0 * 0.08);
+}
+
+TEST(Statistical, BinomialLeafFraction) {
+  // Non-root nodes are leaves with probability 1-q; over a large tree the
+  // realised fraction should match.
+  TreeParams p;
+  p.name = "leaves";
+  p.root_seed = 11;
+  p.root_branching = 2000;
+  p.m = 2;
+  p.q = 0.45;
+  const auto s = enumerate_sequential(p);
+  const double leaf_fraction =
+      static_cast<double>(s.leaves) / static_cast<double>(s.nodes - 1);
+  EXPECT_NEAR(leaf_fraction, 0.55, 0.02);
+}
+
+TEST(Statistical, GeometricMeanChildrenTracksBranchingFactor) {
+  // Fixed-shape geometric tree: each non-cutoff node has mean b0 children.
+  // Realised: (nodes - 1) edges from (nodes - leaves-at-cutoff) parents...
+  // simpler: a depth-1 census over many seeds.
+  TreeParams p;
+  p.name = "geo";
+  p.type = TreeType::kGeometric;
+  p.root_branching = 5;
+  p.gen_mx = 2;
+  p.shape = GeoShape::kFixed;
+  double total_root_children = 0.0;
+  const int kSeeds = 300;
+  for (std::uint32_t r = 0; r < kSeeds; ++r) {
+    p.root_seed = r;
+    total_root_children += num_children(p, root_node(p));
+  }
+  EXPECT_NEAR(total_root_children / kSeeds, 5.0, 0.6);
+}
+
+TEST(Statistical, DepthGrowsWithCriticality) {
+  // Closer to critical (mq -> 1) means deeper realised trees on average.
+  TreeParams mild;
+  mild.name = "mild";
+  mild.root_branching = 500;
+  mild.m = 2;
+  mild.q = 0.35;
+  TreeParams hot = mild;
+  hot.name = "hot";
+  hot.q = 0.49;
+  double mild_depth = 0.0;
+  double hot_depth = 0.0;
+  const int kSeeds = 15;
+  for (std::uint32_t r = 0; r < kSeeds; ++r) {
+    mild.root_seed = hot.root_seed = r;
+    mild_depth += enumerate_sequential(mild).max_depth;
+    hot_depth += enumerate_sequential(hot, 3'000'000).max_depth;
+  }
+  EXPECT_GT(hot_depth, 3.0 * mild_depth);
+}
+
+TEST(Statistical, SizeDistributionIsHeavyTailed) {
+  // The motivation for UTS: same parameters, wildly different subtree
+  // sizes. Max/min realised size over seeds should span a wide range.
+  TreeParams p;
+  p.name = "tail";
+  p.root_branching = 50;
+  p.m = 2;
+  p.q = 0.49;
+  std::uint64_t min_nodes = UINT64_MAX;
+  std::uint64_t max_nodes = 0;
+  for (std::uint32_t r = 0; r < 25; ++r) {
+    p.root_seed = r;
+    const auto n = enumerate_sequential(p, 3'000'000).nodes;
+    min_nodes = std::min(min_nodes, n);
+    max_nodes = std::max(max_nodes, n);
+  }
+  EXPECT_GT(max_nodes, 5 * min_nodes);
+}
+
+}  // namespace
+}  // namespace dws::uts

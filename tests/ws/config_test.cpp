@@ -1,0 +1,62 @@
+#include "ws/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ws/scheduler.hpp"
+
+namespace dws::ws {
+namespace {
+
+TEST(WsConfig, DefaultsMatchThePaper) {
+  const WsConfig cfg;
+  EXPECT_EQ(cfg.chunk_size, 20u);  // "the default one of 20 nodes per chunk"
+  EXPECT_EQ(cfg.victim_policy, VictimPolicy::kRoundRobin);  // reference UTS
+  EXPECT_EQ(cfg.steal_amount, StealAmount::kOneChunk);
+  EXPECT_EQ(cfg.sha_rounds, 1u);  // "a single round of SHA"
+  EXPECT_EQ(cfg.idle_policy, IdlePolicy::kPersistentSteal);
+  EXPECT_FALSE(cfg.one_sided_steals);
+}
+
+TEST(WsConfig, NodeCostCalibratedTo970kNodesPerSecond) {
+  // Paper §V-B: "UTS is able to process an average of 970000 nodes per
+  // second" on the K Computer. 1/970000 s = 1031 ns; ours is 1030.
+  const WsConfig cfg;
+  EXPECT_EQ(cfg.node_cost(), 1030);
+  const double nodes_per_second = 1e9 / static_cast<double>(cfg.node_cost());
+  EXPECT_NEAR(nodes_per_second, 970000.0, 970000.0 * 0.01);
+}
+
+TEST(WsConfig, NodeCostScalesWithShaRounds) {
+  WsConfig cfg;
+  const auto one = cfg.node_cost();
+  cfg.sha_rounds = 24;
+  const auto twenty_four = cfg.node_cost();
+  EXPECT_EQ(twenty_four, cfg.node_overhead + 24 * cfg.sha_round_cost);
+  EXPECT_GT(twenty_four, 20 * one / 2);
+}
+
+TEST(RunConfig, EnableCongestionScalesWithNodes) {
+  RunConfig cfg;
+  cfg.num_ranks = 1024;
+  cfg.procs_per_node = 1;
+  cfg.enable_congestion(1.0);
+  EXPECT_TRUE(cfg.congestion.enabled);
+  EXPECT_DOUBLE_EQ(cfg.congestion.capacity_hops, 5.0 * 1024.0);
+
+  // 8 ranks per node: same rank count, 1/8 the nodes, 1/8 the links.
+  cfg.procs_per_node = 8;
+  cfg.enable_congestion(1.0);
+  EXPECT_DOUBLE_EQ(cfg.congestion.capacity_hops, 5.0 * 128.0);
+
+  cfg.enable_congestion(2.0);
+  EXPECT_DOUBLE_EQ(cfg.congestion.capacity_hops, 2.0 * 5.0 * 128.0);
+}
+
+TEST(ConfigNames, AllEnumsPrintable) {
+  EXPECT_STREQ(to_string(IdlePolicy::kPersistentSteal), "PersistentSteal");
+  EXPECT_STREQ(to_string(IdlePolicy::kLifeline), "Lifeline");
+  EXPECT_STREQ(to_string(VictimPolicy::kHierarchical), "Hier");
+}
+
+}  // namespace
+}  // namespace dws::ws

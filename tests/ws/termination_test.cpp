@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "uts/sequential.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws::ws {
+namespace {
+
+/// Termination-focused scenarios. run_simulation() itself aborts on protocol
+/// violations (non-terminated workers, unbalanced chunk flows), so merely
+/// completing these runs exercises the token ring; the expectations pin the
+/// observable consequences.
+
+TEST(Termination, SingleRankTerminatesImmediatelyAfterWork) {
+  RunConfig cfg;
+  cfg.tree = uts::tree_by_name("TEST_BIN_TINY");
+  cfg.num_ranks = 1;
+  const auto r = run_simulation(cfg);
+  EXPECT_EQ(r.runtime, r.sequential_time());
+}
+
+TEST(Termination, TwoRanksNoDeadlock) {
+  RunConfig cfg;
+  cfg.tree = uts::tree_by_name("TEST_BIN_TINY");
+  cfg.num_ranks = 2;
+  const auto r = run_simulation(cfg);
+  EXPECT_GT(r.runtime, 0);
+  // The token had to go around at least once.
+  EXPECT_GT(r.network.messages, 2u);
+}
+
+TEST(Termination, TinyTreeManyRanks) {
+  // Far more ranks than work: most ranks never receive a single node, yet
+  // the ring must still settle. TEST_BIN_TINY has 69 nodes -> at most a few
+  // chunks ever exist.
+  RunConfig cfg;
+  cfg.tree = uts::tree_by_name("TEST_BIN_TINY");
+  cfg.num_ranks = 64;
+  cfg.ws.victim_policy = VictimPolicy::kRandom;
+  const auto r = run_simulation(cfg);
+  EXPECT_EQ(r.nodes, uts::enumerate_sequential(cfg.tree).nodes);
+  // Starved ranks exist and were terminated cleanly.
+  std::uint64_t starved = 0;
+  for (const auto& rank : r.per_rank) {
+    if (rank.nodes_processed == 0) ++starved;
+  }
+  EXPECT_GT(starved, 0u);
+}
+
+TEST(Termination, StarTreeMinimalWork) {
+  // q = 0: only the root produces children; 65 nodes, all leaves but root.
+  RunConfig cfg;
+  cfg.tree.name = "star";
+  cfg.tree.root_seed = 1;
+  cfg.tree.root_branching = 64;
+  cfg.tree.q = 0.0;
+  cfg.num_ranks = 16;
+  const auto r = run_simulation(cfg);
+  EXPECT_EQ(r.nodes, 65u);
+}
+
+TEST(Termination, DegenerateTreeRootOnlyChild) {
+  // b0 = 1, q = 0: two nodes. 8 ranks contend over almost nothing.
+  RunConfig cfg;
+  cfg.tree.name = "stick";
+  cfg.tree.root_seed = 1;
+  cfg.tree.root_branching = 1;
+  cfg.tree.q = 0.0;
+  cfg.num_ranks = 8;
+  const auto r = run_simulation(cfg);
+  EXPECT_EQ(r.nodes, 2u);
+  // Nobody could steal (never more than one chunk): all steals failed.
+  EXPECT_EQ(r.stats.successful_steals, 0u);
+  EXPECT_GT(r.stats.failed_steals, 0u);
+}
+
+TEST(Termination, FinishTimesAreAfterRuntime) {
+  // Ranks learn of termination via broadcast: their finish times trail
+  // rank 0's declaration (= runtime) by the network latency.
+  RunConfig cfg;
+  cfg.tree = uts::tree_by_name("TEST_BIN_SMALL");
+  cfg.num_ranks = 8;
+  const auto r = run_simulation(cfg);
+  EXPECT_EQ(r.per_rank[0].finish_time, r.runtime);
+  for (topo::Rank i = 1; i < 8; ++i) {
+    EXPECT_GT(r.per_rank[i].finish_time, r.runtime) << i;
+  }
+}
+
+TEST(Termination, AllSessionsAccountedAtTermination) {
+  // Ranks that never found work have exactly one session, open from t=0 to
+  // their finish time.
+  RunConfig cfg;
+  cfg.tree.name = "stick";
+  cfg.tree.root_seed = 1;
+  cfg.tree.root_branching = 1;
+  cfg.tree.q = 0.0;
+  cfg.num_ranks = 4;
+  const auto r = run_simulation(cfg);
+  for (topo::Rank i = 1; i < 4; ++i) {
+    EXPECT_EQ(r.per_rank[i].sessions, 1u);
+    EXPECT_EQ(r.per_rank[i].total_session_time, r.per_rank[i].finish_time);
+  }
+}
+
+TEST(Termination, TokenTrafficDoesNotDependOnTreeSize) {
+  // Termination costs O(N) messages per probe round, not O(tree).
+  RunConfig small_cfg;
+  small_cfg.tree = uts::tree_by_name("TEST_BIN_TINY");
+  small_cfg.num_ranks = 4;
+  const auto small_run = run_simulation(small_cfg);
+
+  RunConfig big_cfg = small_cfg;
+  big_cfg.tree = uts::tree_by_name("TEST_BIN_SMALL");
+  const auto big_run = run_simulation(big_cfg);
+
+  // Both runs terminated; bigger tree means more steal traffic but the
+  // protocol itself stays bounded (sanity: messages scale with work, not
+  // explode).
+  EXPECT_GT(big_run.network.messages, small_run.network.messages);
+  EXPECT_LT(big_run.network.messages, 10 * big_run.nodes);
+}
+
+}  // namespace
+}  // namespace dws::ws

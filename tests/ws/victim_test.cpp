@@ -1,0 +1,201 @@
+#include "ws/victim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dws::ws {
+namespace {
+
+class VictimTest : public ::testing::Test {
+ protected:
+  topo::TofuMachine machine_;
+};
+
+TEST_F(VictimTest, RoundRobinStartsAtNeighbour) {
+  RoundRobinSelector s(3, 8);
+  EXPECT_EQ(s.next(), 4u);
+  EXPECT_EQ(s.next(), 5u);
+  EXPECT_EQ(s.next(), 6u);
+  EXPECT_EQ(s.next(), 7u);
+  EXPECT_EQ(s.next(), 0u);
+  EXPECT_EQ(s.next(), 1u);
+  EXPECT_EQ(s.next(), 2u);
+  // Skips self and wraps.
+  EXPECT_EQ(s.next(), 4u);
+}
+
+TEST_F(VictimTest, RoundRobinLastRankWrapsToZero) {
+  RoundRobinSelector s(7, 8);
+  EXPECT_EQ(s.next(), 0u);
+  EXPECT_EQ(s.next(), 1u);
+}
+
+TEST_F(VictimTest, RoundRobinNeverReturnsSelf) {
+  RoundRobinSelector s(2, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_NE(s.next(), 2u);
+}
+
+TEST_F(VictimTest, RoundRobinTwoRanks) {
+  RoundRobinSelector s(0, 2);
+  EXPECT_EQ(s.next(), 1u);
+  EXPECT_EQ(s.next(), 1u);
+}
+
+TEST_F(VictimTest, UniformNeverReturnsSelfAndCoversAll) {
+  UniformRandomSelector s(5, 16, 42);
+  std::set<topo::Rank> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = s.next();
+    ASSERT_NE(v, 5u);
+    ASSERT_LT(v, 16u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST_F(VictimTest, UniformIsRoughlyUniform) {
+  UniformRandomSelector s(0, 8, 1);
+  std::map<topo::Rank, int> counts;
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[s.next()];
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, draws / 7.0, draws / 7.0 * 0.06) << rank;
+  }
+}
+
+TEST_F(VictimTest, UniformDifferentRanksGetDifferentStreams) {
+  UniformRandomSelector a(0, 1024, 7);
+  UniformRandomSelector b(1, 1024, 7);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST_F(VictimTest, TofuSelectorUsesAliasTableBelowThreshold) {
+  topo::JobLayout layout(machine_, 64, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  TofuSkewedSelector s(0, latency, 1, 2048);
+  EXPECT_TRUE(s.uses_alias_table());
+}
+
+TEST_F(VictimTest, TofuSelectorUsesRejectionAboveThreshold) {
+  topo::JobLayout layout(machine_, 64, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  TofuSkewedSelector s(0, latency, 1, 32);
+  EXPECT_FALSE(s.uses_alias_table());
+}
+
+TEST_F(VictimTest, TofuNeverReturnsSelf) {
+  topo::JobLayout layout(machine_, 48, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  for (std::uint32_t threshold : {2048u, 8u}) {
+    TofuSkewedSelector s(7, latency, 3, threshold);
+    for (int i = 0; i < 5000; ++i) ASSERT_NE(s.next(), 7u);
+  }
+}
+
+TEST_F(VictimTest, TofuProbabilitiesSumToOne) {
+  topo::JobLayout layout(machine_, 96, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  TofuSkewedSelector s(0, latency, 1, 2048);
+  double sum = 0.0;
+  for (topo::Rank j = 0; j < 96; ++j) sum += s.probability(j);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.probability(0), 0.0);
+}
+
+TEST_F(VictimTest, TofuPrefersCloseVictims) {
+  topo::JobLayout layout(machine_, 1024, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  TofuSkewedSelector s(0, latency, 1, 2048);
+  // Rank 1 shares the cube with rank 0; rank 1023 is across the allocation.
+  EXPECT_GT(s.probability(1), s.probability(1023));
+  // Empirically: nearby ranks drawn far more often.
+  std::uint64_t near = 0;
+  std::uint64_t far = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = s.next();
+    if (latency.euclidean(0, v) <= 2.0) ++near;
+    if (latency.euclidean(0, v) >= 6.0) ++far;
+  }
+  EXPECT_GT(near, far);
+}
+
+TEST_F(VictimTest, TofuSampleFrequenciesMatchProbabilities) {
+  topo::JobLayout layout(machine_, 48, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  TofuSkewedSelector s(3, latency, 9, 2048);
+  std::vector<int> counts(48, 0);
+  const int draws = 480000;
+  for (int i = 0; i < draws; ++i) ++counts[s.next()];
+  for (topo::Rank j = 0; j < 48; ++j) {
+    const double expected = s.probability(j) * draws;
+    EXPECT_NEAR(counts[j], expected, 5.0 * std::sqrt(expected + 1.0)) << j;
+  }
+}
+
+/// The load-bearing equivalence for DESIGN.md's substitution: the alias and
+/// rejection backends draw from the same distribution.
+TEST_F(VictimTest, AliasAndRejectionBackendsAgree) {
+  topo::JobLayout layout(machine_, 96, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  TofuSkewedSelector alias(0, latency, 11, 2048);
+  TofuSkewedSelector rejection(0, latency, 12, 8);
+  ASSERT_TRUE(alias.uses_alias_table());
+  ASSERT_FALSE(rejection.uses_alias_table());
+  std::vector<int> ca(96, 0);
+  std::vector<int> cr(96, 0);
+  const int draws = 480000;
+  for (int i = 0; i < draws; ++i) {
+    ++ca[alias.next()];
+    ++cr[rejection.next()];
+  }
+  for (topo::Rank j = 1; j < 96; ++j) {
+    const double e = alias.probability(j) * draws;
+    EXPECT_NEAR(ca[j], e, 5.0 * std::sqrt(e + 1.0)) << j;
+    EXPECT_NEAR(cr[j], e, 5.0 * std::sqrt(e + 1.0)) << j;
+  }
+}
+
+TEST_F(VictimTest, TofuSameNodeRanksGetWeightOne) {
+  // With 8 ranks per node grouped, ranks 1..7 are co-located with rank 0:
+  // e = 0 -> w = 1, the paper's special case.
+  topo::JobLayout layout(machine_, 64, topo::Placement::kGrouped, 8);
+  topo::LatencyModel latency(layout);
+  TofuSkewedSelector s(0, latency, 5, 2048);
+  // All co-located ranks share the maximal probability.
+  const double p1 = s.probability(1);
+  for (topo::Rank j = 2; j < 8; ++j) EXPECT_DOUBLE_EQ(s.probability(j), p1);
+  for (topo::Rank j = 8; j < 64; ++j) EXPECT_LE(s.probability(j), p1);
+}
+
+TEST_F(VictimTest, FactoryBuildsConfiguredPolicy) {
+  topo::JobLayout layout(machine_, 16, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kRoundRobin;
+  auto rr = make_selector(cfg, 2, latency);
+  EXPECT_EQ(rr->next(), 3u);
+  cfg.victim_policy = VictimPolicy::kRandom;
+  auto rnd = make_selector(cfg, 2, latency);
+  for (int i = 0; i < 50; ++i) EXPECT_NE(rnd->next(), 2u);
+  cfg.victim_policy = VictimPolicy::kTofuSkewed;
+  auto tofu = make_selector(cfg, 2, latency);
+  for (int i = 0; i < 50; ++i) EXPECT_NE(tofu->next(), 2u);
+}
+
+TEST_F(VictimTest, PolicyNamesMatchPaper) {
+  EXPECT_STREQ(to_string(VictimPolicy::kRoundRobin), "Reference");
+  EXPECT_STREQ(to_string(VictimPolicy::kRandom), "Rand");
+  EXPECT_STREQ(to_string(VictimPolicy::kTofuSkewed), "Tofu");
+  EXPECT_STREQ(to_string(StealAmount::kHalf), "Half");
+}
+
+}  // namespace
+}  // namespace dws::ws
