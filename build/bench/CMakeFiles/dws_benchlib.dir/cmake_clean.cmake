@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_benchlib.dir/common.cpp.o"
+  "CMakeFiles/dws_benchlib.dir/common.cpp.o.d"
+  "libdws_benchlib.a"
+  "libdws_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_dag.dir/extension_dag.cpp.o"
+  "CMakeFiles/extension_dag.dir/extension_dag.cpp.o.d"
+  "extension_dag"
+  "extension_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_strategies.dir/extension_strategies.cpp.o"
+  "CMakeFiles/extension_strategies.dir/extension_strategies.cpp.o.d"
+  "extension_strategies"
+  "extension_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_small_scale_efficiency.dir/fig02_small_scale_efficiency.cpp.o"
+  "CMakeFiles/fig02_small_scale_efficiency.dir/fig02_small_scale_efficiency.cpp.o.d"
+  "fig02_small_scale_efficiency"
+  "fig02_small_scale_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_small_scale_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

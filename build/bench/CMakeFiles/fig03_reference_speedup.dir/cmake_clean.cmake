@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_reference_speedup.dir/fig03_reference_speedup.cpp.o"
+  "CMakeFiles/fig03_reference_speedup.dir/fig03_reference_speedup.cpp.o.d"
+  "fig03_reference_speedup"
+  "fig03_reference_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_reference_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_random_failed_steals.dir/fig07_random_failed_steals.cpp.o"
+  "CMakeFiles/fig07_random_failed_steals.dir/fig07_random_failed_steals.cpp.o.d"
+  "fig07_random_failed_steals"
+  "fig07_random_failed_steals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_random_failed_steals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

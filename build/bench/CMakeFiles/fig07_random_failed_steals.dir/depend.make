@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_random_failed_steals.
+# This may be replaced when dependencies are built.

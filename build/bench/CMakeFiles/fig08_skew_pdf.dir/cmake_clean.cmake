@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_skew_pdf.dir/fig08_skew_pdf.cpp.o"
+  "CMakeFiles/fig08_skew_pdf.dir/fig08_skew_pdf.cpp.o.d"
+  "fig08_skew_pdf"
+  "fig08_skew_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_skew_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_discovery_sessions.cpp" "bench/CMakeFiles/fig10_discovery_sessions.dir/fig10_discovery_sessions.cpp.o" "gcc" "bench/CMakeFiles/fig10_discovery_sessions.dir/fig10_discovery_sessions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dws_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dws_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/ws/CMakeFiles/dws_ws.dir/DependInfo.cmake"
+  "/root/repo/build/src/uts/CMakeFiles/dws_uts.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dws_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dws_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dws_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_discovery_sessions.dir/fig10_discovery_sessions.cpp.o"
+  "CMakeFiles/fig10_discovery_sessions.dir/fig10_discovery_sessions.cpp.o.d"
+  "fig10_discovery_sessions"
+  "fig10_discovery_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_discovery_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

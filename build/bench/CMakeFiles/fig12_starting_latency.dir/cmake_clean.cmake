@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_starting_latency.dir/fig12_starting_latency.cpp.o"
+  "CMakeFiles/fig12_starting_latency.dir/fig12_starting_latency.cpp.o.d"
+  "fig12_starting_latency"
+  "fig12_starting_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_starting_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

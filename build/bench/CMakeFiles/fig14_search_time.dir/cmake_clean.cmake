@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_search_time.dir/fig14_search_time.cpp.o"
+  "CMakeFiles/fig14_search_time.dir/fig14_search_time.cpp.o.d"
+  "fig14_search_time"
+  "fig14_search_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_search_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

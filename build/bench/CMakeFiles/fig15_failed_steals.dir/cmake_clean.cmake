@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_failed_steals.dir/fig15_failed_steals.cpp.o"
+  "CMakeFiles/fig15_failed_steals.dir/fig15_failed_steals.cpp.o.d"
+  "fig15_failed_steals"
+  "fig15_failed_steals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_failed_steals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_granularity.dir/fig16_granularity.cpp.o"
+  "CMakeFiles/fig16_granularity.dir/fig16_granularity.cpp.o.d"
+  "fig16_granularity"
+  "fig16_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

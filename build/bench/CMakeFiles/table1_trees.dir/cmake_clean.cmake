@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_trees.dir/table1_trees.cpp.o"
+  "CMakeFiles/table1_trees.dir/table1_trees.cpp.o.d"
+  "table1_trees"
+  "table1_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_pipeline.dir/dag_pipeline.cpp.o"
+  "CMakeFiles/dag_pipeline.dir/dag_pipeline.cpp.o.d"
+  "dag_pipeline"
+  "dag_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory_uts.dir/shared_memory_uts.cpp.o"
+  "CMakeFiles/shared_memory_uts.dir/shared_memory_uts.cpp.o.d"
+  "shared_memory_uts"
+  "shared_memory_uts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory_uts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

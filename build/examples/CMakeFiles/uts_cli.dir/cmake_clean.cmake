@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uts_cli.dir/uts_cli.cpp.o"
+  "CMakeFiles/uts_cli.dir/uts_cli.cpp.o.d"
+  "uts_cli"
+  "uts_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

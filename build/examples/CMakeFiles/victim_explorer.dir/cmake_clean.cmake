@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/victim_explorer.dir/victim_explorer.cpp.o"
+  "CMakeFiles/victim_explorer.dir/victim_explorer.cpp.o.d"
+  "victim_explorer"
+  "victim_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/victim_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/dws_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/dws_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/uts_rng.cpp" "src/crypto/CMakeFiles/dws_crypto.dir/uts_rng.cpp.o" "gcc" "src/crypto/CMakeFiles/dws_crypto.dir/uts_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

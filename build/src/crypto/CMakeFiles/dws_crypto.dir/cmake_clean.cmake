@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/dws_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/dws_crypto.dir/uts_rng.cpp.o"
+  "CMakeFiles/dws_crypto.dir/uts_rng.cpp.o.d"
+  "libdws_crypto.a"
+  "libdws_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdws_crypto.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_dag.dir/generator.cpp.o"
+  "CMakeFiles/dws_dag.dir/generator.cpp.o.d"
+  "CMakeFiles/dws_dag.dir/scheduler.cpp.o"
+  "CMakeFiles/dws_dag.dir/scheduler.cpp.o.d"
+  "libdws_dag.a"
+  "libdws_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/export.cpp" "src/metrics/CMakeFiles/dws_metrics.dir/export.cpp.o" "gcc" "src/metrics/CMakeFiles/dws_metrics.dir/export.cpp.o.d"
+  "/root/repo/src/metrics/imbalance.cpp" "src/metrics/CMakeFiles/dws_metrics.dir/imbalance.cpp.o" "gcc" "src/metrics/CMakeFiles/dws_metrics.dir/imbalance.cpp.o.d"
+  "/root/repo/src/metrics/occupancy.cpp" "src/metrics/CMakeFiles/dws_metrics.dir/occupancy.cpp.o" "gcc" "src/metrics/CMakeFiles/dws_metrics.dir/occupancy.cpp.o.d"
+  "/root/repo/src/metrics/rank_stats.cpp" "src/metrics/CMakeFiles/dws_metrics.dir/rank_stats.cpp.o" "gcc" "src/metrics/CMakeFiles/dws_metrics.dir/rank_stats.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/dws_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/dws_metrics.dir/report.cpp.o.d"
+  "/root/repo/src/metrics/trace.cpp" "src/metrics/CMakeFiles/dws_metrics.dir/trace.cpp.o" "gcc" "src/metrics/CMakeFiles/dws_metrics.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

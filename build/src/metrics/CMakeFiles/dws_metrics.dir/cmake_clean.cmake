@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_metrics.dir/export.cpp.o"
+  "CMakeFiles/dws_metrics.dir/export.cpp.o.d"
+  "CMakeFiles/dws_metrics.dir/imbalance.cpp.o"
+  "CMakeFiles/dws_metrics.dir/imbalance.cpp.o.d"
+  "CMakeFiles/dws_metrics.dir/occupancy.cpp.o"
+  "CMakeFiles/dws_metrics.dir/occupancy.cpp.o.d"
+  "CMakeFiles/dws_metrics.dir/rank_stats.cpp.o"
+  "CMakeFiles/dws_metrics.dir/rank_stats.cpp.o.d"
+  "CMakeFiles/dws_metrics.dir/report.cpp.o"
+  "CMakeFiles/dws_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/dws_metrics.dir/trace.cpp.o"
+  "CMakeFiles/dws_metrics.dir/trace.cpp.o.d"
+  "libdws_metrics.a"
+  "libdws_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_sim.dir/engine.cpp.o"
+  "CMakeFiles/dws_sim.dir/engine.cpp.o.d"
+  "libdws_sim.a"
+  "libdws_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_sm.dir/pool.cpp.o"
+  "CMakeFiles/dws_sm.dir/pool.cpp.o.d"
+  "libdws_sm.a"
+  "libdws_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_support.dir/alias_table.cpp.o"
+  "CMakeFiles/dws_support.dir/alias_table.cpp.o.d"
+  "CMakeFiles/dws_support.dir/histogram.cpp.o"
+  "CMakeFiles/dws_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/dws_support.dir/stats.cpp.o"
+  "CMakeFiles/dws_support.dir/stats.cpp.o.d"
+  "CMakeFiles/dws_support.dir/table.cpp.o"
+  "CMakeFiles/dws_support.dir/table.cpp.o.d"
+  "libdws_support.a"
+  "libdws_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_topo.dir/allocation.cpp.o"
+  "CMakeFiles/dws_topo.dir/allocation.cpp.o.d"
+  "CMakeFiles/dws_topo.dir/latency.cpp.o"
+  "CMakeFiles/dws_topo.dir/latency.cpp.o.d"
+  "CMakeFiles/dws_topo.dir/tofu.cpp.o"
+  "CMakeFiles/dws_topo.dir/tofu.cpp.o.d"
+  "libdws_topo.a"
+  "libdws_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_uts.dir/params.cpp.o"
+  "CMakeFiles/dws_uts.dir/params.cpp.o.d"
+  "CMakeFiles/dws_uts.dir/sequential.cpp.o"
+  "CMakeFiles/dws_uts.dir/sequential.cpp.o.d"
+  "CMakeFiles/dws_uts.dir/tree.cpp.o"
+  "CMakeFiles/dws_uts.dir/tree.cpp.o.d"
+  "libdws_uts.a"
+  "libdws_uts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_uts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

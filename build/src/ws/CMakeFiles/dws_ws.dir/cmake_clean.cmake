@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_ws.dir/chunk_stack.cpp.o"
+  "CMakeFiles/dws_ws.dir/chunk_stack.cpp.o.d"
+  "CMakeFiles/dws_ws.dir/scheduler.cpp.o"
+  "CMakeFiles/dws_ws.dir/scheduler.cpp.o.d"
+  "CMakeFiles/dws_ws.dir/victim.cpp.o"
+  "CMakeFiles/dws_ws.dir/victim.cpp.o.d"
+  "CMakeFiles/dws_ws.dir/worker.cpp.o"
+  "CMakeFiles/dws_ws.dir/worker.cpp.o.d"
+  "libdws_ws.a"
+  "libdws_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

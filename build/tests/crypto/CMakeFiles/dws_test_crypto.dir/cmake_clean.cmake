@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_crypto.dir/sha1_test.cpp.o"
+  "CMakeFiles/dws_test_crypto.dir/sha1_test.cpp.o.d"
+  "CMakeFiles/dws_test_crypto.dir/uts_rng_test.cpp.o"
+  "CMakeFiles/dws_test_crypto.dir/uts_rng_test.cpp.o.d"
+  "dws_test_crypto"
+  "dws_test_crypto.pdb"
+  "dws_test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_dag.dir/generator_test.cpp.o"
+  "CMakeFiles/dws_test_dag.dir/generator_test.cpp.o.d"
+  "CMakeFiles/dws_test_dag.dir/scheduler_test.cpp.o"
+  "CMakeFiles/dws_test_dag.dir/scheduler_test.cpp.o.d"
+  "dws_test_dag"
+  "dws_test_dag.pdb"
+  "dws_test_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_integration.dir/cross_validation_test.cpp.o"
+  "CMakeFiles/dws_test_integration.dir/cross_validation_test.cpp.o.d"
+  "CMakeFiles/dws_test_integration.dir/fuzz_test.cpp.o"
+  "CMakeFiles/dws_test_integration.dir/fuzz_test.cpp.o.d"
+  "CMakeFiles/dws_test_integration.dir/paper_claims_test.cpp.o"
+  "CMakeFiles/dws_test_integration.dir/paper_claims_test.cpp.o.d"
+  "CMakeFiles/dws_test_integration.dir/trace_pipeline_test.cpp.o"
+  "CMakeFiles/dws_test_integration.dir/trace_pipeline_test.cpp.o.d"
+  "dws_test_integration"
+  "dws_test_integration.pdb"
+  "dws_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

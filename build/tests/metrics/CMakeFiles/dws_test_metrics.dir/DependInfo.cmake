@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/export_test.cpp" "tests/metrics/CMakeFiles/dws_test_metrics.dir/export_test.cpp.o" "gcc" "tests/metrics/CMakeFiles/dws_test_metrics.dir/export_test.cpp.o.d"
+  "/root/repo/tests/metrics/imbalance_test.cpp" "tests/metrics/CMakeFiles/dws_test_metrics.dir/imbalance_test.cpp.o" "gcc" "tests/metrics/CMakeFiles/dws_test_metrics.dir/imbalance_test.cpp.o.d"
+  "/root/repo/tests/metrics/occupancy_test.cpp" "tests/metrics/CMakeFiles/dws_test_metrics.dir/occupancy_test.cpp.o" "gcc" "tests/metrics/CMakeFiles/dws_test_metrics.dir/occupancy_test.cpp.o.d"
+  "/root/repo/tests/metrics/rank_stats_test.cpp" "tests/metrics/CMakeFiles/dws_test_metrics.dir/rank_stats_test.cpp.o" "gcc" "tests/metrics/CMakeFiles/dws_test_metrics.dir/rank_stats_test.cpp.o.d"
+  "/root/repo/tests/metrics/report_test.cpp" "tests/metrics/CMakeFiles/dws_test_metrics.dir/report_test.cpp.o" "gcc" "tests/metrics/CMakeFiles/dws_test_metrics.dir/report_test.cpp.o.d"
+  "/root/repo/tests/metrics/trace_test.cpp" "tests/metrics/CMakeFiles/dws_test_metrics.dir/trace_test.cpp.o" "gcc" "tests/metrics/CMakeFiles/dws_test_metrics.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/dws_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_metrics.dir/export_test.cpp.o"
+  "CMakeFiles/dws_test_metrics.dir/export_test.cpp.o.d"
+  "CMakeFiles/dws_test_metrics.dir/imbalance_test.cpp.o"
+  "CMakeFiles/dws_test_metrics.dir/imbalance_test.cpp.o.d"
+  "CMakeFiles/dws_test_metrics.dir/occupancy_test.cpp.o"
+  "CMakeFiles/dws_test_metrics.dir/occupancy_test.cpp.o.d"
+  "CMakeFiles/dws_test_metrics.dir/rank_stats_test.cpp.o"
+  "CMakeFiles/dws_test_metrics.dir/rank_stats_test.cpp.o.d"
+  "CMakeFiles/dws_test_metrics.dir/report_test.cpp.o"
+  "CMakeFiles/dws_test_metrics.dir/report_test.cpp.o.d"
+  "CMakeFiles/dws_test_metrics.dir/trace_test.cpp.o"
+  "CMakeFiles/dws_test_metrics.dir/trace_test.cpp.o.d"
+  "dws_test_metrics"
+  "dws_test_metrics.pdb"
+  "dws_test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_sim.dir/engine_test.cpp.o"
+  "CMakeFiles/dws_test_sim.dir/engine_test.cpp.o.d"
+  "CMakeFiles/dws_test_sim.dir/network_test.cpp.o"
+  "CMakeFiles/dws_test_sim.dir/network_test.cpp.o.d"
+  "dws_test_sim"
+  "dws_test_sim.pdb"
+  "dws_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sm/chase_lev_test.cpp" "tests/sm/CMakeFiles/dws_test_sm.dir/chase_lev_test.cpp.o" "gcc" "tests/sm/CMakeFiles/dws_test_sm.dir/chase_lev_test.cpp.o.d"
+  "/root/repo/tests/sm/pool_test.cpp" "tests/sm/CMakeFiles/dws_test_sm.dir/pool_test.cpp.o" "gcc" "tests/sm/CMakeFiles/dws_test_sm.dir/pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sm/CMakeFiles/dws_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/uts/CMakeFiles/dws_uts.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dws_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_sm.dir/chase_lev_test.cpp.o"
+  "CMakeFiles/dws_test_sm.dir/chase_lev_test.cpp.o.d"
+  "CMakeFiles/dws_test_sm.dir/pool_test.cpp.o"
+  "CMakeFiles/dws_test_sm.dir/pool_test.cpp.o.d"
+  "dws_test_sm"
+  "dws_test_sm.pdb"
+  "dws_test_sm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_support.dir/alias_table_test.cpp.o"
+  "CMakeFiles/dws_test_support.dir/alias_table_test.cpp.o.d"
+  "CMakeFiles/dws_test_support.dir/check_test.cpp.o"
+  "CMakeFiles/dws_test_support.dir/check_test.cpp.o.d"
+  "CMakeFiles/dws_test_support.dir/histogram_test.cpp.o"
+  "CMakeFiles/dws_test_support.dir/histogram_test.cpp.o.d"
+  "CMakeFiles/dws_test_support.dir/rejection_sampler_test.cpp.o"
+  "CMakeFiles/dws_test_support.dir/rejection_sampler_test.cpp.o.d"
+  "CMakeFiles/dws_test_support.dir/rng_test.cpp.o"
+  "CMakeFiles/dws_test_support.dir/rng_test.cpp.o.d"
+  "CMakeFiles/dws_test_support.dir/stats_test.cpp.o"
+  "CMakeFiles/dws_test_support.dir/stats_test.cpp.o.d"
+  "CMakeFiles/dws_test_support.dir/table_test.cpp.o"
+  "CMakeFiles/dws_test_support.dir/table_test.cpp.o.d"
+  "dws_test_support"
+  "dws_test_support.pdb"
+  "dws_test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topo/allocation_test.cpp" "tests/topo/CMakeFiles/dws_test_topo.dir/allocation_test.cpp.o" "gcc" "tests/topo/CMakeFiles/dws_test_topo.dir/allocation_test.cpp.o.d"
+  "/root/repo/tests/topo/latency_test.cpp" "tests/topo/CMakeFiles/dws_test_topo.dir/latency_test.cpp.o" "gcc" "tests/topo/CMakeFiles/dws_test_topo.dir/latency_test.cpp.o.d"
+  "/root/repo/tests/topo/placement_fuzz_test.cpp" "tests/topo/CMakeFiles/dws_test_topo.dir/placement_fuzz_test.cpp.o" "gcc" "tests/topo/CMakeFiles/dws_test_topo.dir/placement_fuzz_test.cpp.o.d"
+  "/root/repo/tests/topo/tofu_test.cpp" "tests/topo/CMakeFiles/dws_test_topo.dir/tofu_test.cpp.o" "gcc" "tests/topo/CMakeFiles/dws_test_topo.dir/tofu_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/dws_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_topo.dir/allocation_test.cpp.o"
+  "CMakeFiles/dws_test_topo.dir/allocation_test.cpp.o.d"
+  "CMakeFiles/dws_test_topo.dir/latency_test.cpp.o"
+  "CMakeFiles/dws_test_topo.dir/latency_test.cpp.o.d"
+  "CMakeFiles/dws_test_topo.dir/placement_fuzz_test.cpp.o"
+  "CMakeFiles/dws_test_topo.dir/placement_fuzz_test.cpp.o.d"
+  "CMakeFiles/dws_test_topo.dir/tofu_test.cpp.o"
+  "CMakeFiles/dws_test_topo.dir/tofu_test.cpp.o.d"
+  "dws_test_topo"
+  "dws_test_topo.pdb"
+  "dws_test_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uts/catalogue_test.cpp" "tests/uts/CMakeFiles/dws_test_uts.dir/catalogue_test.cpp.o" "gcc" "tests/uts/CMakeFiles/dws_test_uts.dir/catalogue_test.cpp.o.d"
+  "/root/repo/tests/uts/sequential_test.cpp" "tests/uts/CMakeFiles/dws_test_uts.dir/sequential_test.cpp.o" "gcc" "tests/uts/CMakeFiles/dws_test_uts.dir/sequential_test.cpp.o.d"
+  "/root/repo/tests/uts/statistical_test.cpp" "tests/uts/CMakeFiles/dws_test_uts.dir/statistical_test.cpp.o" "gcc" "tests/uts/CMakeFiles/dws_test_uts.dir/statistical_test.cpp.o.d"
+  "/root/repo/tests/uts/tree_test.cpp" "tests/uts/CMakeFiles/dws_test_uts.dir/tree_test.cpp.o" "gcc" "tests/uts/CMakeFiles/dws_test_uts.dir/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uts/CMakeFiles/dws_uts.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dws_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

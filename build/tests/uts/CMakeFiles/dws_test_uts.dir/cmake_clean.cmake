@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_uts.dir/catalogue_test.cpp.o"
+  "CMakeFiles/dws_test_uts.dir/catalogue_test.cpp.o.d"
+  "CMakeFiles/dws_test_uts.dir/sequential_test.cpp.o"
+  "CMakeFiles/dws_test_uts.dir/sequential_test.cpp.o.d"
+  "CMakeFiles/dws_test_uts.dir/statistical_test.cpp.o"
+  "CMakeFiles/dws_test_uts.dir/statistical_test.cpp.o.d"
+  "CMakeFiles/dws_test_uts.dir/tree_test.cpp.o"
+  "CMakeFiles/dws_test_uts.dir/tree_test.cpp.o.d"
+  "dws_test_uts"
+  "dws_test_uts.pdb"
+  "dws_test_uts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_uts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

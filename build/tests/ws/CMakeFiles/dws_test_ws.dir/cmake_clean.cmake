@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dws_test_ws.dir/chunk_stack_test.cpp.o"
+  "CMakeFiles/dws_test_ws.dir/chunk_stack_test.cpp.o.d"
+  "CMakeFiles/dws_test_ws.dir/config_test.cpp.o"
+  "CMakeFiles/dws_test_ws.dir/config_test.cpp.o.d"
+  "CMakeFiles/dws_test_ws.dir/extensions_test.cpp.o"
+  "CMakeFiles/dws_test_ws.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/dws_test_ws.dir/scheduler_test.cpp.o"
+  "CMakeFiles/dws_test_ws.dir/scheduler_test.cpp.o.d"
+  "CMakeFiles/dws_test_ws.dir/termination_test.cpp.o"
+  "CMakeFiles/dws_test_ws.dir/termination_test.cpp.o.d"
+  "CMakeFiles/dws_test_ws.dir/victim_test.cpp.o"
+  "CMakeFiles/dws_test_ws.dir/victim_test.cpp.o.d"
+  "dws_test_ws"
+  "dws_test_ws.pdb"
+  "dws_test_ws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dws_test_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
