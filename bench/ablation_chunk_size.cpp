@@ -5,26 +5,30 @@
 /// stealable inventory (the private-chunk rule).
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Ablation A", "chunk size vs speedup (not a paper figure)");
+  exp::figure_init(argc, argv, "Ablation A",
+                   "chunk size vs speedup (not a paper figure)");
 
-  const auto ranks = bench::quick_mode() ? 128u : 512u;
+  const auto ranks = exp::quick_mode() ? 128u : 512u;
+  const std::vector<std::uint32_t> chunks{1, 2, 4, 8, 20, 50};
+
+  auto base = exp::large_scale_base();
+  base.num_ranks = ranks;
+  exp::SweepSpec spec(base);
+  spec.axis(exp::chunk_size_axis(chunks))
+      .axis(exp::series_axis({exp::make_series(exp::kReference, exp::kOneN),
+                              exp::make_series(exp::kTofuHalf, exp::kOneN)}));
+  const auto results = exp::run_figure_sweep(spec);
+
   support::Table table({"chunk size", "Reference speedup", "Tofu Half speedup",
                         "Tofu Half failed steals"});
-  for (const std::uint32_t chunk : {1u, 2u, 4u, 8u, 20u, 50u}) {
-    auto ref_cfg = bench::large_scale_config(ranks, bench::kReference, bench::kOneN);
-    ref_cfg.ws.chunk_size = chunk;
-    auto opt_cfg = bench::large_scale_config(ranks, bench::kTofuHalf, bench::kOneN);
-    opt_cfg.ws.chunk_size = chunk;
-    std::string rl = "Reference c" + std::to_string(chunk);
-    std::string ol = "Tofu Half c" + std::to_string(chunk);
-    const auto ref = bench::run_and_log(ref_cfg, rl.c_str());
-    const auto opt = bench::run_and_log(opt_cfg, ol.c_str());
-    table.add_row({support::fmt(std::uint64_t{chunk}),
+  for (std::size_t row = 0; row < chunks.size(); ++row) {
+    const auto& ref = results[row * 2 + 0];
+    const auto& opt = results[row * 2 + 1];
+    table.add_row({support::fmt(std::uint64_t{chunks[row]}),
                    support::fmt(ref.speedup(), 1),
                    support::fmt(opt.speedup(), 1),
                    support::fmt(opt.stats.failed_steals)});

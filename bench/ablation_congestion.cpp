@@ -5,30 +5,35 @@
 /// uniform-random traffic pays for the load it itself creates.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Ablation B", "congestion model on/off vs policy gaps (not a paper figure)");
+  exp::figure_init(
+      argc, argv, "Ablation B",
+      "congestion model on/off vs policy gaps (not a paper figure)");
 
-  const auto ranks = bench::quick_mode() ? 128u : 1024u;
+  const auto ranks = exp::quick_mode() ? 128u : 1024u;
+  const std::vector<double> scales{0.0, 2.0, 1.0, 0.5};
+
+  auto base = exp::large_scale_base();
+  base.num_ranks = ranks;
+  exp::apply_alloc(exp::kOneN, base);
+  exp::SweepSpec spec(base);
+  spec.axis(exp::congestion_axis(scales))
+      .axis(exp::variant_axis({exp::kReference, exp::kRand, exp::kTofu,
+                               exp::kRandHalf, exp::kTofuHalf}));
+  const auto results = exp::run_figure_sweep(spec);
+
   support::Table table({"congestion", "Reference", "Rand", "Tofu",
                         "Rand Half", "Tofu Half"});
-  for (const double scale : {0.0, 2.0, 1.0, 0.5}) {
-    std::vector<std::string> row{
+  for (std::size_t row = 0; row < scales.size(); ++row) {
+    const double scale = scales[row];
+    std::vector<std::string> cells{
         scale == 0.0 ? "off" : ("cap x" + support::fmt(scale, 1))};
-    for (const auto& v : {bench::kReference, bench::kRand, bench::kTofu,
-                          bench::kRandHalf, bench::kTofuHalf}) {
-      auto cfg = bench::large_scale_config(ranks, v, bench::kOneN);
-      if (scale == 0.0) {
-        cfg.congestion.enabled = false;
-      } else {
-        cfg.enable_congestion(scale);
-      }
-      row.push_back(support::fmt(bench::run_and_log(cfg, v.label).speedup(), 1));
-    }
-    table.add_row(std::move(row));
+    for (int i = 0; i < 5; ++i)
+      cells.push_back(support::fmt(results[row * 5 + i].speedup(), 1));
+    table.add_row(std::move(cells));
   }
   std::printf("%s\n", table.render().c_str());
   return 0;

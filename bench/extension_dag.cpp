@@ -9,18 +9,18 @@
 /// and locality-aware victim selection pays off increasingly.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 #include "dag/scheduler.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Extension DAG", "dependent-task stealing vs payload size (§VII)");
+  exp::figure_init(argc, argv, "Extension DAG",
+                   "dependent-task stealing vs payload size (§VII)");
 
-  const topo::Rank ranks = bench::quick_mode() ? 64 : 256;
+  const topo::Rank ranks = exp::quick_mode() ? 64 : 256;
   dag::DagParams base;
-  base.layers = bench::quick_mode() ? 16 : 48;
-  base.width = bench::quick_mode() ? 64 : 256;
+  base.layers = exp::quick_mode() ? 16 : 48;
+  base.width = exp::quick_mode() ? 64 : 256;
   base.edge_probability = 0.03;
   base.seed = 11;
   base.min_task_cost = 5 * support::kMicrosecond;

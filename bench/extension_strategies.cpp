@@ -4,12 +4,12 @@
 /// Half fix on the same large-scale configuration?
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Extension", "related/future-work strategies vs the paper's fix");
+  exp::figure_init(argc, argv, "Extension",
+                   "related/future-work strategies vs the paper's fix");
 
   struct Entry {
     const char* label;
@@ -18,7 +18,7 @@ int main() {
     ws::IdlePolicy idle;
     bool one_sided;
   };
-  const Entry entries[] = {
+  const std::vector<Entry> entries = {
       {"Reference", ws::VictimPolicy::kRoundRobin, ws::StealAmount::kOneChunk,
        ws::IdlePolicy::kPersistentSteal, false},
       {"Tofu Half (paper fix)", ws::VictimPolicy::kTofuSkewed,
@@ -33,16 +33,29 @@ int main() {
        ws::StealAmount::kHalf, ws::IdlePolicy::kPersistentSteal, true},
   };
 
+  exp::Axis strategies{"strategy", {}};
+  for (const Entry& e : entries) {
+    strategies.points.push_back({e.label, [e](ws::RunConfig& cfg) {
+                                   cfg.ws.victim_policy = e.policy;
+                                   cfg.ws.steal_amount = e.amount;
+                                   cfg.ws.idle_policy = e.idle;
+                                   cfg.ws.one_sided_steals = e.one_sided;
+                                 }});
+  }
+
+  const auto ranks = exp::large_scale_ranks().back();
+  auto base = exp::large_scale_base();
+  base.num_ranks = ranks;
+  exp::apply_alloc(exp::kOneN, base);
+  exp::SweepSpec spec(base);
+  spec.axis(std::move(strategies));
+  const auto results = exp::run_figure_sweep(spec);
+
   support::Table table({"strategy", "speedup", "failed steals",
                         "avg session (ms)", "avg steal dist", "net msgs"});
-  const auto ranks = bench::large_scale_ranks().back();
-  for (const auto& e : entries) {
-    auto cfg = bench::large_scale_config(
-        ranks, bench::Variant{e.policy, e.amount, e.label}, bench::kOneN);
-    cfg.ws.idle_policy = e.idle;
-    cfg.ws.one_sided_steals = e.one_sided;
-    const auto r = bench::run_and_log(cfg, e.label);
-    table.add_row({e.label, support::fmt(r.speedup(), 1),
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({entries[i].label, support::fmt(r.speedup(), 1),
                    support::fmt(r.stats.failed_steals),
                    support::fmt(r.stats.mean_session_ms, 3),
                    support::fmt(r.stats.mean_steal_distance, 2),

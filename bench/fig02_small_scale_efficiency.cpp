@@ -6,30 +6,34 @@
 /// sit lower (the scaled tree gives each rank ~1000x less work than T3XXL
 /// did, so fixed steal overheads weigh more — see EXPERIMENTS.md), but the
 /// claim under test is the narrow band across allocations.
+#include <algorithm>
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 2", "efficiency of reference UTS, 8-128 ranks, 3 allocations");
+  exp::figure_init(argc, argv, "Figure 2",
+                   "efficiency of reference UTS, 8-128 ranks, 3 allocations");
+
+  const auto ranks = exp::small_scale_ranks();
+  auto base = exp::small_scale_base();
+  exp::apply_variant(exp::kReference, base);
+  exp::SweepSpec spec(base);
+  spec.axis(exp::ranks_axis(ranks))
+      .axis(exp::alloc_axis({exp::kOneN, exp::k8RR, exp::k8G}));
+  const auto results = exp::run_figure_sweep(spec);
 
   support::Table table(
       {"ranks", "eff 1/N", "eff 8RR", "eff 8G", "spread"});
-  for (const auto ranks : bench::small_scale_ranks()) {
+  for (std::size_t row = 0; row < ranks.size(); ++row) {
     double eff[3];
-    int i = 0;
-    for (const auto& alloc : {bench::kOneN, bench::k8RR, bench::k8G}) {
-      const auto cfg = bench::small_scale_config(ranks, bench::kReference, alloc);
-      const auto result = bench::run_and_log(cfg, alloc.label);
-      eff[i++] = result.efficiency(ranks);
-    }
+    for (int i = 0; i < 3; ++i) eff[i] = results[row * 3 + i].efficiency();
     const double lo = std::min({eff[0], eff[1], eff[2]});
     const double hi = std::max({eff[0], eff[1], eff[2]});
-    table.add_row({support::fmt(std::uint64_t{ranks}), support::fmt(eff[0], 3),
-                   support::fmt(eff[1], 3), support::fmt(eff[2], 3),
-                   support::fmt_pct(hi - lo, 1)});
+    table.add_row({support::fmt(std::uint64_t{ranks[row]}),
+                   support::fmt(eff[0], 3), support::fmt(eff[1], 3),
+                   support::fmt(eff[2], 3), support::fmt_pct(hi - lo, 1)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Claim (paper): at small scale the allocations stay in a\n"

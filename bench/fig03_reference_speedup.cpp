@@ -6,26 +6,30 @@
 /// ranks per node (8RR especially) is worse than one rank per node.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 3",
-      "speedup of reference UTS at large scale, 3 allocations");
+  exp::figure_init(argc, argv, "Figure 3",
+                   "speedup of reference UTS at large scale, 3 allocations");
+
+  const auto ranks = exp::large_scale_ranks();
+  auto base = exp::large_scale_base();
+  exp::apply_variant(exp::kReference, base);
+  exp::SweepSpec spec(base);
+  spec.axis(exp::ranks_axis(ranks))
+      .axis(exp::alloc_axis({exp::kOneN, exp::k8RR, exp::k8G}));
+  const auto results = exp::run_figure_sweep(spec);
 
   support::Table table({"sim ranks", "paper-scale", "speedup 1/N",
                         "speedup 8RR", "speedup 8G"});
-  for (const auto ranks : bench::large_scale_ranks()) {
-    std::vector<std::string> row{support::fmt(std::uint64_t{ranks}),
-                                 support::fmt(std::uint64_t{
-                                     bench::paper_equivalent(ranks)})};
-    for (const auto& alloc : {bench::kOneN, bench::k8RR, bench::k8G}) {
-      const auto cfg = bench::large_scale_config(ranks, bench::kReference, alloc);
-      const auto result = bench::run_and_log(cfg, alloc.label);
-      row.push_back(support::fmt(result.speedup(), 1));
-    }
-    table.add_row(std::move(row));
+  for (std::size_t row = 0; row < ranks.size(); ++row) {
+    std::vector<std::string> cells{
+        support::fmt(std::uint64_t{ranks[row]}),
+        support::fmt(std::uint64_t{exp::paper_equivalent(ranks[row])})};
+    for (int i = 0; i < 3; ++i)
+      cells.push_back(support::fmt(results[row * 3 + i].speedup(), 1));
+    table.add_row(std::move(cells));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Claim (paper): reference speedup saturates (or regresses) as\n"

@@ -5,16 +5,16 @@
 /// — both latencies stay around ~1% of the runtime even at 90% occupancy.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 4", "SL/EL vs occupancy, reference, 128 ranks, 1/N");
+  exp::figure_init(argc, argv, "Figure 4",
+                   "SL/EL vs occupancy, reference, 128 ranks, 1/N");
 
-  const topo::Rank ranks = bench::quick_mode() ? 32 : 128;
-  const auto cfg = bench::small_scale_config(ranks, bench::kReference, bench::kOneN);
-  const auto result = bench::run_and_log(cfg, "Reference 1/N");
+  const topo::Rank ranks = exp::quick_mode() ? 32 : 128;
+  const auto cfg = exp::small_scale_config(ranks, exp::kReference, exp::kOneN);
+  const auto result = exp::run_and_log(cfg, "Reference 1/N");
   const metrics::OccupancyCurve occ(result.trace);
 
   support::Table table({"occupancy", "SL (% runtime)", "EL (% runtime)"});

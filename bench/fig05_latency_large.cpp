@@ -6,16 +6,16 @@
 /// execution — the scheduler fails to distribute work.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 5", "SL/EL vs occupancy, reference, large scale, 1/N");
+  exp::figure_init(argc, argv, "Figure 5",
+                   "SL/EL vs occupancy, reference, large scale, 1/N");
 
-  const auto ranks = bench::large_scale_ranks().back();
-  const auto cfg = bench::large_scale_config(ranks, bench::kReference, bench::kOneN);
-  const auto result = bench::run_and_log(cfg, "Reference 1/N");
+  const auto ranks = exp::large_scale_ranks().back();
+  const auto cfg = exp::large_scale_config(ranks, exp::kReference, exp::kOneN);
+  const auto result = exp::run_and_log(cfg, "Reference 1/N");
   const metrics::OccupancyCurve occ(result.trace);
 
   support::Table table({"occupancy", "SL (% runtime)", "EL (% runtime)"});

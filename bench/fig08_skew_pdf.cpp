@@ -7,15 +7,15 @@
 /// the cube-by-cube rank enumeration.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 #include "support/histogram.hpp"
 #include "topo/latency.hpp"
 #include "ws/victim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 8", "skewed victim PDF p(0,x), 1024 ranks, 1/N deployment");
+  exp::figure_init(argc, argv, "Figure 8",
+                   "skewed victim PDF p(0,x), 1024 ranks, 1/N deployment");
 
   topo::TofuMachine machine;
   topo::JobLayout layout(machine, 1024, topo::Placement::kOnePerNode);

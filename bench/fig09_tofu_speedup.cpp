@@ -5,30 +5,32 @@
 /// allocation; Tofu 1/N is the new best.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 9", "speedup with distance-skewed victim selection");
+  exp::figure_init(argc, argv, "Figure 9",
+                   "speedup with distance-skewed victim selection");
+
+  const auto ranks = exp::large_scale_ranks();
+  exp::SweepSpec spec(exp::large_scale_base());
+  spec.axis(exp::ranks_axis(ranks))
+      .axis(exp::series_axis({exp::make_series(exp::kRand, exp::kOneN),
+                              exp::make_series(exp::kRand, exp::k8G),
+                              exp::make_series(exp::kTofu, exp::kOneN),
+                              exp::make_series(exp::kTofu, exp::k8RR),
+                              exp::make_series(exp::kTofu, exp::k8G)}));
+  const auto averaged = exp::run_figure_sweep_averaged(spec);
 
   support::Table table({"sim ranks", "paper-scale", "Rand 1/N", "Rand 8G",
                         "Tofu 1/N", "Tofu 8RR", "Tofu 8G"});
-  for (const auto ranks : bench::large_scale_ranks()) {
-    std::vector<std::string> row{
-        support::fmt(std::uint64_t{ranks}),
-        support::fmt(std::uint64_t{bench::paper_equivalent(ranks)})};
-    for (const auto& alloc : {bench::kOneN, bench::k8G}) {
-      const auto cfg = bench::large_scale_config(ranks, bench::kRand, alloc);
-      std::string label = std::string("Rand ") + alloc.label;
-      row.push_back(support::fmt(bench::run_averaged(cfg, label.c_str()).speedup, 1));
-    }
-    for (const auto& alloc : {bench::kOneN, bench::k8RR, bench::k8G}) {
-      const auto cfg = bench::large_scale_config(ranks, bench::kTofu, alloc);
-      std::string label = std::string("Tofu ") + alloc.label;
-      row.push_back(support::fmt(bench::run_averaged(cfg, label.c_str()).speedup, 1));
-    }
-    table.add_row(std::move(row));
+  for (std::size_t row = 0; row < ranks.size(); ++row) {
+    std::vector<std::string> cells{
+        support::fmt(std::uint64_t{ranks[row]}),
+        support::fmt(std::uint64_t{exp::paper_equivalent(ranks[row])})};
+    for (int i = 0; i < 5; ++i)
+      cells.push_back(support::fmt(averaged[row * 5 + i].speedup, 1));
+    table.add_row(std::move(cells));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Claim (paper): Tofu >= Rand for the same allocation at scale;\n"

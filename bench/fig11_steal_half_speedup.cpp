@@ -6,34 +6,35 @@
 /// which the original could not.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 11", "speedup with steal-half strategies, 1/N allocation");
+  exp::figure_init(argc, argv, "Figure 11",
+                   "speedup with steal-half strategies, 1/N allocation");
 
-  const bench::Variant variants[] = {bench::kReference, bench::kReferenceHalf,
-                                     bench::kTofu, bench::kRandHalf,
-                                     bench::kTofuHalf};
+  const auto ranks = exp::large_scale_ranks();
+  auto base = exp::large_scale_base();
+  exp::apply_alloc(exp::kOneN, base);
+  exp::SweepSpec spec(base);
+  spec.axis(exp::ranks_axis(ranks))
+      .axis(exp::variant_axis({exp::kReference, exp::kReferenceHalf, exp::kTofu,
+                               exp::kRandHalf, exp::kTofuHalf}));
+  const auto averaged = exp::run_figure_sweep_averaged(spec);
+
   support::Table table({"sim ranks", "paper-scale", "Reference",
                         "Reference Half", "Tofu", "Rand Half", "Tofu Half",
                         "TofuHalf/Ref"});
-  for (const auto ranks : bench::large_scale_ranks()) {
-    std::vector<std::string> row{
-        support::fmt(std::uint64_t{ranks}),
-        support::fmt(std::uint64_t{bench::paper_equivalent(ranks)})};
-    double ref = 0.0;
-    double tofu_half = 0.0;
-    for (const auto& v : variants) {
-      const auto cfg = bench::large_scale_config(ranks, v, bench::kOneN);
-      const double s = bench::run_averaged(cfg, v.label).speedup;
-      if (&v == &variants[0]) ref = s;
-      if (&v == &variants[4]) tofu_half = s;
-      row.push_back(support::fmt(s, 1));
-    }
-    row.push_back(support::fmt(tofu_half / ref, 2) + "x");
-    table.add_row(std::move(row));
+  for (std::size_t row = 0; row < ranks.size(); ++row) {
+    std::vector<std::string> cells{
+        support::fmt(std::uint64_t{ranks[row]}),
+        support::fmt(std::uint64_t{exp::paper_equivalent(ranks[row])})};
+    for (int i = 0; i < 5; ++i)
+      cells.push_back(support::fmt(averaged[row * 5 + i].speedup, 1));
+    const double ref = averaged[row * 5 + 0].speedup;
+    const double tofu_half = averaged[row * 5 + 4].speedup;
+    cells.push_back(support::fmt(tofu_half / ref, 2) + "x");
+    table.add_row(std::move(cells));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Claim (paper): Tofu Half ~3x the reference at the top scale\n"

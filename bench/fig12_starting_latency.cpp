@@ -5,22 +5,22 @@
 /// earlier than the reference, which struggles the whole run.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 12", "starting latencies: Reference vs Tofu Half, large scale");
+  exp::figure_init(argc, argv, "Figure 12",
+                   "starting latencies: Reference vs Tofu Half, large scale");
 
-  const auto ranks = bench::large_scale_ranks().back();
-  const auto ref = bench::run_and_log(
-      bench::large_scale_config(ranks, bench::kReference, bench::kOneN),
-      "Reference 1/N");
-  const auto opt = bench::run_and_log(
-      bench::large_scale_config(ranks, bench::kTofuHalf, bench::kOneN),
-      "Tofu Half 1/N");
-  const metrics::OccupancyCurve ref_occ(ref.trace);
-  const metrics::OccupancyCurve opt_occ(opt.trace);
+  const auto ranks = exp::large_scale_ranks().back();
+  auto base = exp::large_scale_base();
+  base.num_ranks = ranks;
+  exp::SweepSpec spec(base);
+  spec.axis(exp::series_axis({exp::make_series(exp::kReference, exp::kOneN),
+                              exp::make_series(exp::kTofuHalf, exp::kOneN)}));
+  const auto results = exp::run_figure_sweep(spec);
+  const metrics::OccupancyCurve ref_occ(results[0].trace);
+  const metrics::OccupancyCurve opt_occ(results[1].trace);
 
   support::Table table(
       {"occupancy", "Reference SL (%)", "Tofu Half SL (%)"});

@@ -5,30 +5,31 @@
 /// requests.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header("Figure 15", "failed steals, optimised vs reference");
+  exp::figure_init(argc, argv, "Figure 15",
+                   "failed steals, optimised vs reference");
+
+  const auto ranks = exp::large_scale_ranks();
+  exp::SweepSpec spec(exp::large_scale_base());
+  spec.axis(exp::ranks_axis(ranks))
+      .axis(exp::series_axis({exp::make_series(exp::kReference, exp::kOneN),
+                              exp::make_series(exp::kTofuHalf, exp::kOneN),
+                              exp::make_series(exp::kTofuHalf, exp::k8RR),
+                              exp::make_series(exp::kTofuHalf, exp::k8G)}));
+  const auto results = exp::run_figure_sweep(spec);
 
   support::Table table({"sim ranks", "paper-scale", "Reference 1/N",
                         "Tofu Half 1/N", "Tofu Half 8RR", "Tofu Half 8G"});
-  for (const auto ranks : bench::large_scale_ranks()) {
-    std::vector<std::string> row{
-        support::fmt(std::uint64_t{ranks}),
-        support::fmt(std::uint64_t{bench::paper_equivalent(ranks)})};
-    {
-      const auto cfg = bench::large_scale_config(ranks, bench::kReference, bench::kOneN);
-      row.push_back(support::fmt(
-          bench::run_and_log(cfg, "Reference 1/N").stats.failed_steals));
-    }
-    for (const auto& alloc : {bench::kOneN, bench::k8RR, bench::k8G}) {
-      const auto cfg = bench::large_scale_config(ranks, bench::kTofuHalf, alloc);
-      std::string label = std::string("Tofu Half ") + alloc.label;
-      row.push_back(support::fmt(
-          bench::run_and_log(cfg, label.c_str()).stats.failed_steals));
-    }
-    table.add_row(std::move(row));
+  for (std::size_t row = 0; row < ranks.size(); ++row) {
+    std::vector<std::string> cells{
+        support::fmt(std::uint64_t{ranks[row]}),
+        support::fmt(std::uint64_t{exp::paper_equivalent(ranks[row])})};
+    for (int i = 0; i < 4; ++i)
+      cells.push_back(support::fmt(results[row * 4 + i].stats.failed_steals));
+    table.add_row(std::move(cells));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Claim (paper): failed steals drop substantially under the\n"

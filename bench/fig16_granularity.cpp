@@ -10,37 +10,38 @@
 /// granularities; rounds only scale the virtual per-node compute time.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header(
-      "Figure 16", "runtime improvement over Reference Half vs granularity");
+  exp::figure_init(argc, argv, "Figure 16",
+                   "runtime improvement over Reference Half vs granularity");
 
-  const auto ranks = bench::large_scale_ranks().back();
-  const auto rounds_list = bench::quick_mode()
+  const auto ranks = exp::large_scale_ranks().back();
+  const auto rounds_list = exp::quick_mode()
                                ? std::vector<std::uint32_t>{1, 8}
                                : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 24};
 
+  auto base = exp::large_scale_base();
+  base.num_ranks = ranks;
+  exp::apply_alloc(exp::kOneN, base);
+  exp::SweepSpec spec(base);
+  spec.axis(exp::sha_rounds_axis(rounds_list))
+      .axis(exp::variant_axis(
+          {exp::kReferenceHalf, exp::kRandHalf, exp::kTofuHalf}));
+  const auto averaged = exp::run_figure_sweep_averaged(spec);
+
   support::Table table({"SHA rounds/node", "Reference Half (ms)",
                         "Rand Half improv.", "Tofu Half improv."});
-  for (const auto rounds : rounds_list) {
-    auto with_rounds = [&](const bench::Variant& v) {
-      auto cfg = bench::large_scale_config(ranks, v, bench::kOneN);
-      cfg.ws.sha_rounds = rounds;
-      std::string label = std::string(v.label) + " r" + std::to_string(rounds);
-      return bench::run_averaged(cfg, label.c_str());
-    };
-    const auto ref = with_rounds(bench::kReferenceHalf);
-    const auto rand_half = with_rounds(bench::kRandHalf);
-    const auto tofu_half = with_rounds(bench::kTofuHalf);
-    auto improvement = [&](const bench::Averaged& r) {
+  for (std::size_t row = 0; row < rounds_list.size(); ++row) {
+    const auto& ref = averaged[row * 3 + 0];
+    auto improvement = [&](const exp::Averaged& r) {
       return (ref.runtime_ms - r.runtime_ms) / ref.runtime_ms;
     };
-    table.add_row({support::fmt(std::uint64_t{rounds}),
+    table.add_row({support::fmt(std::uint64_t{rounds_list[row]}),
                    support::fmt(ref.runtime_ms, 1),
-                   support::fmt_pct(improvement(rand_half), 1),
-                   support::fmt_pct(improvement(tofu_half), 1)});
+                   support::fmt_pct(improvement(averaged[row * 3 + 1]), 1),
+                   support::fmt_pct(improvement(averaged[row * 3 + 2]), 1)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Claim (paper): as granularity increases, the gap between the\n"

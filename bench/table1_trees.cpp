@@ -4,14 +4,15 @@
 /// sizes are verified by actual enumeration right here.
 #include <cstdio>
 
-#include "common.hpp"
+#include "exp/figures.hpp"
 #include "support/table.hpp"
 #include "uts/params.hpp"
 #include "uts/sequential.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dws;
-  bench::print_figure_header("Table I", "UTS input tree parameters");
+  exp::figure_init(argc, argv, "Table I",
+                   "UTS input tree parameters");
 
   support::Table table({"Name", "Type", "t", "r", "b", "m", "q", "Tree Size",
                         "Size source"});
@@ -32,7 +33,7 @@ int main() {
   }
 
   // Our scaled trees: enumerate and verify on the spot.
-  const bool quick = bench::quick_mode();
+  const bool quick = exp::quick_mode();
   const std::vector<const char*> ours =
       quick ? std::vector<const char*>{"SIM200K"}
             : std::vector<const char*>{"SIM200K", "SIM500K", "SIM1M",

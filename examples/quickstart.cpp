@@ -41,7 +41,7 @@ int main() {
   std::printf("virtual runtime      : %.2f ms\n",
               support::to_millis(result.runtime));
   std::printf("speedup / efficiency : %.1f / %.1f%%\n", result.speedup(),
-              100.0 * result.efficiency(config.num_ranks));
+              100.0 * result.efficiency());
   std::printf("steals ok / failed   : %llu / %llu\n",
               static_cast<unsigned long long>(result.stats.successful_steals),
               static_cast<unsigned long long>(result.stats.failed_steals));

@@ -4,41 +4,24 @@
 /// work-stealing simulator.
 ///
 ///   ./uts_cli -t 0 -b 2000 -q 0.495 -m 2 -r 5 -e sim -n 128
+///   ./uts_cli --tree SIMWL --engine sim --ranks 512 --policy tofu --out run.jsonl
 ///
-///   Tree flags (UTS conventions):
-///     -t <0|1|2>   tree type: 0 binomial, 1 geometric, 2 hybrid
-///     -b <int>     root branching factor b0
-///     -q <float>   binomial success probability
-///     -m <int>     binomial children per success
-///     -r <int>     root seed
-///     -d <int>     geometric/hybrid depth cutoff (gen_mx)
-///     -a <0|1|2|3> geometric shape: 0 linear, 1 expdec, 2 cyclic, 3 fixed
-///     -g <int>     granularity: SHA rounds charged per node (sim engine)
-///   Engine flags:
-///     -e <seq|pool|sim>  engine (default seq)
-///     -n <int>           ranks (sim) or threads (pool), default 4
-///     -v <ref|rand|tofu|hier>  victim policy (sim), default tofu
-///     -s <1|half>        steal amount (sim), default half
-///     -c <int>           chunk size (sim), default 20 (the UTS default)
+/// Flags follow the suite-wide exp::ArgSpec vocabulary (--ranks, --policy,
+/// --tree, --seed, --out); the classic UTS single-letter spellings are kept
+/// as short aliases. Run with --help for the full list.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <string>
 
+#include "exp/args.hpp"
+#include "exp/record.hpp"
+#include "exp/sweep.hpp"
 #include "metrics/occupancy.hpp"
 #include "sm/pool.hpp"
+#include "uts/params.hpp"
 #include "uts/sequential.hpp"
 #include "ws/scheduler.hpp"
-
-namespace {
-
-[[noreturn]] void usage(const char* msg) {
-  std::fprintf(stderr, "uts_cli: %s (run with no args for defaults; see the "
-                       "header comment for flags)\n", msg);
-  std::exit(2);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dws;
@@ -52,69 +35,89 @@ int main(int argc, char** argv) {
   tree.q = 0.495;  // defaults = SIM200K
   tree.gen_mx = 10;
 
+  std::string catalogue;
   std::string engine = "seq";
-  unsigned n = 4;
+  std::uint32_t n = 4;
+  std::string out;
+  std::uint32_t tree_type = 0;
+  std::uint32_t shape = 0;
   ws::RunConfig sim_cfg;
   sim_cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
   sim_cfg.ws.steal_amount = ws::StealAmount::kHalf;
   sim_cfg.ws.chunk_size = 20;
 
-  for (int i = 1; i < argc; i += 2) {
-    if (i + 1 >= argc) usage("flag without value");
-    const char* flag = argv[i];
-    const char* value = argv[i + 1];
-    if (!std::strcmp(flag, "-t")) {
-      const int t = std::atoi(value);
-      if (t < 0 || t > 2) usage("-t must be 0, 1 or 2");
-      tree.type = static_cast<uts::TreeType>(t);
-    } else if (!std::strcmp(flag, "-b")) {
-      tree.root_branching = static_cast<std::uint32_t>(std::atoi(value));
-    } else if (!std::strcmp(flag, "-q")) {
-      tree.q = std::atof(value);
-    } else if (!std::strcmp(flag, "-m")) {
-      tree.m = static_cast<std::uint32_t>(std::atoi(value));
-    } else if (!std::strcmp(flag, "-r")) {
-      tree.root_seed = static_cast<std::uint32_t>(std::atoi(value));
-    } else if (!std::strcmp(flag, "-d")) {
-      tree.gen_mx = static_cast<std::uint32_t>(std::atoi(value));
-    } else if (!std::strcmp(flag, "-a")) {
-      const int a = std::atoi(value);
-      if (a < 0 || a > 3) usage("-a must be 0..3");
-      tree.shape = static_cast<uts::GeoShape>(a);
-    } else if (!std::strcmp(flag, "-g")) {
-      sim_cfg.ws.sha_rounds = static_cast<std::uint32_t>(std::atoi(value));
-    } else if (!std::strcmp(flag, "-e")) {
-      engine = value;
-    } else if (!std::strcmp(flag, "-n")) {
-      n = static_cast<unsigned>(std::atoi(value));
-    } else if (!std::strcmp(flag, "-v")) {
-      if (!std::strcmp(value, "ref")) {
-        sim_cfg.ws.victim_policy = ws::VictimPolicy::kRoundRobin;
-      } else if (!std::strcmp(value, "rand")) {
-        sim_cfg.ws.victim_policy = ws::VictimPolicy::kRandom;
-      } else if (!std::strcmp(value, "tofu")) {
-        sim_cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
-      } else if (!std::strcmp(value, "hier")) {
-        sim_cfg.ws.victim_policy = ws::VictimPolicy::kHierarchical;
-      } else {
-        usage("-v must be ref|rand|tofu|hier");
-      }
-    } else if (!std::strcmp(flag, "-s")) {
-      sim_cfg.ws.steal_amount = std::strcmp(value, "half") == 0
-                                    ? ws::StealAmount::kHalf
-                                    : ws::StealAmount::kOneChunk;
-    } else if (!std::strcmp(flag, "-c")) {
-      sim_cfg.ws.chunk_size = static_cast<std::uint32_t>(std::atoi(value));
-    } else {
-      usage((std::string("unknown flag ") + flag).c_str());
+  exp::ArgSpec spec(argv[0],
+                    "run a UTS tree through the sequential, shared-memory or "
+                    "distributed-simulator engine");
+  spec.str("--tree", "", "catalogue tree name (overrides the -t/-b/... flags)",
+           &catalogue)
+      .u32("--type", "-t", "tree type: 0 binomial, 1 geometric, 2 hybrid",
+           &tree_type)
+      .u32("--branching", "-b", "root branching factor b0",
+           &tree.root_branching)
+      .f64("--prob", "-q", "binomial success probability", &tree.q)
+      .u32("--mult", "-m", "binomial children per success", &tree.m)
+      .u32("--root-seed", "-r", "root seed", &tree.root_seed)
+      .u32("--depth", "-d", "geometric/hybrid depth cutoff (gen_mx)",
+           &tree.gen_mx)
+      .u32("--shape", "-a",
+           "geometric shape: 0 linear, 1 expdec, 2 cyclic, 3 fixed", &shape)
+      .u32("--granularity", "-g", "SHA rounds charged per node (sim engine)",
+           &sim_cfg.ws.sha_rounds)
+      .str("--engine", "-e", "engine: seq|pool|sim (default seq)", &engine)
+      .u32("--ranks", "-n", "ranks (sim) or threads (pool), default 4", &n)
+      .option("--policy", "-v", "P",
+              std::string("victim policy (sim): ") + exp::policy_flag_values(),
+              [&](std::string_view v) -> support::Status {
+                auto p = exp::parse_policy(v);
+                if (!p) return support::Status::error(p.error());
+                sim_cfg.ws.victim_policy = p.value();
+                return support::Status::ok();
+              })
+      .option("--steal", "-s", "S",
+              std::string("steal amount (sim): ") + exp::steal_flag_values(),
+              [&](std::string_view v) -> support::Status {
+                auto s = exp::parse_steal(v);
+                if (!s) return support::Status::error(s.error());
+                sim_cfg.ws.steal_amount = s.value();
+                return support::Status::ok();
+              })
+      .u32("--chunk", "-c", "chunk size (sim), default 20 (the UTS default)",
+           &sim_cfg.ws.chunk_size)
+      .u64("--seed", "", "work-stealing RNG seed (sim), default 1",
+           &sim_cfg.ws.seed)
+      .str("--out", "-o", "write one structured record (sim engine)", &out);
+  if (const auto status = spec.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n", status.message().c_str());
+    return 2;
+  }
+  if (spec.help_requested()) return 0;
+  if (tree_type > 2) {
+    std::fprintf(stderr, "--type must be 0, 1 or 2\n");
+    return 2;
+  }
+  if (shape > 3) {
+    std::fprintf(stderr, "--shape must be 0..3\n");
+    return 2;
+  }
+  tree.type = static_cast<uts::TreeType>(tree_type);
+  tree.shape = static_cast<uts::GeoShape>(shape);
+  if (!catalogue.empty()) {
+    const uts::TreeParams* named = uts::find_tree(catalogue);
+    if (named == nullptr) {
+      std::fprintf(stderr, "unknown catalogue tree '%s'\n", catalogue.c_str());
+      return 2;
     }
+    tree = *named;
   }
 
   // Guard against supercritical binomial parameters: the walk would never
   // end. (Geometric trees are always finite thanks to gen_mx.)
   if (tree.type == uts::TreeType::kBinomial &&
       static_cast<double>(tree.m) * tree.q >= 1.0) {
-    usage("binomial tree with m*q >= 1 is (almost surely) infinite");
+    std::fprintf(stderr,
+                 "binomial tree with m*q >= 1 is (almost surely) infinite\n");
+    return 2;
   }
 
   std::printf("tree: type=%s b0=%u m=%u q=%g r=%u gen_mx=%u shape=%s\n",
@@ -122,6 +125,12 @@ int main(int argc, char** argv) {
               tree.root_seed, tree.gen_mx, uts::to_string(tree.shape));
   if (const auto expected = tree.expected_size()) {
     std::printf("expected size E = %.3g nodes\n", *expected);
+  }
+
+  if (engine != "sim" && !out.empty()) {
+    std::fprintf(stderr,
+                 "warning: --out only applies to the sim engine "
+                 "(--engine sim); no record written\n");
   }
 
   if (engine == "seq") {
@@ -153,11 +162,26 @@ int main(int argc, char** argv) {
     std::printf("runtime=%.3fms speedup=%.1f efficiency=%.1f%% "
                 "failed_steals=%llu peak_occupancy=%.1f%%\n",
                 support::to_millis(r.runtime), r.speedup(),
-                100.0 * r.efficiency(n),
+                100.0 * r.efficiency(),
                 static_cast<unsigned long long>(r.stats.failed_steals),
                 100.0 * occ.max_occupancy());
+    if (!out.empty()) {
+      std::ofstream file(out);
+      if (!file) {
+        std::fprintf(stderr, "cannot open --out file '%s'\n", out.c_str());
+        return 1;
+      }
+      exp::RecordWriter writer(file, {});
+      writer.write_header();
+      exp::PointResult point_result;
+      point_result.ok = true;
+      point_result.result = r;
+      writer.write(exp::SweepPoint{0, {}, sim_cfg}, point_result);
+      std::printf("record written to %s\n", out.c_str());
+    }
   } else {
-    usage("-e must be seq|pool|sim");
+    std::fprintf(stderr, "--engine must be seq|pool|sim\n");
+    return 2;
   }
   return 0;
 }

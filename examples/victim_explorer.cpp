@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     const auto r = ws::run_simulation(cfg);
     const metrics::OccupancyCurve occ(r.trace);
     table.add_row({v.label, support::fmt(r.speedup(), 1),
-                   support::fmt_pct(r.efficiency(ranks), 1),
+                   support::fmt_pct(r.efficiency(), 1),
                    support::fmt_pct(occ.max_occupancy(), 1),
                    support::fmt(r.stats.failed_steals),
                    support::fmt(r.stats.sessions),

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/record.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/occupancy.hpp"
+#include "support/table.hpp"
+#include "topo/allocation.hpp"
+#include "ws/scheduler.hpp"
+
+/// The figure-regeneration harness (formerly bench/common.{hpp,cpp}): the
+/// paper's variant/allocation vocabulary, the scale mapping, and the sweep
+/// execution helpers every bench binary is built on.
+///
+/// Scale mapping (see DESIGN.md §1 and EXPERIMENTS.md): the paper's
+/// large-scale sweep over 1024..8192 K Computer nodes maps onto 128..1024
+/// simulated ranks — an 8x scale-down chosen so the whole suite regenerates
+/// in minutes on one host. The trees are scaled correspondingly (SIMWL,
+/// ~3M nodes vs T3WL's 157G) keeping the runs in the paper's regime: a few
+/// thousand nodes of work per rank, runtimes dominated by how fast the
+/// scheduler can distribute work. Chunk size is scaled 20 -> 4 to keep the
+/// chunk/tree granularity ratio comparable, and the fluid congestion model
+/// is enabled (the paper's latency spread at 8192 nodes across >80 racks).
+namespace dws::exp {
+
+/// One scheduler variant, named as in the paper's figure legends.
+struct Variant {
+  ws::VictimPolicy policy;
+  ws::StealAmount amount;
+  const char* label;
+};
+
+inline constexpr Variant kReference{ws::VictimPolicy::kRoundRobin,
+                                    ws::StealAmount::kOneChunk, "Reference"};
+inline constexpr Variant kRand{ws::VictimPolicy::kRandom,
+                               ws::StealAmount::kOneChunk, "Rand"};
+inline constexpr Variant kTofu{ws::VictimPolicy::kTofuSkewed,
+                               ws::StealAmount::kOneChunk, "Tofu"};
+inline constexpr Variant kReferenceHalf{ws::VictimPolicy::kRoundRobin,
+                                        ws::StealAmount::kHalf, "Reference Half"};
+inline constexpr Variant kRandHalf{ws::VictimPolicy::kRandom,
+                                   ws::StealAmount::kHalf, "Rand Half"};
+inline constexpr Variant kTofuHalf{ws::VictimPolicy::kTofuSkewed,
+                                   ws::StealAmount::kHalf, "Tofu Half"};
+
+/// One placement axis entry (the paper's process allocations).
+struct Alloc {
+  topo::Placement placement;
+  std::uint32_t procs_per_node;
+  const char* label;
+};
+
+inline constexpr Alloc kOneN{topo::Placement::kOnePerNode, 1, "1/N"};
+inline constexpr Alloc k8RR{topo::Placement::kRoundRobin, 8, "8RR"};
+inline constexpr Alloc k8G{topo::Placement::kGrouped, 8, "8G"};
+
+/// One figure series: a variant under an allocation ("Tofu 1/N").
+struct Series {
+  Variant variant;
+  Alloc alloc;
+  std::string label;
+};
+Series make_series(const Variant& v, const Alloc& a);
+
+/// Apply a variant / allocation to a config in place (for sweep bases).
+void apply_variant(const Variant& v, ws::RunConfig& cfg);
+void apply_alloc(const Alloc& a, ws::RunConfig& cfg);
+
+// ---- Figure-harness axes ----------------------------------------------------
+
+Axis variant_axis(const std::vector<Variant>& variants);
+Axis alloc_axis(const std::vector<Alloc>& allocs);
+Axis series_axis(const std::vector<Series>& series);
+
+// ---- Unified bench CLI ------------------------------------------------------
+
+/// Flags every figure binary accepts (env vars remain as defaults so the
+/// original `DWS_BENCH_QUICK=1 ./fig09...` invocations keep working):
+///   --quick          trim sweeps for iteration   (DWS_BENCH_QUICK=1)
+///   --seeds N        seed-average over N seeds   (DWS_BENCH_SEEDS)
+///   --threads N      sweep worker threads        (DWS_BENCH_THREADS, 0=cores)
+///   --out FILE       also write one record per run (record.hpp)
+///   --format F       record format: jsonl|csv
+struct FigureOptions {
+  bool quick = false;
+  std::uint32_t seeds = 3;
+  std::uint32_t threads = 0;
+  std::string out;
+  RecordFormat format = RecordFormat::kJsonl;
+};
+
+/// Parse the unified flags and print the standard figure preamble.
+/// Exits 0 on --help, 2 on a bad flag.
+void figure_init(int argc, char** argv, const char* figure,
+                 const char* caption);
+const FigureOptions& figure_options();
+
+/// True when --quick / DWS_BENCH_QUICK=1: trims sweeps for fast iteration.
+/// The default regenerates the full figures.
+bool quick_mode();
+
+// ---- Scale mapping ----------------------------------------------------------
+
+/// Simulated rank counts for the large-scale sweep and the paper-scale
+/// column printed next to them.
+std::vector<topo::Rank> large_scale_ranks();
+topo::Rank paper_equivalent(topo::Rank sim_ranks);
+
+/// Rank counts for the small-scale sweep (Fig. 2); 1:1 with the paper.
+std::vector<topo::Rank> small_scale_ranks();
+
+/// The standard run behind every large-scale figure. Rank/variant/alloc
+/// dimensions meant to vary should come from sweep axes over
+/// large_scale_base(); the explicit-argument form remains for one-off runs.
+ws::RunConfig large_scale_base();
+ws::RunConfig large_scale_config(topo::Rank sim_ranks, const Variant& variant,
+                                 const Alloc& alloc);
+
+/// The standard small-scale (Fig. 2) run.
+ws::RunConfig small_scale_base();
+ws::RunConfig small_scale_config(topo::Rank ranks, const Variant& variant,
+                                 const Alloc& alloc);
+
+// ---- Execution --------------------------------------------------------------
+
+/// Run + one-line progress output on stderr (the tables go to stdout).
+/// For figures built from a single run; sweeps go through run_figure_sweep.
+ws::RunResult run_and_log(const ws::RunConfig& config, const char* label);
+
+/// Execute a sweep on the shared SweepRunner (--threads workers, progress on
+/// stderr), write records when --out was given, and return the results in
+/// point order. Exits 1 if any point failed — a figure regenerated from a
+/// failed sweep would be silently wrong.
+std::vector<ws::RunResult> run_figure_sweep(const SweepSpec& spec);
+
+/// Seed-averaged metrics for the comparative figures: a single seed's
+/// realisation noise (work-stealing is a random schedule) is ~10%, which
+/// would swamp the smaller policy gaps the paper reports. Controlled by
+/// --seeds / DWS_BENCH_SEEDS (default 3, min 1; quick mode forces 1).
+struct Averaged {
+  double speedup = 0.0;
+  double runtime_ms = 0.0;
+  double failed_steals = 0.0;
+  double mean_session_ms = 0.0;
+  double mean_search_ms = 0.0;
+};
+
+/// run_figure_sweep with an inner seed axis: every point of `spec` runs once
+/// per seed (seeds vary fastest) and the results are averaged per point, in
+/// seed order, exactly as the serial harness did.
+std::vector<Averaged> run_figure_sweep_averaged(SweepSpec spec);
+
+/// Shared preamble: figure id, paper caption, and the scale-mapping note.
+void print_figure_header(const char* figure, const char* caption);
+
+}  // namespace dws::exp

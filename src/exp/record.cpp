@@ -1,0 +1,239 @@
+#include "exp/record.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <span>
+
+#include "crypto/sha1.hpp"
+#include "support/sim_time.hpp"
+
+namespace dws::exp {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Human-facing metric rendering: enough digits to round-trip a float's
+/// interesting part, short enough to read. Deterministic for equal inputs,
+/// which is all the byte-identical guarantee needs.
+std::string fmt_metric(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string csv_escape(std::string_view s) {
+  if (s.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string canonical_config(const ws::RunConfig& c) {
+  std::string s;
+  auto kv = [&s](const char* key, const std::string& value) {
+    s += key;
+    s += '=';
+    s += value;
+    s += ';';
+  };
+  auto kvu = [&kv](const char* key, std::uint64_t v) {
+    kv(key, std::to_string(v));
+  };
+  auto kvd = [&kv](const char* key, double v) { kv(key, fmt_double(v)); };
+
+  kv("tree.name", c.tree.name);
+  kv("tree.type", uts::to_string(c.tree.type));
+  kvu("tree.root_seed", c.tree.root_seed);
+  kvu("tree.root_branching", c.tree.root_branching);
+  kvu("tree.m", c.tree.m);
+  kvd("tree.q", c.tree.q);
+  kvu("tree.gen_mx", c.tree.gen_mx);
+  kv("tree.shape", uts::to_string(c.tree.shape));
+  kvd("tree.shift", c.tree.shift);
+  kvu("tree.max_children", c.tree.max_children);
+
+  kvu("machine.nx", static_cast<std::uint64_t>(c.machine.nx()));
+  kvu("machine.ny", static_cast<std::uint64_t>(c.machine.ny()));
+  kvu("machine.nz", static_cast<std::uint64_t>(c.machine.nz()));
+  kvu("num_ranks", c.num_ranks);
+  kv("placement", topo::to_string(c.placement));
+  kvu("procs_per_node", c.procs_per_node);
+  kvu("origin_cube", c.origin_cube);
+
+  kvu("latency.same_node", static_cast<std::uint64_t>(c.latency.same_node));
+  kvu("latency.same_blade", static_cast<std::uint64_t>(c.latency.same_blade));
+  kvu("latency.network_base",
+      static_cast<std::uint64_t>(c.latency.network_base));
+  kvu("latency.per_hop", static_cast<std::uint64_t>(c.latency.per_hop));
+  kvd("latency.bytes_per_ns", c.latency.bytes_per_ns);
+
+  kvu("congestion.enabled", c.congestion.enabled ? 1 : 0);
+  kvd("congestion.capacity_hops", c.congestion.capacity_hops);
+  kvd("congestion.scale", c.congestion_scale);
+
+  kvu("ws.chunk_size", c.ws.chunk_size);
+  kv("ws.victim_policy", ws::to_string(c.ws.victim_policy));
+  kv("ws.steal_amount", ws::to_string(c.ws.steal_amount));
+  kvu("ws.sha_rounds", c.ws.sha_rounds);
+  kvu("ws.node_overhead", static_cast<std::uint64_t>(c.ws.node_overhead));
+  kvu("ws.sha_round_cost", static_cast<std::uint64_t>(c.ws.sha_round_cost));
+  kvu("ws.steal_handling_cost",
+      static_cast<std::uint64_t>(c.ws.steal_handling_cost));
+  kvu("ws.poll_interval", c.ws.poll_interval);
+  kvu("ws.steal_request_bytes", c.ws.steal_request_bytes);
+  kvu("ws.response_header_bytes", c.ws.response_header_bytes);
+  kvu("ws.node_bytes", c.ws.node_bytes);
+  kvu("ws.token_bytes", c.ws.token_bytes);
+  kvu("ws.seed", c.ws.seed);
+  kvu("ws.alias_table_max_ranks", c.ws.alias_table_max_ranks);
+  kvu("ws.one_sided_steals", c.ws.one_sided_steals ? 1 : 0);
+  kv("ws.idle_policy", ws::to_string(c.ws.idle_policy));
+  kvu("ws.lifeline_tries", c.ws.lifeline_tries);
+  kvu("ws.record_trace", c.ws.record_trace ? 1 : 0);
+  return s;
+}
+
+std::string config_fingerprint(const ws::RunConfig& config) {
+  const std::string canonical = canonical_config(config);
+  const auto digest = crypto::Sha1::digest(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(canonical.data()),
+      canonical.size()));
+  return crypto::to_hex(digest).substr(0, 12);
+}
+
+RecordWriter::RecordWriter(std::ostream& out, RecordOptions options)
+    : out_(&out), options_(options) {}
+
+void RecordWriter::write_header() {
+  if (options_.format == RecordFormat::kJsonl) {
+    *out_ << "{\"schema\":\"dws.exp.sweep\",\"version\":"
+          << kRecordSchemaVersion << "}\n";
+    return;
+  }
+  *out_ << "# schema=dws.exp.sweep version=" << kRecordSchemaVersion << "\n";
+  *out_ << "index,point,fingerprint,tree,ranks,placement,procs_per_node,"
+           "policy,steal,chunk,sha_rounds,seed,ok,error,runtime_ms,speedup,"
+           "efficiency,nodes,leaves,steal_attempts,failed_steals,"
+           "successful_steals,sessions,mean_session_ms,mean_search_ms,"
+           "mean_steal_distance,net_messages,net_bytes,engine_events";
+  if (options_.wall_clock) *out_ << ",wall_s";
+  *out_ << "\n";
+}
+
+void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
+  const ws::RunConfig& c = point.config;
+  const ws::RunResult& r = pr.result;
+  const double runtime_ms = pr.ok ? support::to_millis(r.runtime) : 0.0;
+  const double speedup = pr.ok ? r.speedup() : 0.0;
+  const double efficiency = pr.ok ? r.efficiency() : 0.0;
+
+  if (options_.format == RecordFormat::kJsonl) {
+    std::string coords;
+    for (const auto& [axis, value] : point.coords) {
+      if (!coords.empty()) coords += ',';
+      coords += '"' + json_escape(axis) + "\":\"" + json_escape(value) + '"';
+    }
+    *out_ << "{\"index\":" << point.index                                    //
+          << ",\"coords\":{" << coords << "}"                                //
+          << ",\"fingerprint\":\"" << config_fingerprint(c) << "\""          //
+          << ",\"tree\":\"" << json_escape(c.tree.name) << "\""              //
+          << ",\"ranks\":" << c.num_ranks                                    //
+          << ",\"placement\":\"" << topo::to_string(c.placement) << "\""     //
+          << ",\"procs_per_node\":" << c.procs_per_node                      //
+          << ",\"policy\":\"" << ws::to_string(c.ws.victim_policy) << "\""   //
+          << ",\"steal\":\"" << ws::to_string(c.ws.steal_amount) << "\""     //
+          << ",\"chunk\":" << c.ws.chunk_size                                //
+          << ",\"sha_rounds\":" << c.ws.sha_rounds                           //
+          << ",\"seed\":" << c.ws.seed                                       //
+          << ",\"ok\":" << (pr.ok ? "true" : "false");
+    if (!pr.ok) *out_ << ",\"error\":\"" << json_escape(pr.error) << "\"";
+    *out_ << ",\"runtime_ms\":" << fmt_metric(runtime_ms)                    //
+          << ",\"speedup\":" << fmt_metric(speedup)                          //
+          << ",\"efficiency\":" << fmt_metric(efficiency)                    //
+          << ",\"nodes\":" << r.nodes                                        //
+          << ",\"leaves\":" << r.leaves                                      //
+          << ",\"steal_attempts\":" << r.stats.steal_attempts                //
+          << ",\"failed_steals\":" << r.stats.failed_steals                  //
+          << ",\"successful_steals\":" << r.stats.successful_steals          //
+          << ",\"sessions\":" << r.stats.sessions                            //
+          << ",\"mean_session_ms\":" << fmt_metric(r.stats.mean_session_ms)  //
+          << ",\"mean_search_ms\":"
+          << fmt_metric(r.stats.mean_search_time_s * 1e3)  //
+          << ",\"mean_steal_distance\":"
+          << fmt_metric(r.stats.mean_steal_distance)     //
+          << ",\"net_messages\":" << r.network.messages  //
+          << ",\"net_bytes\":" << r.network.bytes        //
+          << ",\"engine_events\":" << r.engine_events;
+    if (options_.wall_clock) {
+      *out_ << ",\"wall_s\":" << fmt_metric(pr.wall_seconds);
+    }
+    *out_ << "}\n";
+    return;
+  }
+
+  *out_ << point.index << ',' << csv_escape(point.label()) << ','
+        << config_fingerprint(c) << ',' << csv_escape(c.tree.name) << ','
+        << c.num_ranks << ',' << topo::to_string(c.placement) << ','
+        << c.procs_per_node << ',' << ws::to_string(c.ws.victim_policy) << ','
+        << ws::to_string(c.ws.steal_amount) << ',' << c.ws.chunk_size << ','
+        << c.ws.sha_rounds << ',' << c.ws.seed << ',' << (pr.ok ? 1 : 0) << ','
+        << csv_escape(pr.error) << ',' << fmt_metric(runtime_ms) << ','
+        << fmt_metric(speedup) << ',' << fmt_metric(efficiency) << ','
+        << r.nodes << ',' << r.leaves << ',' << r.stats.steal_attempts << ','
+        << r.stats.failed_steals << ',' << r.stats.successful_steals << ','
+        << r.stats.sessions << ',' << fmt_metric(r.stats.mean_session_ms)
+        << ',' << fmt_metric(r.stats.mean_search_time_s * 1e3) << ','
+        << fmt_metric(r.stats.mean_steal_distance) << ','
+        << r.network.messages << ',' << r.network.bytes << ','
+        << r.engine_events;
+  if (options_.wall_clock) *out_ << ',' << fmt_metric(pr.wall_seconds);
+  *out_ << "\n";
+}
+
+void RecordWriter::write_report(const std::vector<SweepPoint>& points,
+                                const SweepReport& report) {
+  write_header();
+  const std::size_t n =
+      std::min(points.size(), report.points.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    write(points[i], report.points[i]);
+  }
+}
+
+}  // namespace dws::exp

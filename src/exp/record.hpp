@@ -1,0 +1,61 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+
+namespace dws::exp {
+
+/// Structured result sink: one schema-versioned record per sweep point,
+/// replacing the per-figure printf dialects. Two wire formats, same fields:
+///
+///   JSONL — a meta line `{"schema":"dws.exp.sweep","version":1,...}`, then
+///           one JSON object per point;
+///   CSV   — a `# schema=dws.exp.sweep version=1` comment, a header row,
+///           then one row per point.
+///
+/// Records are a pure function of (SweepPoint, PointResult): running the
+/// same spec with any thread count yields byte-identical output, except for
+/// the host wall-clock columns, which RecordOptions::wall_clock can drop
+/// (the determinism tests and diff-based workflows do).
+inline constexpr int kRecordSchemaVersion = 1;
+
+enum class RecordFormat { kJsonl, kCsv };
+
+struct RecordOptions {
+  RecordFormat format = RecordFormat::kJsonl;
+  bool wall_clock = true;  ///< include per-point host cost (non-deterministic)
+};
+
+/// Canonical `key=value;...` serialization of every semantically meaningful
+/// RunConfig field — the preimage of config_fingerprint, stable across
+/// platforms and field reordering.
+std::string canonical_config(const ws::RunConfig& config);
+
+/// 12-hex-char SHA-1 fingerprint of canonical_config(): two configs compare
+/// equal iff they would run the same simulation.
+std::string config_fingerprint(const ws::RunConfig& config);
+
+class RecordWriter {
+ public:
+  RecordWriter(std::ostream& out, RecordOptions options = {});
+
+  /// Meta line / CSV header. Call once, before the first write().
+  void write_header();
+  void write(const SweepPoint& point, const PointResult& result);
+
+  /// Every record of a finished sweep, header included.
+  void write_report(const std::vector<SweepPoint>& points,
+                    const SweepReport& report);
+
+ private:
+  std::ostream* out_;
+  RecordOptions options_;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+}  // namespace dws::exp

@@ -1,0 +1,206 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+
+#include "ws/config.hpp"
+
+namespace dws::exp {
+
+Axis ranks_axis(const std::vector<topo::Rank>& ranks) {
+  Axis axis{"ranks", {}};
+  for (const topo::Rank r : ranks) {
+    axis.points.push_back(
+        {std::to_string(r), [r](ws::RunConfig& cfg) { cfg.num_ranks = r; }});
+  }
+  return axis;
+}
+
+Axis policy_axis(const std::vector<ws::VictimPolicy>& policies) {
+  Axis axis{"policy", {}};
+  for (const ws::VictimPolicy p : policies) {
+    axis.points.push_back({ws::to_string(p), [p](ws::RunConfig& cfg) {
+                             cfg.ws.victim_policy = p;
+                           }});
+  }
+  return axis;
+}
+
+Axis steal_axis(const std::vector<ws::StealAmount>& amounts) {
+  Axis axis{"steal", {}};
+  for (const ws::StealAmount a : amounts) {
+    axis.points.push_back({ws::to_string(a), [a](ws::RunConfig& cfg) {
+                             cfg.ws.steal_amount = a;
+                           }});
+  }
+  return axis;
+}
+
+Axis chunk_size_axis(const std::vector<std::uint32_t>& sizes) {
+  Axis axis{"chunk", {}};
+  for (const std::uint32_t c : sizes) {
+    axis.points.push_back(
+        {std::to_string(c), [c](ws::RunConfig& cfg) { cfg.ws.chunk_size = c; }});
+  }
+  return axis;
+}
+
+Axis sha_rounds_axis(const std::vector<std::uint32_t>& rounds) {
+  Axis axis{"sha_rounds", {}};
+  for (const std::uint32_t r : rounds) {
+    axis.points.push_back(
+        {std::to_string(r), [r](ws::RunConfig& cfg) { cfg.ws.sha_rounds = r; }});
+  }
+  return axis;
+}
+
+Axis tree_axis(const std::vector<std::string>& catalogue_names) {
+  Axis axis{"tree", {}};
+  for (const std::string& name : catalogue_names) {
+    // Unknown names keep the base tree; the runner's validation pass is not
+    // the right place to catch this (the config is well-formed), so resolve
+    // eagerly and let tree_by_name report misuse.
+    axis.points.push_back({name, [name](ws::RunConfig& cfg) {
+                             cfg.tree = uts::tree_by_name(name);
+                           }});
+  }
+  return axis;
+}
+
+Axis seed_axis(std::uint64_t first, std::uint64_t count) {
+  Axis axis{"seed", {}};
+  for (std::uint64_t s = first; s < first + count; ++s) {
+    axis.points.push_back(
+        {std::to_string(s), [s](ws::RunConfig& cfg) { cfg.ws.seed = s; }});
+  }
+  return axis;
+}
+
+Axis congestion_axis(const std::vector<double>& scales) {
+  Axis axis{"congestion", {}};
+  for (const double scale : scales) {
+    std::string label = scale == 0.0 ? "off" : "x" + std::to_string(scale);
+    axis.points.push_back({std::move(label), [scale](ws::RunConfig& cfg) {
+                             if (scale == 0.0) {
+                               cfg.congestion = sim::CongestionParams{};
+                               cfg.congestion_scale = 0.0;
+                             } else {
+                               cfg.enable_congestion(scale);
+                             }
+                           }});
+  }
+  return axis;
+}
+
+Axis placement_axis(
+    const std::vector<std::pair<topo::Placement, std::uint32_t>>& allocs) {
+  Axis axis{"placement", {}};
+  for (const auto& [placement, procs] : allocs) {
+    std::string label =
+        std::string(topo::to_string(placement)) + "x" + std::to_string(procs);
+    axis.points.push_back(
+        {std::move(label), [placement, procs = procs](ws::RunConfig& cfg) {
+           cfg.placement = placement;
+           cfg.procs_per_node = procs;
+         }});
+  }
+  return axis;
+}
+
+Axis custom_axis(std::string name, std::vector<AxisPoint> points) {
+  return Axis{std::move(name), std::move(points)};
+}
+
+std::string SweepPoint::label() const {
+  std::string out;
+  for (const auto& [axis, value] : coords) {
+    if (!out.empty()) out += ' ';
+    out += axis + '=' + value;
+  }
+  return out.empty() ? "base" : out;
+}
+
+const std::string* SweepPoint::coord(std::string_view axis) const {
+  for (const auto& [name, value] : coords) {
+    if (name == axis) return &value;
+  }
+  return nullptr;
+}
+
+std::size_t SweepSpec::num_points() const {
+  if (axes_.empty()) return 1;
+  if (mode_ == SweepMode::kZip) {
+    const std::size_t n = axes_.front().points.size();
+    for (const Axis& a : axes_) {
+      if (a.points.size() != n) return 0;
+    }
+    return n;
+  }
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.points.size();
+  return n;
+}
+
+support::Expected<std::vector<SweepPoint>> SweepSpec::expand() const {
+  using Result = support::Expected<std::vector<SweepPoint>>;
+  for (const Axis& a : axes_) {
+    if (a.points.empty()) {
+      return Result::failure("axis '" + a.name + "' has no points");
+    }
+  }
+  if (mode_ == SweepMode::kZip && !axes_.empty()) {
+    const std::size_t n = axes_.front().points.size();
+    for (const Axis& a : axes_) {
+      if (a.points.size() != n) {
+        return Result::failure(
+            "zipped axes must have equal length: '" + axes_.front().name +
+            "' has " + std::to_string(n) + " points, '" + a.name + "' has " +
+            std::to_string(a.points.size()));
+      }
+    }
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(num_points());
+
+  auto make_point = [&](const std::vector<std::size_t>& choice) {
+    SweepPoint p;
+    p.index = points.size();
+    p.config = base_;
+    p.coords.reserve(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const AxisPoint& ap = axes_[a].points[choice[a]];
+      ap.apply(p.config);
+      p.coords.emplace_back(axes_[a].name, ap.label);
+    }
+    points.push_back(std::move(p));
+  };
+
+  if (axes_.empty()) {
+    make_point({});
+    return points;
+  }
+
+  if (mode_ == SweepMode::kZip) {
+    std::vector<std::size_t> choice(axes_.size());
+    for (std::size_t i = 0; i < axes_.front().points.size(); ++i) {
+      std::fill(choice.begin(), choice.end(), i);
+      make_point(choice);
+    }
+    return points;
+  }
+
+  // Cartesian, row-major: the last axis varies fastest (odometer order).
+  std::vector<std::size_t> choice(axes_.size(), 0);
+  for (;;) {
+    make_point(choice);
+    std::size_t a = axes_.size();
+    for (;;) {
+      if (a == 0) return points;
+      --a;
+      if (++choice[a] < axes_[a].points.size()) break;
+      choice[a] = 0;
+    }
+  }
+}
+
+}  // namespace dws::exp

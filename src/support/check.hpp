@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,7 +12,27 @@
 /// outside debug builds and is meant for hot paths (per-event, per-node).
 namespace dws::support {
 
+/// Invoked on DWS_CHECK failure before the default report-and-abort. A
+/// handler may throw to transfer control — exp::SweepRunner installs one so
+/// a failed simulation cancels the sweep instead of killing the process. A
+/// handler that returns normally falls through to abort.
+using CheckHandler = void (*)(const char* expr, const char* file, int line);
+
+inline std::atomic<CheckHandler>& check_handler_slot() {
+  static std::atomic<CheckHandler> handler{nullptr};
+  return handler;
+}
+
+/// Installs `handler` (nullptr restores the default abort) and returns the
+/// previous one so callers can scope the override.
+inline CheckHandler set_check_handler(CheckHandler handler) {
+  return check_handler_slot().exchange(handler);
+}
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  if (CheckHandler handler = check_handler_slot().load()) {
+    handler(expr, file, line);
+  }
   std::fprintf(stderr, "DWS_CHECK failed: %s at %s:%d\n", expr, file, line);
   std::abort();
 }

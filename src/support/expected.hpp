@@ -1,0 +1,81 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/check.hpp"
+
+/// Minimal std::expected-style result types (the project targets C++20,
+/// which predates <expected>). Used wherever a caller can act on a failure:
+/// configuration validation, CLI parsing, sweep expansion. Invariant
+/// violations inside a running simulation remain DWS_CHECKs — those mean the
+/// run itself is meaningless and there is nothing sensible to return.
+namespace dws::support {
+
+/// Success, or an error message. The Expected<void> analogue.
+class Status {
+ public:
+  static Status ok() { return Status(); }
+  static Status error(std::string message) {
+    Status s;
+    s.error_ = std::move(message);
+    return s;
+  }
+
+  explicit operator bool() const noexcept { return !error_.has_value(); }
+  bool is_ok() const noexcept { return !error_.has_value(); }
+
+  /// The error message; only valid when !is_ok().
+  const std::string& message() const {
+    DWS_CHECK(error_.has_value());
+    return *error_;
+  }
+
+ private:
+  Status() = default;
+  std::optional<std::string> error_;
+};
+
+/// A value of type T, or an error message.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Expected failure(std::string message) {
+    Expected e;
+    e.error_ = std::move(message);
+    return e;
+  }
+  static Expected failure(const Status& status) {
+    return failure(status.message());
+  }
+
+  explicit operator bool() const noexcept { return value_.has_value(); }
+  bool has_value() const noexcept { return value_.has_value(); }
+
+  const T& value() const& {
+    DWS_CHECK(value_.has_value());
+    return *value_;
+  }
+  T& value() & {
+    DWS_CHECK(value_.has_value());
+    return *value_;
+  }
+  T&& value() && {
+    DWS_CHECK(value_.has_value());
+    return *std::move(value_);
+  }
+
+  const std::string& error() const {
+    DWS_CHECK(!value_.has_value());
+    return error_;
+  }
+
+ private:
+  Expected() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace dws::support

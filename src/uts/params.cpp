@@ -106,11 +106,17 @@ const std::vector<TreeParams>& catalogue() {
   return kTrees;
 }
 
-const TreeParams& tree_by_name(std::string_view name) {
+const TreeParams* find_tree(std::string_view name) {
   for (const auto& t : catalogue()) {
-    if (t.name == name) return t;
+    if (t.name == name) return &t;
   }
-  DWS_CHECK(false && "unknown tree name");
+  return nullptr;
+}
+
+const TreeParams& tree_by_name(std::string_view name) {
+  const TreeParams* t = find_tree(name);
+  DWS_CHECK(t != nullptr && "unknown tree name");
+  return *t;
 }
 
 const char* to_string(TreeType t) {

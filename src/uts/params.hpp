@@ -59,6 +59,10 @@ const std::vector<TreeParams>& catalogue();
 /// compile-time constants).
 const TreeParams& tree_by_name(std::string_view name);
 
+/// Non-aborting lookup for user-supplied names (CLI flags, sweep specs);
+/// nullptr when the name is not in the catalogue.
+const TreeParams* find_tree(std::string_view name);
+
 const char* to_string(TreeType t);
 const char* to_string(GeoShape s);
 

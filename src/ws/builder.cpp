@@ -1,0 +1,132 @@
+#include "ws/builder.hpp"
+
+namespace dws::ws {
+
+RunConfigBuilder& RunConfigBuilder::tree(const uts::TreeParams& params) {
+  cfg_.tree = params;
+  tree_name_.clear();
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::tree(std::string_view catalogue_name) {
+  tree_name_ = std::string(catalogue_name);
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::ranks(topo::Rank n) {
+  cfg_.num_ranks = n;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::placement(topo::Placement p,
+                                              std::uint32_t procs_per_node) {
+  cfg_.placement = p;
+  cfg_.procs_per_node = procs_per_node;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::origin_cube(std::uint32_t cube) {
+  cfg_.origin_cube = cube;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::machine(const topo::TofuMachine& m) {
+  cfg_.machine = m;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::latency(const topo::LatencyParams& p) {
+  cfg_.latency = p;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::policy(VictimPolicy p) {
+  cfg_.ws.victim_policy = p;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::steal_amount(StealAmount a) {
+  cfg_.ws.steal_amount = a;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::chunk_size(std::uint32_t nodes) {
+  cfg_.ws.chunk_size = nodes;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::sha_rounds(std::uint32_t rounds) {
+  cfg_.ws.sha_rounds = rounds;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::seed(std::uint64_t s) {
+  cfg_.ws.seed = s;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::idle_policy(IdlePolicy p) {
+  cfg_.ws.idle_policy = p;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::lifeline_tries(std::uint32_t tries) {
+  cfg_.ws.lifeline_tries = tries;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::one_sided_steals(bool on) {
+  cfg_.ws.one_sided_steals = on;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::record_trace(bool on) {
+  cfg_.ws.record_trace = on;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::alias_table_max_ranks(
+    std::uint32_t max_ranks) {
+  cfg_.ws.alias_table_max_ranks = max_ranks;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::congestion(double scale) {
+  congestion_scale_ = scale;
+  congestion_off_ = false;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::no_congestion() {
+  congestion_scale_ = 0.0;
+  congestion_off_ = true;
+  return *this;
+}
+
+RunConfig RunConfigBuilder::build_unchecked() const {
+  RunConfig cfg = cfg_;
+  if (!tree_name_.empty()) {
+    if (const uts::TreeParams* t = uts::find_tree(tree_name_)) cfg.tree = *t;
+  }
+  if (congestion_off_) {
+    cfg.congestion = sim::CongestionParams{};
+    cfg.congestion_scale = 0.0;
+  } else if (congestion_scale_ > 0.0) {
+    cfg.enable_congestion(congestion_scale_);
+  }
+  return cfg;
+}
+
+support::Expected<RunConfig> RunConfigBuilder::build() const {
+  if (!tree_name_.empty() && uts::find_tree(tree_name_) == nullptr) {
+    return support::Expected<RunConfig>::failure(
+        "unknown tree '" + tree_name_ + "' (see uts::catalogue())");
+  }
+  RunConfig cfg = build_unchecked();
+  if (const auto status = cfg.validate(); !status) {
+    return support::Expected<RunConfig>::failure(status);
+  }
+  return cfg;
+}
+
+}  // namespace dws::ws

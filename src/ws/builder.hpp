@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/expected.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws::ws {
+
+/// Fluent construction of RunConfig — the preferred path for new code:
+///
+///   auto cfg = RunConfigBuilder()
+///                  .tree("SIMWL")
+///                  .ranks(1024)
+///                  .policy(VictimPolicy::kTofuSkewed)
+///                  .steal_half()
+///                  .congestion(1.0)
+///                  .build();
+///   if (!cfg) { /* cfg.error() names the offending field */ }
+///
+/// build() validates (RunConfig::validate) instead of letting a malformed
+/// config abort mid-run, and applies order-dependent derivations at the end
+/// (the congestion capacity depends on ranks/procs, so `.congestion(1.0)
+/// .ranks(4096)` and `.ranks(4096).congestion(1.0)` mean the same thing).
+/// Plain aggregate initialization of RunConfig keeps working for existing
+/// callers and tests.
+class RunConfigBuilder {
+ public:
+  RunConfigBuilder() = default;
+  explicit RunConfigBuilder(RunConfig base) : cfg_(std::move(base)) {}
+
+  RunConfigBuilder& tree(const uts::TreeParams& params);
+  /// Catalogue lookup by name; unknown names surface as a build() error.
+  RunConfigBuilder& tree(std::string_view catalogue_name);
+
+  RunConfigBuilder& ranks(topo::Rank n);
+  RunConfigBuilder& placement(topo::Placement p,
+                              std::uint32_t procs_per_node = 1);
+  RunConfigBuilder& origin_cube(std::uint32_t cube);
+  RunConfigBuilder& machine(const topo::TofuMachine& m);
+  RunConfigBuilder& latency(const topo::LatencyParams& p);
+
+  RunConfigBuilder& policy(VictimPolicy p);
+  RunConfigBuilder& steal_amount(StealAmount a);
+  RunConfigBuilder& steal_half() { return steal_amount(StealAmount::kHalf); }
+  RunConfigBuilder& steal_one_chunk() {
+    return steal_amount(StealAmount::kOneChunk);
+  }
+  RunConfigBuilder& chunk_size(std::uint32_t nodes);
+  RunConfigBuilder& sha_rounds(std::uint32_t rounds);
+  RunConfigBuilder& seed(std::uint64_t s);
+  RunConfigBuilder& idle_policy(IdlePolicy p);
+  RunConfigBuilder& lifeline_tries(std::uint32_t tries);
+  RunConfigBuilder& one_sided_steals(bool on = true);
+  RunConfigBuilder& record_trace(bool on);
+  RunConfigBuilder& alias_table_max_ranks(std::uint32_t max_ranks);
+
+  /// Fluid congestion model, capacity anchored to the final ranks/procs.
+  RunConfigBuilder& congestion(double scale = 1.0);
+  RunConfigBuilder& no_congestion();
+
+  /// Validated result: the RunConfig, or the first problem found.
+  support::Expected<RunConfig> build() const;
+
+  /// The raw config without validation (tests deliberately building broken
+  /// configs, callers who will validate later).
+  RunConfig build_unchecked() const;
+
+ private:
+  RunConfig cfg_;
+  std::string tree_name_;        // pending catalogue lookup, "" = none
+  double congestion_scale_ = 0;  // > 0: enable at build() time
+  bool congestion_off_ = false;
+};
+
+}  // namespace dws::ws

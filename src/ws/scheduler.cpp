@@ -8,6 +8,56 @@
 
 namespace dws::ws {
 
+support::Status RunConfig::validate() const {
+  if (num_ranks < 1) return support::Status::error("num_ranks must be >= 1");
+  if (procs_per_node < 1) {
+    return support::Status::error("procs_per_node must be >= 1");
+  }
+  if (placement == topo::Placement::kOnePerNode && procs_per_node != 1) {
+    return support::Status::error(
+        "placement 1/N requires procs_per_node == 1 (got " +
+        std::to_string(procs_per_node) + ")");
+  }
+  if (num_ranks % procs_per_node != 0) {
+    return support::Status::error(
+        "num_ranks (" + std::to_string(num_ranks) +
+        ") must be a multiple of procs_per_node (" +
+        std::to_string(procs_per_node) + ")");
+  }
+  if (num_ranks / procs_per_node > machine.node_count()) {
+    return support::Status::error(
+        "job needs " + std::to_string(num_ranks / procs_per_node) +
+        " nodes but the machine has " + std::to_string(machine.node_count()));
+  }
+  if (origin_cube >= machine.cube_count()) {
+    return support::Status::error(
+        "origin_cube " + std::to_string(origin_cube) +
+        " outside the machine's " + std::to_string(machine.cube_count()) +
+        " cubes");
+  }
+  if (ws.chunk_size == 0) {
+    return support::Status::error("chunk_size must be >= 1");
+  }
+  if (ws.poll_interval == 0) {
+    return support::Status::error("poll_interval must be >= 1");
+  }
+  if (ws.alias_table_max_ranks == 0) {
+    return support::Status::error(
+        "alias_table_max_ranks must be >= 1 (the threshold picks the "
+        "sampling backend; 0 would disable both)");
+  }
+  if (ws.idle_policy == IdlePolicy::kLifeline && ws.lifeline_tries == 0) {
+    return support::Status::error(
+        "lifeline_tries must be >= 1 under IdlePolicy::kLifeline");
+  }
+  if (tree.type == uts::TreeType::kBinomial &&
+      static_cast<double>(tree.m) * tree.q >= 1.0) {
+    return support::Status::error(
+        "binomial tree with m*q >= 1 is (almost surely) infinite");
+  }
+  return support::Status::ok();
+}
+
 RunResult run_simulation(const RunConfig& config) {
   DWS_CHECK(config.num_ranks >= 1);
 
@@ -19,12 +69,21 @@ RunResult run_simulation(const RunConfig& config) {
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(config.num_ranks);
 
+  // Re-anchor the congestion capacity when it was requested as a scale of
+  // the allocation size and the ranks changed since (sweep axes do this).
+  sim::CongestionParams congestion = config.congestion;
+  if (congestion.enabled && config.congestion_scale > 0.0) {
+    congestion.capacity_hops =
+        config.congestion_scale * 5.0 *
+        static_cast<double>(config.num_ranks / config.procs_per_node);
+  }
+
   sim::Network<Message> network(
       engine, latency,
       [&workers](topo::Rank dst, Message msg) {
         workers[dst]->on_message(std::move(msg));
       },
-      config.congestion);
+      congestion);
 
   RunContext ctx;
   ctx.engine = &engine;
@@ -58,6 +117,7 @@ RunResult run_simulation(const RunConfig& config) {
 
   RunResult result;
   result.runtime = ctx.termination_time;
+  result.num_ranks = config.num_ranks;
   result.per_node_cost = config.ws.node_cost();
   result.per_rank.reserve(config.num_ranks);
   for (const auto& w : workers) {

@@ -6,6 +6,7 @@
 #include "metrics/rank_stats.hpp"
 #include "metrics/trace.hpp"
 #include "sim/network.hpp"
+#include "support/expected.hpp"
 #include "topo/allocation.hpp"
 #include "topo/latency.hpp"
 #include "topo/tofu.hpp"
@@ -28,14 +29,26 @@ struct RunConfig {
   topo::LatencyParams latency;
   sim::CongestionParams congestion;
 
+  /// When > 0, enable_congestion(scale) was called: run_simulation re-anchors
+  /// capacity_hops to the *current* ranks/procs at run time, so a sweep axis
+  /// that changes num_ranks after the call still gets the right capacity.
+  double congestion_scale = 0.0;
+
   /// Enable the fluid congestion model with capacity anchored to the job's
   /// allocation size (~5 usable links per compute node in the 6D torus).
   /// `scale` > 1 models a fatter network, < 1 a more contended one.
   void enable_congestion(double scale = 1.0) {
+    congestion_scale = scale;
     congestion.enabled = true;
     congestion.capacity_hops =
         scale * 5.0 * static_cast<double>(num_ranks / procs_per_node);
   }
+
+  /// Checks everything run_simulation would otherwise abort on mid-run via
+  /// DWS_CHECK (plus a few cheap sanity screens): rank/placement mismatch,
+  /// zero chunk size, zero alias-table threshold, out-of-machine origin,
+  /// supercritical binomial trees, ... Returns the first problem found.
+  support::Status validate() const;
 };
 
 /// Results of one run: timings, the paper's metrics inputs, and everything
@@ -44,6 +57,7 @@ struct RunResult {
   support::SimTime runtime = 0;  ///< T: virtual time until global termination
   std::uint64_t nodes = 0;       ///< total tree nodes processed (oracle value)
   std::uint64_t leaves = 0;
+  topo::Rank num_ranks = 0;      ///< ranks of the run that produced this
 
   metrics::JobStats stats;                    ///< aggregated counters
   std::vector<metrics::RankStats> per_rank;   ///< raw per-rank counters
@@ -64,8 +78,12 @@ struct RunResult {
                              static_cast<double>(runtime)
                        : 0.0;
   }
-  double efficiency(topo::Rank num_ranks) const noexcept {
-    return speedup() / static_cast<double>(num_ranks);
+  double efficiency() const noexcept {
+    return num_ranks > 0 ? speedup() / static_cast<double>(num_ranks) : 0.0;
+  }
+  [[deprecated("num_ranks is stored in RunResult; use efficiency()")]]
+  double efficiency(topo::Rank ranks) const noexcept {
+    return speedup() / static_cast<double>(ranks);
   }
 };
 

@@ -1,0 +1,119 @@
+#include "exp/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dws::exp {
+namespace {
+
+support::Status parse(ArgSpec& spec, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return spec.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgSpec, TypedSinksAndShortAliases) {
+  std::uint32_t ranks = 0;
+  double scale = 0.0;
+  std::string out;
+  bool quick = false;
+  ArgSpec spec("prog", "test");
+  spec.u32("--ranks", "-n", "rank count", &ranks)
+      .f64("--scale", "", "congestion scale", &scale)
+      .str("--out", "-o", "output file", &out)
+      .toggle("--quick", "", "trim sweeps", &quick);
+  const auto status = parse(
+      spec, {"-n", "128", "--scale", "1.5", "-o", "r.jsonl", "--quick"});
+  ASSERT_TRUE(status) << status.message();
+  EXPECT_EQ(ranks, 128u);
+  EXPECT_DOUBLE_EQ(scale, 1.5);
+  EXPECT_EQ(out, "r.jsonl");
+  EXPECT_TRUE(quick);
+  EXPECT_FALSE(spec.help_requested());
+}
+
+TEST(ArgSpec, UnknownFlagIsAnErrorNamingTheFlag) {
+  ArgSpec spec("prog", "test");
+  const auto status = parse(spec, {"--bogus"});
+  ASSERT_FALSE(status);
+  EXPECT_NE(status.message().find("--bogus"), std::string::npos)
+      << status.message();
+}
+
+TEST(ArgSpec, MissingValueIsAnError) {
+  std::uint32_t ranks = 0;
+  ArgSpec spec("prog", "test");
+  spec.u32("--ranks", "-n", "rank count", &ranks);
+  const auto status = parse(spec, {"--ranks"});
+  ASSERT_FALSE(status);
+  EXPECT_NE(status.message().find("--ranks"), std::string::npos);
+}
+
+TEST(ArgSpec, BadNumberIsAnError) {
+  std::uint32_t ranks = 0;
+  ArgSpec spec("prog", "test");
+  spec.u32("--ranks", "-n", "rank count", &ranks);
+  EXPECT_FALSE(parse(spec, {"--ranks", "many"}));
+}
+
+TEST(ArgSpec, HelpIsReportedNotAnError) {
+  ArgSpec spec("prog", "test");
+  testing::internal::CaptureStdout();
+  const auto status = parse(spec, {"--help"});
+  const std::string usage = testing::internal::GetCapturedStdout();
+  EXPECT_TRUE(status) << status.message();
+  EXPECT_TRUE(spec.help_requested());
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+}
+
+TEST(ArgSpec, UsageListsEveryOption) {
+  std::uint32_t ranks = 0;
+  bool quick = false;
+  ArgSpec spec("prog", "a one-line summary");
+  spec.u32("--ranks", "-n", "rank count", &ranks)
+      .toggle("--quick", "", "trim sweeps", &quick);
+  const std::string usage = spec.usage();
+  for (const char* needle :
+       {"a one-line summary", "--ranks", "-n", "--quick", "rank count"}) {
+    EXPECT_NE(usage.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Vocabulary, ParsePolicy) {
+  EXPECT_EQ(parse_policy("ref").value(), ws::VictimPolicy::kRoundRobin);
+  EXPECT_EQ(parse_policy("rand").value(), ws::VictimPolicy::kRandom);
+  EXPECT_EQ(parse_policy("tofu").value(), ws::VictimPolicy::kTofuSkewed);
+  EXPECT_EQ(parse_policy("hier").value(), ws::VictimPolicy::kHierarchical);
+  EXPECT_FALSE(parse_policy("best"));
+}
+
+TEST(Vocabulary, ParseSteal) {
+  EXPECT_EQ(parse_steal("1").value(), ws::StealAmount::kOneChunk);
+  EXPECT_EQ(parse_steal("one").value(), ws::StealAmount::kOneChunk);
+  EXPECT_EQ(parse_steal("chunk").value(), ws::StealAmount::kOneChunk);
+  EXPECT_EQ(parse_steal("half").value(), ws::StealAmount::kHalf);
+  EXPECT_FALSE(parse_steal("all"));
+}
+
+TEST(Vocabulary, ParsePlacement) {
+  EXPECT_EQ(parse_placement("1n").value(), topo::Placement::kOnePerNode);
+  EXPECT_EQ(parse_placement("1/N").value(), topo::Placement::kOnePerNode);
+  EXPECT_EQ(parse_placement("rr").value(), topo::Placement::kRoundRobin);
+  EXPECT_EQ(parse_placement("8RR").value(), topo::Placement::kRoundRobin);
+  EXPECT_EQ(parse_placement("g").value(), topo::Placement::kGrouped);
+  EXPECT_EQ(parse_placement("8G").value(), topo::Placement::kGrouped);
+  EXPECT_FALSE(parse_placement("spiral"));
+}
+
+TEST(Vocabulary, SplitList) {
+  EXPECT_EQ(split_list("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list("solo"), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(split_list("a,,b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_list("").empty());
+  EXPECT_EQ(split_list("1;2", ';'), (std::vector<std::string>{"1", "2"}));
+}
+
+}  // namespace
+}  // namespace dws::exp

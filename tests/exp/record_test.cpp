@@ -1,0 +1,131 @@
+#include "exp/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "uts/params.hpp"
+
+namespace dws::exp {
+namespace {
+
+ws::RunConfig base_config() {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name("TEST_BIN_SMALL");
+  cfg.num_ranks = 8;
+  return cfg;
+}
+
+TEST(ConfigFingerprint, IsStableAndTwelveHexChars) {
+  const auto cfg = base_config();
+  const std::string fp = config_fingerprint(cfg);
+  EXPECT_EQ(fp.size(), 12u);
+  EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(fp, config_fingerprint(cfg));  // pure function of the config
+}
+
+TEST(ConfigFingerprint, ChangesWithAnySemanticField) {
+  const auto cfg = base_config();
+  auto ranks = cfg;
+  ranks.num_ranks = 16;
+  auto seed = cfg;
+  seed.ws.seed = 2;
+  auto chunk = cfg;
+  chunk.ws.chunk_size += 1;
+  EXPECT_NE(config_fingerprint(cfg), config_fingerprint(ranks));
+  EXPECT_NE(config_fingerprint(cfg), config_fingerprint(seed));
+  EXPECT_NE(config_fingerprint(cfg), config_fingerprint(chunk));
+}
+
+TEST(CanonicalConfig, NamesTheKeyFields) {
+  const std::string canon = canonical_config(base_config());
+  for (const char* key : {"tree.name=", "num_ranks=8", "ws.seed=1",
+                          "ws.chunk_size=", "ws.victim_policy=",
+                          "ws.steal_amount="}) {
+    EXPECT_NE(canon.find(key), std::string::npos) << key << " in " << canon;
+  }
+}
+
+TEST(JsonEscape, HandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+SweepReport fake_report(const std::vector<SweepPoint>& points) {
+  SweepReport report;
+  for (const SweepPoint& p : points) {
+    PointResult r;
+    r.index = p.index;
+    r.ok = true;
+    r.result.num_ranks = p.config.num_ranks;
+    r.result.nodes = 100;
+    r.result.leaves = 50;
+    r.wall_seconds = 1.25;  // must not leak into wall_clock=false output
+    report.points.push_back(std::move(r));
+  }
+  return report;
+}
+
+TEST(RecordWriter, JsonlSchemaHeaderAndOneLinePerPoint) {
+  SweepSpec spec(base_config());
+  spec.axis(ranks_axis({2, 4}));
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kJsonl, false});
+  writer.write_report(points, fake_report(points));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"schema\":\"dws.exp.sweep\""), std::string::npos);
+  EXPECT_NE(text.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"coords\":{\"ranks\":\"4\"}"), std::string::npos);
+  EXPECT_EQ(text.find("wall_s"), std::string::npos);  // wall_clock=false
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(RecordWriter, WallClockColumnIsOptIn) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kJsonl, true});
+  writer.write_report(points, fake_report(points));
+  EXPECT_NE(out.str().find("\"wall_s\":1.25"), std::string::npos) << out.str();
+}
+
+TEST(RecordWriter, CsvHasSchemaCommentHeaderAndRows) {
+  SweepSpec spec(base_config());
+  spec.axis(ranks_axis({2, 4}));
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
+  writer.write_report(points, fake_report(points));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# schema=dws.exp.sweep version=1"), std::string::npos);
+  EXPECT_NE(text.find("index,"), std::string::npos);
+  // comment + header + 2 rows
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(RecordWriter, FailedPointsRecordTheError) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  SweepReport report;
+  PointResult r;
+  r.index = 0;
+  r.ok = false;
+  r.error = "DWS_CHECK failed: boom";
+  report.points.push_back(std::move(r));
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kJsonl, false});
+  writer.write_report(points, report);
+  EXPECT_NE(out.str().find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(out.str().find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dws::exp

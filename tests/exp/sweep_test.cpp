@@ -1,0 +1,151 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "uts/params.hpp"
+
+namespace dws::exp {
+namespace {
+
+ws::RunConfig base_config() {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name("TEST_BIN_SMALL");
+  cfg.num_ranks = 4;
+  return cfg;
+}
+
+TEST(SweepSpec, AxislessSpecIsOnePoint) {
+  SweepSpec spec(base_config());
+  EXPECT_EQ(spec.num_points(), 1u);
+  const auto points = spec.expand();
+  ASSERT_TRUE(points);
+  ASSERT_EQ(points.value().size(), 1u);
+  EXPECT_EQ(points.value()[0].index, 0u);
+  EXPECT_TRUE(points.value()[0].coords.empty());
+  EXPECT_EQ(points.value()[0].config.num_ranks, 4u);
+}
+
+TEST(SweepSpec, CartesianCountIsTheProduct) {
+  SweepSpec spec(base_config());
+  spec.axis(ranks_axis({2, 4, 8}))
+      .axis(policy_axis(
+          {ws::VictimPolicy::kRoundRobin, ws::VictimPolicy::kRandom}))
+      .axis(seed_axis(1, 5));
+  EXPECT_EQ(spec.num_points(), 3u * 2u * 5u);
+  const auto points = spec.expand();
+  ASSERT_TRUE(points);
+  EXPECT_EQ(points.value().size(), 30u);
+}
+
+TEST(SweepSpec, CartesianLastAxisVariesFastest) {
+  SweepSpec spec(base_config());
+  spec.axis(ranks_axis({2, 4})).axis(seed_axis(1, 3));
+  const auto expanded = spec.expand();
+  ASSERT_TRUE(expanded);
+  const auto& points = expanded.value();
+  ASSERT_EQ(points.size(), 6u);
+  // Odometer order: (2,s1) (2,s2) (2,s3) (4,s1) (4,s2) (4,s3).
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>> want{
+      {2, 1}, {2, 2}, {2, 3}, {4, 1}, {4, 2}, {4, 3}};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].config.num_ranks, want[i].first) << "point " << i;
+    EXPECT_EQ(points[i].config.ws.seed, want[i].second) << "point " << i;
+  }
+}
+
+TEST(SweepSpec, CoordsFollowAxisDeclarationOrder) {
+  SweepSpec spec(base_config());
+  spec.axis(ranks_axis({2, 4})).axis(seed_axis(7, 1));
+  const auto expanded = spec.expand();
+  ASSERT_TRUE(expanded);
+  const auto& p = expanded.value()[1];
+  ASSERT_EQ(p.coords.size(), 2u);
+  EXPECT_EQ(p.coords[0].first, "ranks");
+  EXPECT_EQ(p.coords[0].second, "4");
+  EXPECT_EQ(p.coords[1].first, "seed");
+  EXPECT_EQ(p.coords[1].second, "7");
+  EXPECT_EQ(p.label(), "ranks=4 seed=7");
+  ASSERT_NE(p.coord("ranks"), nullptr);
+  EXPECT_EQ(*p.coord("ranks"), "4");
+  EXPECT_EQ(p.coord("no-such-axis"), nullptr);
+}
+
+TEST(SweepSpec, ZipAdvancesAxesTogether) {
+  SweepSpec spec(base_config(), SweepMode::kZip);
+  spec.axis(ranks_axis({2, 4, 8})).axis(chunk_size_axis({1, 2, 3}));
+  EXPECT_EQ(spec.num_points(), 3u);
+  const auto expanded = spec.expand();
+  ASSERT_TRUE(expanded);
+  const auto& points = expanded.value();
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(points[i].config.num_ranks, 2u << i);
+    EXPECT_EQ(points[i].config.ws.chunk_size, i + 1);
+  }
+}
+
+TEST(SweepSpec, ZipRejectsUnequalLengths) {
+  SweepSpec spec(base_config(), SweepMode::kZip);
+  spec.axis(ranks_axis({2, 4, 8})).axis(chunk_size_axis({1, 2}));
+  EXPECT_EQ(spec.num_points(), 0u);
+  const auto expanded = spec.expand();
+  ASSERT_FALSE(expanded);
+  EXPECT_NE(expanded.error().find("length"), std::string::npos)
+      << expanded.error();
+}
+
+TEST(SweepSpec, EmptyAxisIsAnError) {
+  SweepSpec spec(base_config());
+  spec.axis(ranks_axis({}));
+  const auto expanded = spec.expand();
+  ASSERT_FALSE(expanded);
+  EXPECT_NE(expanded.error().find("no points"), std::string::npos)
+      << expanded.error();
+}
+
+TEST(SweepSpec, LaterAxesOverrideEarlierOnes) {
+  SweepSpec spec(base_config());
+  spec.axis(chunk_size_axis({5}))
+      .axis(custom_axis("override", {{"c9", [](ws::RunConfig& cfg) {
+                                        cfg.ws.chunk_size = 9;
+                                      }}}));
+  const auto expanded = spec.expand();
+  ASSERT_TRUE(expanded);
+  EXPECT_EQ(expanded.value()[0].config.ws.chunk_size, 9u);
+}
+
+TEST(SweepAxes, FactoriesLabelByValue) {
+  const Axis ranks = ranks_axis({128, 1024});
+  EXPECT_EQ(ranks.name, "ranks");
+  ASSERT_EQ(ranks.points.size(), 2u);
+  EXPECT_EQ(ranks.points[1].label, "1024");
+
+  const Axis seeds = seed_axis(3, 2);
+  ASSERT_EQ(seeds.points.size(), 2u);
+  EXPECT_EQ(seeds.points[0].label, "3");
+  EXPECT_EQ(seeds.points[1].label, "4");
+
+  const Axis congestion = congestion_axis({0.0, 1.5});
+  EXPECT_EQ(congestion.points[0].label, "off");
+  ws::RunConfig cfg = base_config();
+  cfg.enable_congestion(1.0);
+  congestion.points[0].apply(cfg);
+  EXPECT_FALSE(cfg.congestion.enabled);
+  congestion.points[1].apply(cfg);
+  EXPECT_TRUE(cfg.congestion.enabled);
+  EXPECT_DOUBLE_EQ(cfg.congestion_scale, 1.5);
+}
+
+TEST(SweepAxes, TreeAxisLooksUpTheCatalogue) {
+  const Axis trees = tree_axis({"TEST_BIN_TINY", "TEST_BIN_SMALL"});
+  ws::RunConfig cfg = base_config();
+  trees.points[0].apply(cfg);
+  EXPECT_EQ(cfg.tree.name, "TEST_BIN_TINY");
+}
+
+}  // namespace
+}  // namespace dws::exp

@@ -82,7 +82,7 @@ TEST(PaperClaims, SmallScaleHidesTheProblem) {
   // the pathology needs scale.
   const auto small = run("SIM200K", 16, ws::VictimPolicy::kRoundRobin,
                          ws::StealAmount::kOneChunk);
-  EXPECT_GT(small.efficiency(16), 0.80);
+  EXPECT_GT(small.efficiency(), 0.80);
 }
 
 TEST(PaperClaims, GranularityShrinksTheSelectionGap) {
