@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   std::string chunk;
   std::string sha_rounds;
   std::string placement;
+  std::string local_tries;
   std::string seeds;
   bool zip = false;
   std::uint32_t threads = 0;
@@ -77,6 +78,9 @@ int main(int argc, char** argv) {
       .str("--placement", "-p",
            std::string("process allocations: ") + exp::placement_flag_values(),
            &placement)
+      .str("--local-tries", "",
+           "hier policy: local picks per remote pick (e.g. 0,2,4)",
+           &local_tries)
       .str("--seeds", "", "scheduler RNG seeds (e.g. 1,2,3)", &seeds)
       .toggle("--zip", "", "advance all axes together instead of crossing",
               &zip)
@@ -186,6 +190,22 @@ int main(int argc, char** argv) {
       return 2;
     }
     sweep.axis(exp::sha_rounds_axis(list.value()));
+  }
+  if (!local_tries.empty()) {
+    // 0 is meaningful here (all-remote), so split/convert without the
+    // parse_u32_list positivity rule.
+    std::vector<std::uint32_t> list;
+    for (const std::string& item : exp::split_list(local_tries)) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(item.c_str(), &end, 10);
+      if (end == item.c_str() || *end != '\0') {
+        std::fprintf(stderr, "--local-tries: '%s' is not an integer\n",
+                     item.c_str());
+        return 2;
+      }
+      list.push_back(static_cast<std::uint32_t>(v));
+    }
+    sweep.axis(exp::local_tries_axis(list));
   }
   if (!seeds.empty()) {
     const auto list = parse_u32_list(seeds);

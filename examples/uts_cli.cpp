@@ -14,6 +14,7 @@
 #include <fstream>
 #include <string>
 
+#include "audit/audit.hpp"
 #include "exp/args.hpp"
 #include "exp/record.hpp"
 #include "exp/sweep.hpp"
@@ -41,6 +42,8 @@ int main(int argc, char** argv) {
   std::string out;
   std::uint32_t tree_type = 0;
   std::uint32_t shape = 0;
+  double congestion_scale = 1.0;
+  bool run_audit = false;
   ws::RunConfig sim_cfg;
   sim_cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
   sim_cfg.ws.steal_amount = ws::StealAmount::kHalf;
@@ -86,6 +89,47 @@ int main(int argc, char** argv) {
            &sim_cfg.ws.chunk_size)
       .u64("--seed", "", "work-stealing RNG seed (sim), default 1",
            &sim_cfg.ws.seed)
+      .option("--placement", "", "P",
+              std::string("rank placement (sim): ") +
+                  exp::placement_flag_values(),
+              [&](std::string_view v) -> support::Status {
+                auto p = exp::parse_placement(v);
+                if (!p) return support::Status::error(p.error());
+                sim_cfg.placement = p.value();
+                return support::Status::ok();
+              })
+      .u32("--ppn", "", "processes per node (sim), default 1",
+           &sim_cfg.procs_per_node)
+      .u32("--origin-cube", "", "allocation origin cube (sim), default 0",
+           &sim_cfg.origin_cube)
+      .option("--idle", "", "I",
+              std::string("idle policy (sim): ") + exp::idle_flag_values(),
+              [&](std::string_view v) -> support::Status {
+                auto p = exp::parse_idle(v);
+                if (!p) return support::Status::error(p.error());
+                sim_cfg.ws.idle_policy = p.value();
+                return support::Status::ok();
+              })
+      .u32("--lifeline-tries", "",
+           "failed steals before going dormant (sim, --idle lifeline)",
+           &sim_cfg.ws.lifeline_tries)
+      .u32("--local-tries", "",
+           "hier policy: local picks per remote pick (sim), default 2",
+           &sim_cfg.ws.hierarchical_local_tries)
+      .toggle("--one-sided", "", "service steals at arrival (sim)",
+              &sim_cfg.ws.one_sided_steals)
+      .u32("--poll", "", "nodes expanded between message polls (sim)",
+           &sim_cfg.ws.poll_interval)
+      .f64("--congestion", "",
+           "congestion capacity scale (sim), 0 disables, default 1.0",
+           &congestion_scale)
+      .u32("--alias-max", "",
+           "tofu policy: max ranks using the alias-table backend (sim)",
+           &sim_cfg.ws.alias_table_max_ranks)
+      .toggle("--audit", "",
+              "run the dws::audit invariant checker (sim); exit 1 on "
+              "violations (DWS_AUDIT=1 does the same)",
+              &run_audit)
       .str("--out", "-o", "write one structured record (sim engine)", &out);
   if (const auto status = spec.parse(argc, argv); !status) {
     std::fprintf(stderr, "%s\n", status.message().c_str());
@@ -150,8 +194,23 @@ int main(int argc, char** argv) {
   } else if (engine == "sim") {
     sim_cfg.tree = tree;
     sim_cfg.num_ranks = n;
-    sim_cfg.enable_congestion();
-    const auto r = ws::run_simulation(sim_cfg);
+    if (congestion_scale > 0.0) sim_cfg.enable_congestion(congestion_scale);
+    if (const auto status = sim_cfg.validate(); !status) {
+      std::fprintf(stderr, "invalid simulation config: %s\n",
+                   status.message().c_str());
+      return 2;
+    }
+
+    ws::RunResult r;
+    if (run_audit || audit::env_enabled()) {
+      const audit::AuditedResult audited =
+          audit::audited_run(sim_cfg, audit::AuditConfig::all());
+      std::printf("%s\n", audited.report.summary().c_str());
+      if (!audited.report.ok()) return 1;
+      r = audited.result;
+    } else {
+      r = ws::run_simulation(sim_cfg);
+    }
     const metrics::OccupancyCurve occ(r.trace);
     std::printf("engine: distributed simulator, %u ranks, %s/%s, chunk %u\n",
                 n, ws::to_string(sim_cfg.ws.victim_policy),

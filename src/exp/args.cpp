@@ -172,9 +172,18 @@ support::Expected<topo::Placement> parse_placement(std::string_view s) {
                     std::string(s) + "'");
 }
 
+support::Expected<ws::IdlePolicy> parse_idle(std::string_view s) {
+  using E = support::Expected<ws::IdlePolicy>;
+  if (s == "persistent" || s == "steal") return ws::IdlePolicy::kPersistentSteal;
+  if (s == "lifeline") return ws::IdlePolicy::kLifeline;
+  return E::failure("idle policy must be " + std::string(idle_flag_values()) +
+                    ", got '" + std::string(s) + "'");
+}
+
 const char* policy_flag_values() { return "ref|rand|tofu|hier"; }
 const char* steal_flag_values() { return "1|half"; }
 const char* placement_flag_values() { return "1n|rr|g"; }
+const char* idle_flag_values() { return "persistent|lifeline"; }
 
 std::vector<std::string> split_list(std::string_view s, char sep) {
   std::vector<std::string> out;

@@ -72,10 +72,13 @@ support::Expected<ws::VictimPolicy> parse_policy(std::string_view s);
 support::Expected<ws::StealAmount> parse_steal(std::string_view s);
 /// "1n|1/N" / "rr|8RR" / "g|8G".
 support::Expected<topo::Placement> parse_placement(std::string_view s);
+/// "persistent" or "lifeline".
+support::Expected<ws::IdlePolicy> parse_idle(std::string_view s);
 
 const char* policy_flag_values();     ///< "ref|rand|tofu|hier"
 const char* steal_flag_values();      ///< "1|half"
 const char* placement_flag_values();  ///< "1n|rr|g"
+const char* idle_flag_values();       ///< "persistent|lifeline"
 
 /// Split "a,b,c" (empty segments dropped).
 std::vector<std::string> split_list(std::string_view s, char sep = ',');

@@ -125,6 +125,7 @@ std::string canonical_config(const ws::RunConfig& c) {
   kvu("ws.one_sided_steals", c.ws.one_sided_steals ? 1 : 0);
   kv("ws.idle_policy", ws::to_string(c.ws.idle_policy));
   kvu("ws.lifeline_tries", c.ws.lifeline_tries);
+  kvu("ws.hierarchical_local_tries", c.ws.hierarchical_local_tries);
   kvu("ws.record_trace", c.ws.record_trace ? 1 : 0);
   return s;
 }

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "audit/audit.hpp"
 #include "support/check.hpp"
 
 namespace dws::exp {
@@ -47,9 +48,19 @@ class ScopedCheckHandler {
 
 SweepRunner::SweepRunner(RunnerOptions options) : options_(std::move(options)) {
   if (!options_.run) {
-    options_.run = [](const ws::RunConfig& cfg) {
-      return ws::run_simulation(cfg);
-    };
+    // DWS_AUDIT=1 swaps in the fully audited run: every point replays the
+    // dws::audit conservation ledger, and a violation fails the point (the
+    // throw lands in the same catch as a DWS_CHECK failure). Sampled once
+    // per runner so a sweep is all-audited or not at all.
+    if (audit::env_enabled()) {
+      options_.run = [](const ws::RunConfig& cfg) {
+        return audit::checked_run(cfg);
+      };
+    } else {
+      options_.run = [](const ws::RunConfig& cfg) {
+        return ws::run_simulation(cfg);
+      };
+    }
   }
 }
 

@@ -52,8 +52,11 @@ struct RunnerOptions {
   unsigned threads = 0;
   /// Live "done/total + ETA" lines on stderr as points complete.
   bool progress = true;
-  /// The function executed per point. Defaults to ws::run_simulation;
-  /// tests substitute instrumented stand-ins.
+  /// The function executed per point. Defaults to ws::run_simulation — or,
+  /// when the DWS_AUDIT environment variable is set, to audit::checked_run,
+  /// which replays the dws::audit conservation ledger against every point
+  /// and fails the point on any violation. Tests substitute instrumented
+  /// stand-ins.
   std::function<ws::RunResult(const ws::RunConfig&)> run;
 };
 

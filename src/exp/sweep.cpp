@@ -75,6 +75,16 @@ Axis seed_axis(std::uint64_t first, std::uint64_t count) {
   return axis;
 }
 
+Axis local_tries_axis(const std::vector<std::uint32_t>& tries) {
+  Axis axis{"local_tries", {}};
+  for (const std::uint32_t t : tries) {
+    axis.points.push_back({std::to_string(t), [t](ws::RunConfig& cfg) {
+                             cfg.ws.hierarchical_local_tries = t;
+                           }});
+  }
+  return axis;
+}
+
 Axis congestion_axis(const std::vector<double>& scales) {
   Axis axis{"congestion", {}};
   for (const double scale : scales) {

@@ -44,6 +44,8 @@ Axis tree_axis(const std::vector<std::string>& catalogue_names);
 Axis seed_axis(std::uint64_t first, std::uint64_t count);
 /// Congestion capacity scales; 0 turns the model off for that point.
 Axis congestion_axis(const std::vector<double>& scales);
+/// kHierarchical local picks per remote pick (ws.hierarchical_local_tries).
+Axis local_tries_axis(const std::vector<std::uint32_t>& tries);
 /// Placement + procs_per_node pairs (the paper's 1/N, 8RR, 8G allocations).
 Axis placement_axis(
     const std::vector<std::pair<topo::Placement, std::uint32_t>>& allocs);

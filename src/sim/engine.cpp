@@ -1,18 +1,20 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 namespace dws::sim {
 
 void Engine::schedule_at(support::SimTime t, Action action) {
   DWS_CHECK(t >= now_);
-  queue_.push(Event{t, next_seq_++, std::move(action)});
+  queue_.push_back(Event{t, next_seq_++, std::move(action)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 bool Engine::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast — safe because
-  // the element is popped immediately and never reordered after top().
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   now_ = ev.time;
   ++executed_;
   ev.action();

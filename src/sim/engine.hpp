@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <limits>
 #include <vector>
 
 #include "support/check.hpp"
@@ -26,8 +26,13 @@ class Engine {
   /// Schedule `action` at absolute virtual time `t` (>= now).
   void schedule_at(support::SimTime t, Action action);
 
-  /// Schedule `action` `delay` ns after the current virtual time.
+  /// Schedule `action` `delay` ns after the current virtual time. Negative
+  /// delays and delays that would overflow SimTime fail a DWS_CHECK instead
+  /// of wrapping the clock (signed overflow would otherwise be UB *and* a
+  /// silently corrupted schedule).
   void schedule_after(support::SimTime delay, Action action) {
+    DWS_CHECK(delay >= 0);
+    DWS_CHECK(delay <= std::numeric_limits<support::SimTime>::max() - now_);
     schedule_at(now_ + delay, std::move(action));
   }
 
@@ -51,6 +56,8 @@ class Engine {
     std::uint64_t seq;
     Action action;
   };
+  /// Heap order for std::push_heap/pop_heap: the "largest" element is the
+  /// earliest (time, seq), so the heap front is the next event to fire.
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
@@ -58,7 +65,11 @@ class Engine {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // A plain vector managed with the <algorithm> heap functions rather than
+  // std::priority_queue: pop_heap moves the front element to the back, where
+  // it can be moved out legally — priority_queue::top() is const and would
+  // force a const_cast to avoid copying the Action.
+  std::vector<Event> queue_;
   support::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

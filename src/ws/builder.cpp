@@ -75,6 +75,12 @@ RunConfigBuilder& RunConfigBuilder::lifeline_tries(std::uint32_t tries) {
   return *this;
 }
 
+RunConfigBuilder& RunConfigBuilder::hierarchical_local_tries(
+    std::uint32_t tries) {
+  cfg_.ws.hierarchical_local_tries = tries;
+  return *this;
+}
+
 RunConfigBuilder& RunConfigBuilder::one_sided_steals(bool on) {
   cfg_.ws.one_sided_steals = on;
   return *this;

@@ -53,6 +53,7 @@ class RunConfigBuilder {
   RunConfigBuilder& seed(std::uint64_t s);
   RunConfigBuilder& idle_policy(IdlePolicy p);
   RunConfigBuilder& lifeline_tries(std::uint32_t tries);
+  RunConfigBuilder& hierarchical_local_tries(std::uint32_t tries);
   RunConfigBuilder& one_sided_steals(bool on = true);
   RunConfigBuilder& record_trace(bool on);
   RunConfigBuilder& alias_table_max_ranks(std::uint32_t max_ranks);

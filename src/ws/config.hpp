@@ -97,6 +97,13 @@ struct WsConfig {
   /// kLifeline: failed random steals before going dormant on the lifelines.
   std::uint32_t lifeline_tries = 8;
 
+  /// kHierarchical: local picks before each remote pick. The selector draws
+  /// `hierarchical_local_tries` uniformly random local victims (same node,
+  /// else same cube), then one uniformly random *strictly remote* victim, so
+  /// the long-run local fraction is exactly tries/(tries + 1). 0 means every
+  /// pick is remote.
+  std::uint32_t hierarchical_local_tries = 2;
+
   bool record_trace = true;
 
   /// Virtual compute time per tree node.

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/trace.hpp"
+#include "support/sim_time.hpp"
+#include "topo/allocation.hpp"
+#include "uts/node.hpp"
+#include "ws/message.hpp"
+
+namespace dws::ws {
+
+/// Passive observation hooks into one simulated run. run_simulation accepts
+/// an optional RunObserver; every hook is a pure notification — observers
+/// must not mutate scheduler state, and the simulation's behaviour (event
+/// order, results, traces) is bit-identical with or without one attached.
+///
+/// This is the seam the dws::audit invariant checkers hang off: the worker
+/// reports node expansions, chunk movement, steal request/response pairs,
+/// token traffic and phase transitions, and the auditor replays its own
+/// conservation ledger against them. Hooks are only invoked when an observer
+/// is attached (a single null check per site), so runs without auditing pay
+/// nothing.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// Rank `rank` seeded the tree root at t = 0.
+  virtual void on_root(topo::Rank rank, const uts::TreeNode& root) {
+    (void)rank, (void)root;
+  }
+  /// Rank popped `node` and generated `children` children.
+  virtual void on_node_expanded(topo::Rank rank, const uts::TreeNode& node,
+                                std::uint32_t children) {
+    (void)rank, (void)node, (void)children;
+  }
+
+  /// Thief sent a steal request of `bytes` payload bytes to `victim`.
+  virtual void on_steal_request_sent(topo::Rank thief, topo::Rank victim,
+                                     std::uint32_t bytes) {
+    (void)thief, (void)victim, (void)bytes;
+  }
+  /// Victim answered `thief`'s request with `chunks` chunks carrying `nodes`
+  /// tree nodes (0/0 is a refusal) in a `bytes`-byte response.
+  virtual void on_steal_response_sent(topo::Rank victim, topo::Rank thief,
+                                      std::uint64_t chunks, std::uint64_t nodes,
+                                      std::uint32_t bytes) {
+    (void)victim, (void)thief, (void)chunks, (void)nodes, (void)bytes;
+  }
+  /// Thief received the response to its outstanding request to `victim`.
+  virtual void on_steal_response_received(topo::Rank thief, topo::Rank victim,
+                                          std::uint64_t chunks,
+                                          std::uint64_t nodes) {
+    (void)thief, (void)victim, (void)chunks, (void)nodes;
+  }
+
+  /// kLifeline: dormant `rank` registered with buddy `target`.
+  virtual void on_lifeline_register_sent(topo::Rank rank, topo::Rank target,
+                                         std::uint32_t bytes) {
+    (void)rank, (void)target, (void)bytes;
+  }
+  /// kLifeline: `from` pushed surplus work to dormant dependent `to`.
+  virtual void on_lifeline_push_sent(topo::Rank from, topo::Rank to,
+                                     std::uint64_t chunks, std::uint64_t nodes,
+                                     std::uint32_t bytes) {
+    (void)from, (void)to, (void)chunks, (void)nodes, (void)bytes;
+  }
+  /// kLifeline: `rank` received an unsolicited work push.
+  virtual void on_lifeline_push_received(topo::Rank rank, std::uint64_t chunks,
+                                         std::uint64_t nodes) {
+    (void)rank, (void)chunks, (void)nodes;
+  }
+
+  /// Termination token forwarded from `from` to `to`.
+  virtual void on_token_sent(topo::Rank from, topo::Rank to, const Token& t) {
+    (void)from, (void)to, (void)t;
+  }
+  /// Rank entered `phase` at virtual time `t` (mirrors RankTrace::record,
+  /// including re-records of the current phase that the trace collapses).
+  virtual void on_phase(topo::Rank rank, support::SimTime t, metrics::Phase p) {
+    (void)rank, (void)t, (void)p;
+  }
+  /// Rank 0 declared global termination at virtual time `t`.
+  virtual void on_termination(support::SimTime t) { (void)t; }
+  /// Rank learnt of termination (entered its final Done state) at `t`.
+  virtual void on_finish(topo::Rank rank, support::SimTime t) {
+    (void)rank, (void)t;
+  }
+};
+
+}  // namespace dws::ws

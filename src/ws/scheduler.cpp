@@ -58,7 +58,7 @@ support::Status RunConfig::validate() const {
   return support::Status::ok();
 }
 
-RunResult run_simulation(const RunConfig& config) {
+RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
   DWS_CHECK(config.num_ranks >= 1);
 
   topo::JobLayout layout(config.machine, config.num_ranks, config.placement,
@@ -92,6 +92,7 @@ RunResult run_simulation(const RunConfig& config) {
   ctx.tree = &config.tree;
   ctx.latency = &latency;
   ctx.num_ranks = config.num_ranks;
+  ctx.observer = observer;
 
   for (topo::Rank r = 0; r < config.num_ranks; ++r) {
     workers.push_back(std::make_unique<Worker>(r, ctx));

@@ -87,10 +87,15 @@ struct RunResult {
   }
 };
 
+class RunObserver;
+
 /// Execute one full UTS work-stealing run on the simulator. Deterministic:
-/// equal RunConfigs produce bit-identical results. Aborts (DWS_CHECK) if the
-/// run violates conservation — termination with unfinished work, lost
-/// chunks, or a worker left in a non-terminated state.
-RunResult run_simulation(const RunConfig& config);
+/// equal RunConfigs produce bit-identical results — with or without an
+/// `observer` attached (observers are passive; see observer.hpp and the
+/// dws::audit subsystem built on it). Aborts (DWS_CHECK) if the run violates
+/// conservation — termination with unfinished work, lost chunks, or a worker
+/// left in a non-terminated state.
+RunResult run_simulation(const RunConfig& config,
+                         RunObserver* observer = nullptr);
 
 }  // namespace dws::ws

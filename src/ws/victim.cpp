@@ -106,16 +106,28 @@ HierarchicalSelector::HierarchicalSelector(topo::Rank self,
       }
     }
   }
+  // The remote level draws over the complement, so a "remote" pick can never
+  // land on a local peer and the local/remote split is exactly the schedule's
+  // local_tries : 1 (local_ is sorted by construction).
+  std::size_t li = 0;
+  for (topo::Rank j = 0; j < num_ranks_; ++j) {
+    if (j == self_) continue;
+    if (li < local_.size() && local_[li] == j) {
+      ++li;
+      continue;
+    }
+    remote_.push_back(j);
+  }
 }
 
 topo::Rank HierarchicalSelector::next() {
+  const std::uint32_t slot = phase_++ % (local_tries_ + 1);
+  // Degenerate jobs: with no local peers every pick is remote; with no
+  // strictly remote rank (everyone shares the node/cube) every pick is local.
   const bool pick_local =
-      !local_.empty() && (phase_++ % (local_tries_ + 1)) < local_tries_;
-  if (pick_local) {
-    return local_[static_cast<std::size_t>(rng_.next_below(local_.size()))];
-  }
-  const auto draw = static_cast<topo::Rank>(rng_.next_below(num_ranks_ - 1));
-  return draw >= self_ ? draw + 1 : draw;
+      !local_.empty() && (remote_.empty() || slot < local_tries_);
+  const std::vector<topo::Rank>& pool = pick_local ? local_ : remote_;
+  return pool[static_cast<std::size_t>(rng_.next_below(pool.size()))];
 }
 
 std::unique_ptr<VictimSelector> make_selector(const WsConfig& config,
@@ -131,7 +143,8 @@ std::unique_ptr<VictimSelector> make_selector(const WsConfig& config,
       return std::make_unique<TofuSkewedSelector>(self, latency, config.seed,
                                                   config.alias_table_max_ranks);
     case VictimPolicy::kHierarchical:
-      return std::make_unique<HierarchicalSelector>(self, latency, config.seed);
+      return std::make_unique<HierarchicalSelector>(
+          self, latency, config.seed, config.hierarchical_local_tries);
   }
   DWS_CHECK(false && "unreachable victim policy");
 }

@@ -82,8 +82,11 @@ class TofuSkewedSelector final : public VictimSelector {
 
 /// Two-level hierarchical selection (related-work style, §VI): alternate
 /// between the local neighbourhood (ranks on the same compute node, or — for
-/// 1/N placements — the same Tofu cube) and the global rank set on a fixed
-/// schedule of `local_tries` local picks followed by one remote pick.
+/// 1/N placements — the same Tofu cube) and the strictly remote rank set on a
+/// fixed schedule of `local_tries` local picks followed by one remote pick.
+/// Remote picks exclude the local peers, so the long-run local fraction is
+/// exactly local_tries / (local_tries + 1) whenever both sets are non-empty
+/// (degenerate jobs where one set is empty draw from the other).
 ///
 /// Unlike TofuSkewedSelector this uses *fixed per-level policies* rather
 /// than distance weights, which is exactly the design the paper argues its
@@ -95,6 +98,10 @@ class HierarchicalSelector final : public VictimSelector {
   topo::Rank next() override;
 
   std::size_t local_peers() const noexcept { return local_.size(); }
+  std::size_t remote_peers() const noexcept { return remote_.size(); }
+  std::uint32_t local_tries() const noexcept { return local_tries_; }
+  const std::vector<topo::Rank>& local_set() const noexcept { return local_; }
+  const std::vector<topo::Rank>& remote_set() const noexcept { return remote_; }
 
  private:
   topo::Rank self_;
@@ -102,7 +109,8 @@ class HierarchicalSelector final : public VictimSelector {
   std::uint32_t local_tries_;
   std::uint32_t phase_ = 0;
   support::Xoshiro256StarStar rng_;
-  std::vector<topo::Rank> local_;  // same node (or same cube) peers
+  std::vector<topo::Rank> local_;   // same node (or same cube) peers
+  std::vector<topo::Rank> remote_;  // every other rank outside local_
 };
 
 /// Factory keyed by WsConfig. Seeds are decorrelated per rank.

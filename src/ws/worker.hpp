@@ -17,6 +17,7 @@
 namespace dws::ws {
 
 class Worker;
+class RunObserver;
 
 /// Shared, immutable-per-run context handed to every worker, plus the one
 /// piece of cross-worker mutable state: the termination flag that rank 0
@@ -28,6 +29,9 @@ struct RunContext {
   const uts::TreeParams* tree = nullptr;
   const topo::LatencyModel* latency = nullptr;
   topo::Rank num_ranks = 0;
+
+  /// Optional passive instrumentation (observer.hpp); null when not auditing.
+  RunObserver* observer = nullptr;
 
   bool terminated = false;
   support::SimTime termination_time = 0;
@@ -78,6 +82,8 @@ class Worker {
 
   void schedule_step();
   void step();
+  /// trace_.record plus the observer's on_phase hook.
+  void record_phase(support::SimTime t, metrics::Phase p);
   /// Serve queued messages at a poll boundary; returns virtual time spent.
   support::SimTime drain_inbox();
   void handle(Message msg);

@@ -1,0 +1,81 @@
+#include "audit/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exp/record.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "uts/params.hpp"
+#include "uts/sequential.hpp"
+
+namespace dws::audit {
+namespace {
+
+/// Golden determinism: Fig. 6's smallest quick-mode point (SIM200K at 128
+/// ranks, Reference 1/N) must produce byte-identical JSONL whether it runs
+/// serially or on the SweepRunner pool, audited or not. The audit observer
+/// is passive by contract — this pins that contract to a real figure point.
+
+ws::RunConfig fig06_smallest() {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name("SIM200K");
+  cfg.num_ranks = 128;
+  cfg.ws.chunk_size = 4;
+  cfg.ws.victim_policy = ws::VictimPolicy::kRoundRobin;
+  cfg.ws.steal_amount = ws::StealAmount::kOneChunk;
+  cfg.placement = topo::Placement::kOnePerNode;
+  cfg.procs_per_node = 1;
+  cfg.enable_congestion(1.0);
+  return cfg;
+}
+
+std::string run_records(bool audited, unsigned threads) {
+  exp::SweepSpec spec(fig06_smallest());
+  spec.axis(exp::ranks_axis({128}));
+  const auto expanded = spec.expand();
+  EXPECT_TRUE(expanded);
+  exp::RunnerOptions options;
+  options.threads = threads;
+  options.progress = false;
+  if (audited) {
+    options.run = [](const ws::RunConfig& cfg) { return checked_run(cfg); };
+  } else {
+    options.run = [](const ws::RunConfig& cfg) {
+      return ws::run_simulation(cfg);
+    };
+  }
+  const exp::SweepReport report = exp::SweepRunner(options).run(expanded.value());
+  EXPECT_TRUE(report.all_ok());
+  std::ostringstream out;
+  exp::RecordWriter writer(
+      out, exp::RecordOptions{exp::RecordFormat::kJsonl, /*wall_clock=*/false});
+  writer.write_report(expanded.value(), report);
+  return out.str();
+}
+
+TEST(GoldenDeterminism, AuditedFigurePointIsClean) {
+  const ws::RunConfig cfg = fig06_smallest();
+  const AuditedResult audited = audited_run(cfg, AuditConfig::all());
+  EXPECT_TRUE(audited.report.ok()) << audited.report.summary();
+  EXPECT_EQ(audited.result.nodes, uts::enumerate_sequential(cfg.tree).nodes);
+  EXPECT_EQ(audited.report.nodes_expanded, audited.result.nodes);
+}
+
+TEST(GoldenDeterminism, SerialAndPooledRecordsAreByteIdentical) {
+  const std::string serial = run_records(/*audited=*/true, 1);
+  const std::string pooled = run_records(/*audited=*/true, 4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(GoldenDeterminism, AuditingDoesNotPerturbTheRecords) {
+  // The observer must not change the simulation's event order: the audited
+  // record stream is byte-identical to the bare one.
+  EXPECT_EQ(run_records(/*audited=*/true, 1), run_records(/*audited=*/false, 1));
+}
+
+}  // namespace
+}  // namespace dws::audit

@@ -1,0 +1,147 @@
+#include "audit/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "topo/latency.hpp"
+#include "ws/victim.hpp"
+
+namespace dws::audit {
+namespace {
+
+/// Fixture supplying a 64-rank grouped job (8 ranks per node) — the layout
+/// where every selector family has non-trivial structure: Tofu distances
+/// vary, and the hierarchical local set is the 7 node-mates.
+class DistributionTest : public ::testing::Test {
+ protected:
+  DistributionTest()
+      : layout_(machine_, 64, topo::Placement::kGrouped, 8),
+        latency_(layout_) {}
+
+  topo::TofuMachine machine_;
+  topo::JobLayout layout_;
+  topo::LatencyModel latency_;
+};
+
+TEST(ChiSquareSf, MatchesTextbookValues) {
+  // sf(3.841, 1) is the classic 5% critical value.
+  EXPECT_NEAR(support::chi_square_sf(3.841, 1.0), 0.05, 2e-3);
+  EXPECT_NEAR(support::chi_square_sf(18.307, 10.0), 0.05, 2e-3);
+  EXPECT_DOUBLE_EQ(support::chi_square_sf(0.0, 5.0), 1.0);
+  EXPECT_GT(support::chi_square_sf(10.0, 10.0),
+            support::chi_square_sf(20.0, 10.0));
+  EXPECT_LT(support::chi_square_sf(100.0, 3.0), 1e-12);
+}
+
+TEST_F(DistributionTest, EveryPolicyMatchesItsAnalyticDistribution) {
+  const ws::VictimPolicy policies[] = {
+      ws::VictimPolicy::kRoundRobin, ws::VictimPolicy::kRandom,
+      ws::VictimPolicy::kTofuSkewed, ws::VictimPolicy::kHierarchical};
+  for (const ws::VictimPolicy policy : policies) {
+    ws::WsConfig cfg;
+    cfg.victim_policy = policy;
+    const topo::Rank self = 5;
+    const std::vector<double> expected =
+        expected_distribution(cfg, self, 64, latency_);
+    ASSERT_EQ(expected.size(), 64u);
+    EXPECT_DOUBLE_EQ(expected[self], 0.0);
+    EXPECT_NEAR(std::accumulate(expected.begin(), expected.end(), 0.0), 1.0,
+                1e-9);
+    auto selector = ws::make_selector(cfg, self, latency_);
+    const DistributionCheck check =
+        check_selector_distribution(*selector, expected, self, 20000);
+    EXPECT_TRUE(check.ok) << ws::to_string(policy) << ": " << check.detail;
+    EXPECT_EQ(check.samples, 20000u);
+  }
+}
+
+TEST_F(DistributionTest, SkewedSelectorFailsTheUniformExpectation) {
+  // Negative control: the distance-skewed draw against a flat analytic
+  // distribution must trip the chi-square screen.
+  std::vector<double> uniform(64, 1.0 / 63.0);
+  uniform[5] = 0.0;
+  ws::TofuSkewedSelector selector(5, latency_, 1, 2048);
+  const DistributionCheck check =
+      check_selector_distribution(selector, uniform, 5, 20000);
+  EXPECT_FALSE(check.ok);
+  EXPECT_FALSE(check.detail.empty());
+}
+
+TEST_F(DistributionTest, HierarchicalExpectationUsesCorrectedSplit) {
+  // local_tries = 3 schedules 3 local picks per remote pick, so exactly 3/4
+  // of the mass sits on the local set — not the pre-fix local/(local+remote)
+  // node-count ratio.
+  ws::WsConfig cfg;
+  cfg.victim_policy = ws::VictimPolicy::kHierarchical;
+  cfg.hierarchical_local_tries = 3;
+  const std::vector<double> expected =
+      expected_distribution(cfg, 0, 64, latency_);
+  ws::HierarchicalSelector selector(0, latency_, 7, 3);
+  double local_mass = 0.0;
+  for (const topo::Rank r : selector.local_set()) local_mass += expected[r];
+  EXPECT_NEAR(local_mass, 0.75, 1e-9);
+  const DistributionCheck check =
+      check_selector_distribution(selector, expected, 0, 20000);
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
+TEST_F(DistributionTest, LocalTriesKnobChangesTheDistribution) {
+  // Regression for the make_selector plumbing: a selector built with
+  // local_tries = 4 must fail the all-remote (local_tries = 0) expectation —
+  // before the fix both built identically and this was indistinguishable.
+  ws::WsConfig all_remote;
+  all_remote.victim_policy = ws::VictimPolicy::kHierarchical;
+  all_remote.hierarchical_local_tries = 0;
+  const std::vector<double> remote_only =
+      expected_distribution(all_remote, 0, 64, latency_);
+
+  ws::WsConfig mostly_local = all_remote;
+  mostly_local.hierarchical_local_tries = 4;
+  auto selector = ws::make_selector(mostly_local, 0, latency_);
+  const DistributionCheck cross =
+      check_selector_distribution(*selector, remote_only, 0, 20000);
+  EXPECT_FALSE(cross.ok);
+
+  auto remote_selector = ws::make_selector(all_remote, 0, latency_);
+  const DistributionCheck own =
+      check_selector_distribution(*remote_selector, remote_only, 0, 20000);
+  EXPECT_TRUE(own.ok) << own.detail;
+}
+
+TEST_F(DistributionTest, TofuBackendsSelectByThresholdAndAgree) {
+  // 64 ranks: max_ranks = 2048 keeps the Walker alias table, max_ranks = 1
+  // forces rejection sampling. Identical probability vectors either way.
+  ws::TofuSkewedSelector alias(3, latency_, 7, 2048);
+  ws::TofuSkewedSelector rejection(3, latency_, 7, 1);
+  EXPECT_TRUE(alias.uses_alias_table());
+  EXPECT_FALSE(rejection.uses_alias_table());
+  for (topo::Rank r = 0; r < 64; ++r) {
+    EXPECT_NEAR(alias.probability(r), rejection.probability(r), 1e-12) << r;
+  }
+
+  ws::WsConfig cfg;
+  cfg.victim_policy = ws::VictimPolicy::kTofuSkewed;
+  const DistributionCheck check =
+      check_tofu_backends_agree(cfg, 3, latency_, 20000);
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
+TEST_F(DistributionTest, TofuAgreementHoldsOnBothSidesOfTheThreshold) {
+  for (const std::uint32_t max_ranks : {1u, 2048u}) {
+    ws::WsConfig cfg;
+    cfg.victim_policy = ws::VictimPolicy::kTofuSkewed;
+    cfg.alias_table_max_ranks = max_ranks;
+    const std::vector<double> expected =
+        expected_distribution(cfg, 9, 64, latency_);
+    auto selector = ws::make_selector(cfg, 9, latency_);
+    const DistributionCheck check =
+        check_selector_distribution(*selector, expected, 9, 20000);
+    EXPECT_TRUE(check.ok) << "max_ranks=" << max_ranks << ": " << check.detail;
+  }
+}
+
+}  // namespace
+}  // namespace dws::audit

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
+
+#include "support/check.hpp"
 
 namespace dws::sim {
 namespace {
@@ -121,6 +124,32 @@ TEST(Engine, SchedulingAtCurrentTimeIsAllowed) {
   e.run();
   EXPECT_TRUE(ran);
   EXPECT_EQ(e.now(), 10);
+}
+
+TEST(Engine, OverflowingDelayFailsTheCheckInsteadOfWrapping) {
+  // schedule_after(huge) used to wrap SimTime and fire the event in the past;
+  // now it must trip DWS_CHECK before corrupting the queue.
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.run();
+  ASSERT_EQ(e.now(), 100);
+
+  struct CheckFailure {};
+  static bool tripped;
+  tripped = false;
+  const auto prev = support::set_check_handler(
+      [](const char*, const char*, int) { tripped = true; throw CheckFailure{}; });
+  EXPECT_THROW(
+      e.schedule_after(std::numeric_limits<support::SimTime>::max(), [] {}),
+      CheckFailure);
+  support::set_check_handler(prev);
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(e.pending(), 0u);  // the bad event was never enqueued
+
+  // A maximal-but-legal delay is still accepted.
+  e.schedule_after(std::numeric_limits<support::SimTime>::max() - e.now(),
+                   [] {});
+  EXPECT_EQ(e.pending(), 1u);
 }
 
 TEST(Engine, DeterministicAcrossRuns) {

@@ -56,6 +56,47 @@ TEST(Hierarchical, PrefersLocalOnSchedule) {
   EXPECT_LT(local, draws * 75 / 100);
 }
 
+TEST(Hierarchical, RemoteSetStrictlyExcludesLocalPeers) {
+  // Regression: the remote fallback used to draw from all N-1 ranks, which
+  // double-counted the local set and silently inflated the local fraction.
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 64, topo::Placement::kGrouped, 8);
+  topo::LatencyModel latency(layout);
+  HierarchicalSelector s(5, latency, 1);
+  for (const topo::Rank r : s.remote_set()) {
+    EXPECT_NE(r, 5u);
+    EXPECT_FALSE(layout.same_node(5, r)) << r;
+  }
+  for (const topo::Rank r : s.local_set()) EXPECT_NE(r, 5u);
+  // local + remote + self partition the job.
+  EXPECT_EQ(s.local_set().size() + s.remote_set().size() + 1, 64u);
+}
+
+TEST(Hierarchical, MakeSelectorHonorsLocalTries) {
+  // Regression: make_selector used to drop WsConfig::hierarchical_local_tries
+  // and always build with the default. The schedule is deterministic (N local
+  // picks, one remote pick, repeat) and remote picks exclude the local set,
+  // so the local fraction is exactly tries/(tries+1).
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 64, topo::Placement::kGrouped, 8);
+  topo::LatencyModel latency(layout);
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kHierarchical;
+  const auto local_fraction = [&](std::uint32_t tries) {
+    cfg.hierarchical_local_tries = tries;
+    auto s = make_selector(cfg, 0, latency);
+    int local = 0;
+    const int draws = 10000;
+    for (int i = 0; i < draws; ++i) {
+      if (layout.same_node(0, s->next())) ++local;
+    }
+    return static_cast<double>(local) / draws;
+  };
+  EXPECT_DOUBLE_EQ(local_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(local_fraction(4), 0.8);
+  EXPECT_DOUBLE_EQ(local_fraction(1), 0.5);
+}
+
 TEST(Hierarchical, RemotePhaseCoversAllRanks) {
   topo::TofuMachine machine;
   topo::JobLayout layout(machine, 32, topo::Placement::kOnePerNode);
