@@ -1,8 +1,23 @@
 /// Component micro-benchmarks (google-benchmark): the hot paths every
 /// simulated run leans on. Not a paper figure; used to keep the simulator
 /// fast enough that the figure benches regenerate in minutes.
+///
+/// Besides the google-benchmark suite, `micro_core --core-report[=PATH]`
+/// measures the event core itself — events/sec through the engine on a
+/// steal/poll/delivery-shaped workload, heap traffic per event (via the
+/// counting global allocator below), and the queue high-water mark — and
+/// writes the numbers as JSON (default BENCH_core.json). The committed
+/// BENCH_core.json holds the recorded baseline the CI perf-smoke job gates
+/// against.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "crypto/sha1.hpp"
@@ -13,10 +28,66 @@
 #include "support/rejection_sampler.hpp"
 #include "support/rng.hpp"
 #include "topo/latency.hpp"
+#include "uts/params.hpp"
 #include "uts/sequential.hpp"
 #include "uts/tree.hpp"
 #include "ws/chunk_stack.hpp"
+#include "ws/scheduler.hpp"
 #include "ws/victim.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook: every heap allocation in this binary goes through
+// these overrides. The core report samples the counters around the measured
+// loops to report allocs/bytes per event; tests/sim/alloc_test.cpp asserts
+// the same property (zero steady-state allocation) as a tier-1 test.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_bytes{0};
+
+void count_alloc(std::size_t size) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  std::uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, live,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+// Allocation sizes are recovered via a small header so frees can decrement
+// the live counter (sized delete is not guaranteed to be called).
+constexpr std::size_t kHeader = alignof(std::max_align_t);
+
+void* counted_new(std::size_t size) {
+  count_alloc(size);
+  void* raw = std::malloc(size + kHeader);
+  if (!raw) throw std::bad_alloc();
+  std::memcpy(raw, &size, sizeof(size));
+  return static_cast<char*>(raw) + kHeader;
+}
+
+void counted_delete(void* p) noexcept {
+  if (!p) return;
+  char* raw = static_cast<char*>(p) - kHeader;
+  std::size_t size = 0;
+  std::memcpy(&size, raw, sizeof(size));
+  g_live_bytes.fetch_sub(size, std::memory_order_relaxed);
+  std::free(raw);
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_new(size); }
+void* operator new[](std::size_t size) { return counted_new(size); }
+void operator delete(void* p) noexcept { counted_delete(p); }
+void operator delete[](void* p) noexcept { counted_delete(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_delete(p); }
 
 namespace {
 
@@ -168,6 +239,200 @@ void BM_LatencyQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_LatencyQuery);
 
+// ---------------------------------------------------------------------------
+// Core report: the event-core workload. A ring of actors mirrors the shape
+// of a simulated run — each actor runs a self-rescheduling "step" chain
+// (worker poll loop, EventKind::kWorkerStep) and every 4th step ships a
+// "delivery" carrying a message-sized payload to another actor (network
+// traffic: the payload parks in a slab pool and travels as a 32-bit handle
+// in a kNetworkDeliver event, exactly like sim::Network's in-flight
+// messages).
+// ---------------------------------------------------------------------------
+
+struct CorePayload {
+  std::uint64_t words[4] = {0, 0, 0, 0};  // sizeof(ws::Message)-class payload
+};
+
+struct CoreReport {
+  double engine_events_per_sec = 0.0;
+  double sim_events_per_sec = 0.0;
+  double allocs_per_event = 0.0;
+  double alloc_bytes_per_event = 0.0;
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t sim_queue_high_water = 0;
+  std::uint64_t peak_heap_bytes = 0;
+  std::uint64_t sim_engine_events = 0;
+};
+
+class CoreWorkload final : public sim::EventSink {
+ public:
+  static constexpr std::uint32_t kActors = 512;
+
+  explicit CoreWorkload(sim::Engine& engine) : engine_(engine) {
+    for (std::uint32_t a = 0; a < kActors; ++a) schedule_step(a);
+  }
+
+  void on_event(const sim::Event& ev) override {
+    if (ev.kind == sim::EventKind::kWorkerStep) {
+      step(ev.rank);
+    } else {
+      deliver(ev.rank, pool_.take(ev.payload));
+    }
+  }
+
+  std::uint64_t delivered() const noexcept { return delivered_; }
+
+ private:
+  void schedule_step(std::uint32_t actor) {
+    const support::SimTime delay = 200 + static_cast<support::SimTime>(
+                                             next_noise(actor) % 1600);
+    engine_.schedule_after(delay, *this, sim::EventKind::kWorkerStep, actor);
+  }
+
+  void step(std::uint32_t actor) {
+    if (++steps_ % 4 == 0) {
+      // "Send": the payload parks in the slab pool and the event carries its
+      // handle, exactly like Network::send parking the in-flight ws::Message.
+      const std::uint32_t dst = (actor * 2654435761u) % kActors;
+      CorePayload payload;
+      payload.words[0] = steps_;
+      payload.words[1] = actor;
+      engine_.schedule_after(2000, *this, sim::EventKind::kNetworkDeliver,
+                             dst, pool_.acquire(payload));
+    }
+    schedule_step(actor);
+  }
+
+  void deliver(std::uint32_t dst, const CorePayload& payload) {
+    delivered_ += 1 + (payload.words[0] & 0) + (dst & 0);
+  }
+
+  std::uint64_t next_noise(std::uint32_t actor) noexcept {
+    noise_ = noise_ * 6364136223846793005ULL + actor + 1442695040888963407ULL;
+    return noise_ >> 33;
+  }
+
+  sim::Engine& engine_;
+  sim::SlabPool<CorePayload> pool_;
+  std::uint64_t noise_ = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t steps_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Raw event-core throughput: schedule + dispatch on the actor workload.
+void measure_engine(CoreReport& report) {
+  constexpr std::uint64_t kWarmup = 200'000;
+  constexpr std::uint64_t kMeasured = 4'000'000;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    sim::Engine engine;
+    CoreWorkload workload(engine);
+    engine.run(kWarmup);
+
+    const std::uint64_t allocs0 = g_alloc_count.load();
+    const std::uint64_t bytes0 = g_alloc_bytes.load();
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.run(kMeasured);
+    const double secs = wall_seconds_since(t0);
+    const std::uint64_t allocs = g_alloc_count.load() - allocs0;
+    const std::uint64_t bytes = g_alloc_bytes.load() - bytes0;
+
+    const double rate = static_cast<double>(kMeasured) / secs;
+    if (rate > best) {
+      best = rate;
+      report.allocs_per_event =
+          static_cast<double>(allocs) / static_cast<double>(kMeasured);
+      report.alloc_bytes_per_event =
+          static_cast<double>(bytes) / static_cast<double>(kMeasured);
+      report.queue_high_water = engine.max_pending();
+    }
+    benchmark::DoNotOptimize(workload.delivered());
+  }
+  report.engine_events_per_sec = best;
+}
+
+/// End-to-end events/sec of a full simulated run (fig06-shaped point).
+void measure_simulation(CoreReport& report) {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name("SIM200K");
+  cfg.num_ranks = 256;
+  cfg.ws.chunk_size = 4;
+  cfg.ws.victim_policy = ws::VictimPolicy::kRandom;
+  cfg.placement = topo::Placement::kOnePerNode;
+  cfg.enable_congestion(1.0);
+
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ws::RunResult result = ws::run_simulation(cfg);
+    const double secs = wall_seconds_since(t0);
+    const double rate = static_cast<double>(result.engine_events) / secs;
+    if (rate > best) {
+      best = rate;
+      report.sim_engine_events = result.engine_events;
+      report.sim_queue_high_water = result.engine_peak_pending;
+    }
+  }
+  report.sim_events_per_sec = best;
+}
+
+int run_core_report(const std::string& path) {
+  CoreReport report;
+  measure_engine(report);
+  measure_simulation(report);
+  report.peak_heap_bytes = g_peak_bytes.load();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "micro_core: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"schema\":\"dws.bench.core\",\"version\":1,\n"
+               " \"engine_events_per_sec\":%.6g,\n"
+               " \"sim_events_per_sec\":%.6g,\n"
+               " \"allocs_per_event\":%.6g,\n"
+               " \"alloc_bytes_per_event\":%.6g,\n"
+               " \"queue_high_water\":%llu,\n"
+               " \"sim_queue_high_water\":%llu,\n"
+               " \"peak_heap_bytes\":%llu,\n"
+               " \"sim_engine_events\":%llu}\n",
+               report.engine_events_per_sec, report.sim_events_per_sec,
+               report.allocs_per_event, report.alloc_bytes_per_event,
+               static_cast<unsigned long long>(report.queue_high_water),
+               static_cast<unsigned long long>(report.sim_queue_high_water),
+               static_cast<unsigned long long>(report.peak_heap_bytes),
+               static_cast<unsigned long long>(report.sim_engine_events));
+  std::fclose(f);
+  std::printf("engine: %.3g events/s (%.3g allocs/event, %.3g B/event, "
+              "high-water %llu)\nsim:    %.3g events/s (%llu events)\n",
+              report.engine_events_per_sec, report.allocs_per_event,
+              report.alloc_bytes_per_event,
+              static_cast<unsigned long long>(report.queue_high_water),
+              report.sim_events_per_sec,
+              static_cast<unsigned long long>(report.sim_engine_events));
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--core-report") return run_core_report("BENCH_core.json");
+    if (arg.rfind("--core-report=", 0) == 0) {
+      return run_core_report(arg.substr(std::strlen("--core-report=")));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

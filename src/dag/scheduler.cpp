@@ -20,6 +20,16 @@ struct StealResponse {
 };
 using Message = std::variant<StealRequest, StealResponse>;
 
+class DagWorker;
+
+/// Direct-call delivery functor (mirrors ws::DeliverToWorkers).
+struct DeliverToDagWorkers {
+  std::vector<std::unique_ptr<DagWorker>>* workers = nullptr;
+  void operator()(topo::Rank dst, Message msg) const;
+};
+
+using DagNetwork = sim::Network<Message, DeliverToDagWorkers>;
+
 /// Whole-simulation shared state.
 struct DagSim {
   const Dag* dag = nullptr;
@@ -27,7 +37,7 @@ struct DagSim {
   sim::Engine engine;
   std::unique_ptr<topo::JobLayout> layout;
   std::unique_ptr<topo::LatencyModel> latency;
-  std::unique_ptr<sim::Network<Message>> network;
+  std::unique_ptr<DagNetwork> network;
 
   std::vector<std::uint32_t> remaining_preds;
   std::vector<topo::Rank> completion_rank;
@@ -35,7 +45,7 @@ struct DagSim {
   support::SimTime finish_time = 0;
 };
 
-class DagWorker {
+class DagWorker final : public sim::EventSink {
  public:
   DagWorker(topo::Rank rank, DagSim& sim)
       : rank_(rank), sim_(sim), trace_(metrics::Phase::kIdle, 0) {
@@ -57,6 +67,20 @@ class DagWorker {
   }
 
   void seed_task(TaskId id) { ready_.push_back(id); }
+
+  /// Typed-event dispatch (kDagStart / kDagTaskComplete).
+  void on_event(const sim::Event& ev) override {
+    switch (ev.kind) {
+      case sim::EventKind::kDagStart:
+        start();
+        break;
+      case sim::EventKind::kDagTaskComplete:
+        complete(static_cast<TaskId>(ev.payload));
+        break;
+      default:
+        DWS_CHECK(false);
+    }
+  }
 
   void on_message(Message msg) {
     if (done_) return;
@@ -136,8 +160,8 @@ class DagWorker {
     }
     stats_.total_gather_time += gather;
 
-    sim_.engine.schedule_after(busy + gather + task.cost,
-                               [this, id] { complete(id); });
+    sim_.engine.schedule_after(busy + gather + task.cost, *this,
+                               sim::EventKind::kDagTaskComplete, rank_, id);
   }
 
   void complete(TaskId id) {
@@ -240,6 +264,10 @@ class DagWorker {
   metrics::RankTrace trace_;
 };
 
+void DeliverToDagWorkers::operator()(topo::Rank dst, Message msg) const {
+  (*workers)[dst]->on_message(std::move(msg));
+}
+
 }  // namespace
 
 DagRunResult run_dag_simulation(const Dag& dag, const DagRunConfig& config) {
@@ -262,11 +290,8 @@ DagRunResult run_dag_simulation(const Dag& dag, const DagRunConfig& config) {
 
   std::vector<std::unique_ptr<DagWorker>> workers;
   workers.reserve(config.num_ranks);
-  sim.network = std::make_unique<sim::Network<Message>>(
-      sim.engine, *sim.latency,
-      [&workers](topo::Rank dst, Message msg) {
-        workers[dst]->on_message(std::move(msg));
-      },
+  sim.network = std::make_unique<DagNetwork>(
+      sim.engine, *sim.latency, DeliverToDagWorkers{&workers},
       config.congestion);
 
   for (topo::Rank r = 0; r < config.num_ranks; ++r) {
@@ -276,8 +301,8 @@ DagRunResult run_dag_simulation(const Dag& dag, const DagRunConfig& config) {
   // scheduler's problem.
   for (const TaskId s : dag.sources()) workers[0]->seed_task(s);
 
-  for (auto& w : workers) {
-    sim.engine.schedule_at(0, [worker = w.get()] { worker->start(); });
+  for (topo::Rank r = 0; r < config.num_ranks; ++r) {
+    sim.engine.schedule_at(0, *workers[r], sim::EventKind::kDagStart, r);
   }
   sim.engine.run();
 

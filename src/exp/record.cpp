@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <istream>
 #include <ostream>
 #include <span>
 
 #include "crypto/sha1.hpp"
+#include "support/check.hpp"
 #include "support/sim_time.hpp"
 
 namespace dws::exp {
@@ -139,20 +142,27 @@ std::string config_fingerprint(const ws::RunConfig& config) {
 }
 
 RecordWriter::RecordWriter(std::ostream& out, RecordOptions options)
-    : out_(&out), options_(options) {}
+    : out_(&out), options_(options) {
+  DWS_CHECK(options_.schema_version >= kRecordMinSchemaVersion);
+  DWS_CHECK(options_.schema_version <= kRecordSchemaVersion);
+}
 
 void RecordWriter::write_header() {
   if (options_.format == RecordFormat::kJsonl) {
     *out_ << "{\"schema\":\"dws.exp.sweep\",\"version\":"
-          << kRecordSchemaVersion << "}\n";
+          << options_.schema_version << "}\n";
     return;
   }
-  *out_ << "# schema=dws.exp.sweep version=" << kRecordSchemaVersion << "\n";
+  *out_ << "# schema=dws.exp.sweep version=" << options_.schema_version
+        << "\n";
   *out_ << "index,point,fingerprint,tree,ranks,placement,procs_per_node,"
            "policy,steal,chunk,sha_rounds,seed,ok,error,runtime_ms,speedup,"
            "efficiency,nodes,leaves,steal_attempts,failed_steals,"
            "successful_steals,sessions,mean_session_ms,mean_search_ms,"
            "mean_steal_distance,net_messages,net_bytes,engine_events";
+  if (options_.schema_version >= 2) {
+    *out_ << ",engine_peak_pending,net_peak_channels";
+  }
   if (options_.wall_clock) *out_ << ",wall_s";
   *out_ << "\n";
 }
@@ -201,6 +211,10 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
           << ",\"net_messages\":" << r.network.messages  //
           << ",\"net_bytes\":" << r.network.bytes        //
           << ",\"engine_events\":" << r.engine_events;
+    if (options_.schema_version >= 2) {
+      *out_ << ",\"engine_peak_pending\":" << r.engine_peak_pending
+            << ",\"net_peak_channels\":" << r.network.peak_channels;
+    }
     if (options_.wall_clock) {
       *out_ << ",\"wall_s\":" << fmt_metric(pr.wall_seconds);
     }
@@ -223,6 +237,9 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
         << fmt_metric(r.stats.mean_steal_distance) << ','
         << r.network.messages << ',' << r.network.bytes << ','
         << r.engine_events;
+  if (options_.schema_version >= 2) {
+    *out_ << ',' << r.engine_peak_pending << ',' << r.network.peak_channels;
+  }
   if (options_.wall_clock) *out_ << ',' << fmt_metric(pr.wall_seconds);
   *out_ << "\n";
 }
@@ -235,6 +252,265 @@ void RecordWriter::write_report(const std::vector<SweepPoint>& points,
   for (std::size_t i = 0; i < n; ++i) {
     write(points[i], report.points[i]);
   }
+}
+
+namespace {
+
+std::uint64_t to_u64(std::string_view v) {
+  return std::strtoull(std::string(v).c_str(), nullptr, 10);
+}
+double to_f64(std::string_view v) {
+  return std::strtod(std::string(v).c_str(), nullptr);
+}
+
+/// Assigns one already-unescaped (key, value) pair into a record. Shared by
+/// both wire formats; unknown keys are skipped so a v(N+1) file still loads
+/// the fields this build knows about.
+void assign_field(SweepRecord& r, std::string_view key, std::string_view v) {
+  if (key == "index") r.index = to_u64(v);
+  else if (key == "point") r.label = std::string(v);
+  else if (key == "fingerprint") r.fingerprint = std::string(v);
+  else if (key == "tree") r.tree = std::string(v);
+  else if (key == "ranks") r.ranks = static_cast<std::uint32_t>(to_u64(v));
+  else if (key == "placement") r.placement = std::string(v);
+  else if (key == "procs_per_node") r.procs_per_node = static_cast<std::uint32_t>(to_u64(v));
+  else if (key == "policy") r.policy = std::string(v);
+  else if (key == "steal") r.steal = std::string(v);
+  else if (key == "chunk") r.chunk = static_cast<std::uint32_t>(to_u64(v));
+  else if (key == "sha_rounds") r.sha_rounds = static_cast<std::uint32_t>(to_u64(v));
+  else if (key == "seed") r.seed = to_u64(v);
+  else if (key == "ok") r.ok = (v == "true" || v == "1");
+  else if (key == "error") r.error = std::string(v);
+  else if (key == "runtime_ms") r.runtime_ms = to_f64(v);
+  else if (key == "speedup") r.speedup = to_f64(v);
+  else if (key == "efficiency") r.efficiency = to_f64(v);
+  else if (key == "nodes") r.nodes = to_u64(v);
+  else if (key == "leaves") r.leaves = to_u64(v);
+  else if (key == "steal_attempts") r.steal_attempts = to_u64(v);
+  else if (key == "failed_steals") r.failed_steals = to_u64(v);
+  else if (key == "successful_steals") r.successful_steals = to_u64(v);
+  else if (key == "sessions") r.sessions = to_u64(v);
+  else if (key == "mean_session_ms") r.mean_session_ms = to_f64(v);
+  else if (key == "mean_search_ms") r.mean_search_ms = to_f64(v);
+  else if (key == "mean_steal_distance") r.mean_steal_distance = to_f64(v);
+  else if (key == "net_messages") r.net_messages = to_u64(v);
+  else if (key == "net_bytes") r.net_bytes = to_u64(v);
+  else if (key == "engine_events") r.engine_events = to_u64(v);
+  else if (key == "engine_peak_pending") r.engine_peak_pending = to_u64(v);
+  else if (key == "net_peak_channels") r.net_peak_channels = to_u64(v);
+  else if (key == "wall_s") {
+    r.has_wall_s = true;
+    r.wall_s = to_f64(v);
+  }
+}
+
+/// Minimal scanner for the flat JSON objects RecordWriter emits: string,
+/// number, and bool values, plus one level of string->string nesting (the
+/// `coords` object). Not a general JSON parser and doesn't try to be.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view line) : s_(line) {}
+
+  support::Status parse_into(SweepRecord& rec) {
+    if (!eat('{')) return err("expected '{'");
+    if (peek() == '}') return support::Status::ok();
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return err("bad key string");
+      if (!eat(':')) return err("expected ':'");
+      if (peek() == '{') {
+        if (key != "coords") return err("unexpected nested object");
+        if (!parse_coords(rec)) return err("bad coords object");
+      } else if (peek() == '"') {
+        std::string value;
+        if (!parse_string(value)) return err("bad string value");
+        assign_field(rec, key, value);
+      } else {
+        assign_field(rec, key, scan_token());
+      }
+      if (eat(',')) continue;
+      if (eat('}')) return support::Status::ok();
+      return err("expected ',' or '}'");
+    }
+  }
+
+ private:
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+  support::Status err(const char* what) const {
+    return support::Status::error(std::string("record parse: ") + what +
+                                  " at offset " + std::to_string(i_));
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i_ >= s_.size()) return false;
+      const char esc = s_[i_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) return false;
+          const auto code = std::strtoul(
+              std::string(s_.substr(i_, 4)).c_str(), nullptr, 16);
+          i_ += 4;
+          out += static_cast<char>(code);  // writer only emits < 0x20
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  /// Unquoted scalar: number / true / false. Ends at ',' '}' or EOL.
+  std::string_view scan_token() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && s_[i_] != ',' && s_[i_] != '}') ++i_;
+    return s_.substr(start, i_ - start);
+  }
+
+  bool parse_coords(SweepRecord& rec) {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    while (true) {
+      std::string axis, value;
+      if (!parse_string(axis)) return false;
+      if (!eat(':')) return false;
+      if (!parse_string(value)) return false;
+      rec.coords.emplace_back(std::move(axis), std::move(value));
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+/// Splits one CSV row with the writer's quoting rules ("" escapes a quote).
+std::vector<std::string> split_csv_row(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+support::Status parse_version(std::string_view line, std::string_view prefix,
+                              int& version) {
+  const auto pos = line.find(prefix);
+  if (pos == std::string_view::npos) {
+    return support::Status::error(
+        "record parse: missing schema/version in header line");
+  }
+  version = static_cast<int>(to_u64(line.substr(pos + prefix.size())));
+  if (version < kRecordMinSchemaVersion || version > kRecordSchemaVersion) {
+    return support::Status::error(
+        "record parse: unsupported schema version " +
+        std::to_string(version) + " (this build reads " +
+        std::to_string(kRecordMinSchemaVersion) + ".." +
+        std::to_string(kRecordSchemaVersion) + ")");
+  }
+  return support::Status::ok();
+}
+
+}  // namespace
+
+support::Expected<RecordFile> read_records(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return support::Expected<RecordFile>::failure("record parse: empty input");
+  }
+
+  RecordFile file;
+  if (!line.empty() && line[0] == '{') {
+    file.format = RecordFormat::kJsonl;
+    if (line.find("\"schema\":\"dws.exp.sweep\"") == std::string::npos) {
+      return support::Expected<RecordFile>::failure(
+          "record parse: first line is not a dws.exp.sweep meta line");
+    }
+    if (const auto st = parse_version(line, "\"version\":", file.version);
+        !st) {
+      return support::Expected<RecordFile>::failure(st);
+    }
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      SweepRecord rec;
+      if (const auto st = JsonCursor(line).parse_into(rec); !st) {
+        return support::Expected<RecordFile>::failure(st);
+      }
+      file.records.push_back(std::move(rec));
+    }
+    return file;
+  }
+
+  if (line.rfind("# schema=dws.exp.sweep", 0) != 0) {
+    return support::Expected<RecordFile>::failure(
+        "record parse: first line is neither a JSONL meta line nor a CSV "
+        "schema comment");
+  }
+  file.format = RecordFormat::kCsv;
+  if (const auto st = parse_version(line, "version=", file.version); !st) {
+    return support::Expected<RecordFile>::failure(st);
+  }
+  if (!std::getline(in, line)) {
+    return support::Expected<RecordFile>::failure(
+        "record parse: missing CSV header row");
+  }
+  const std::vector<std::string> columns = split_csv_row(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_csv_row(line);
+    if (cells.size() != columns.size()) {
+      return support::Expected<RecordFile>::failure(
+          "record parse: row has " + std::to_string(cells.size()) +
+          " cells, header has " + std::to_string(columns.size()));
+    }
+    SweepRecord rec;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      assign_field(rec, columns[i], cells[i]);
+    }
+    file.records.push_back(std::move(rec));
+  }
+  return file;
 }
 
 }  // namespace dws::exp

@@ -1,32 +1,48 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "support/expected.hpp"
 
 namespace dws::exp {
 
 /// Structured result sink: one schema-versioned record per sweep point,
 /// replacing the per-figure printf dialects. Two wire formats, same fields:
 ///
-///   JSONL — a meta line `{"schema":"dws.exp.sweep","version":1,...}`, then
+///   JSONL — a meta line `{"schema":"dws.exp.sweep","version":2,...}`, then
 ///           one JSON object per point;
-///   CSV   — a `# schema=dws.exp.sweep version=1` comment, a header row,
+///   CSV   — a `# schema=dws.exp.sweep version=2` comment, a header row,
 ///           then one row per point.
 ///
 /// Records are a pure function of (SweepPoint, PointResult): running the
 /// same spec with any thread count yields byte-identical output, except for
 /// the host wall-clock columns, which RecordOptions::wall_clock can drop
 /// (the determinism tests and diff-based workflows do).
-inline constexpr int kRecordSchemaVersion = 1;
+///
+/// Version history:
+///   1 — initial schema.
+///   2 — adds `engine_peak_pending` (event-queue high-water mark) and
+///       `net_peak_channels` (peak live (src,dst) network channels).
+/// RecordReader accepts both; RecordOptions::schema_version lets a writer
+/// emit v1 byte-for-byte (the golden-file tests pin a v1 stream).
+inline constexpr int kRecordSchemaVersion = 2;
+inline constexpr int kRecordMinSchemaVersion = 1;
 
 enum class RecordFormat { kJsonl, kCsv };
 
 struct RecordOptions {
   RecordFormat format = RecordFormat::kJsonl;
   bool wall_clock = true;  ///< include per-point host cost (non-deterministic)
+  /// Schema version to emit; must be in
+  /// [kRecordMinSchemaVersion, kRecordSchemaVersion]. Older versions omit the
+  /// fields introduced after them, reproducing the historical byte stream.
+  int schema_version = kRecordSchemaVersion;
 };
 
 /// Canonical `key=value;...` serialization of every semantically meaningful
@@ -54,6 +70,60 @@ class RecordWriter {
   std::ostream* out_;
   RecordOptions options_;
 };
+
+/// One parsed sweep record. Fields introduced by later schema versions are
+/// zero / empty when reading an older file.
+struct SweepRecord {
+  std::uint64_t index = 0;
+  std::vector<std::pair<std::string, std::string>> coords;  // JSONL only
+  std::string label;                                        // CSV only
+  std::string fingerprint;
+  std::string tree;
+  std::uint32_t ranks = 0;
+  std::string placement;
+  std::uint32_t procs_per_node = 0;
+  std::string policy;
+  std::string steal;
+  std::uint32_t chunk = 0;
+  std::uint32_t sha_rounds = 0;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string error;
+  double runtime_ms = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+  std::uint64_t nodes = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t failed_steals = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t sessions = 0;
+  double mean_session_ms = 0.0;
+  double mean_search_ms = 0.0;
+  double mean_steal_distance = 0.0;
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_bytes = 0;
+  std::uint64_t engine_events = 0;
+  std::uint64_t engine_peak_pending = 0;  // v2+
+  std::uint64_t net_peak_channels = 0;    // v2+
+  bool has_wall_s = false;
+  double wall_s = 0.0;
+};
+
+/// A fully parsed record stream: schema version, wire format, one
+/// SweepRecord per point.
+struct RecordFile {
+  int version = 0;
+  RecordFormat format = RecordFormat::kJsonl;
+  std::vector<SweepRecord> records;
+};
+
+/// Parses a stream produced by RecordWriter (either wire format,
+/// auto-detected from the first line). Accepts every schema version in
+/// [kRecordMinSchemaVersion, kRecordSchemaVersion]; fields a version
+/// predates are left at their zero defaults. Returns the first syntax or
+/// version problem found.
+support::Expected<RecordFile> read_records(std::istream& in);
 
 /// JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(std::string_view s);

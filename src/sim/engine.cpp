@@ -1,23 +1,20 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-
 namespace dws::sim {
 
-void Engine::schedule_at(support::SimTime t, Action action) {
-  DWS_CHECK(t >= now_);
-  queue_.push_back(Event{t, next_seq_++, std::move(action)});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
-}
-
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  std::pop_heap(queue_.begin(), queue_.end(), Later{});
-  Event ev = std::move(queue_.back());
-  queue_.pop_back();
+  Event ev;
+  if (!queue_.pop(ev)) return false;
   now_ = ev.time;
   ++executed_;
-  ev.action();
+  if (ev.sink != nullptr) {
+    ev.sink->on_event(ev);
+    return true;
+  }
+  // kGeneric: move the closure out of its slot first — the action may
+  // schedule more events and reuse the slot.
+  Action action = actions_.take(ev.payload);
+  action();
   return true;
 }
 

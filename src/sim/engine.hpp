@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <vector>
 
+#include "sim/event.hpp"
+#include "sim/pool.hpp"
+#include "sim/queue.hpp"
 #include "support/check.hpp"
 #include "support/sim_time.hpp"
 
@@ -17,22 +19,51 @@ namespace dws::sim {
 /// virtual clock. Events fire in (time, insertion sequence) order, so two
 /// events at the same instant run in the order they were scheduled — runs
 /// are bit-reproducible, which the whole test suite leans on.
+///
+/// Two scheduling flavours share one queue and one (time, seq) order:
+///
+///  - typed events (the hot path): a fixed-size POD record dispatched with
+///    a single indirect call to the scheduling EventSink — no per-event
+///    allocation, no type erasure (sim::Network, ws::Worker and the dag
+///    workers enumerate their continuations as EventKinds);
+///  - generic events (EventKind::kGeneric): the std::function escape hatch
+///    for tests and examples. The closure lives in a slab pool slot, so
+///    even this path allocates only what std::function itself needs.
 class Engine {
  public:
   using Action = std::function<void()>;
 
   support::SimTime now() const noexcept { return now_; }
 
+  /// Schedule a typed event for `sink` at absolute virtual time `t` (>= now).
+  /// `rank` and `payload` travel in the event record, interpreted per kind.
+  void schedule_at(support::SimTime t, EventSink& sink, EventKind kind,
+                   std::uint32_t rank = 0, std::uint32_t payload = 0) {
+    DWS_CHECK(t >= now_);
+    queue_.push(Event{t, next_seq_++, &sink, kind, rank, payload});
+  }
+
+  /// Typed event `delay` ns after the current virtual time.
+  void schedule_after(support::SimTime delay, EventSink& sink, EventKind kind,
+                      std::uint32_t rank = 0, std::uint32_t payload = 0) {
+    check_delay(delay);
+    schedule_at(now_ + delay, sink, kind, rank, payload);
+  }
+
   /// Schedule `action` at absolute virtual time `t` (>= now).
-  void schedule_at(support::SimTime t, Action action);
+  void schedule_at(support::SimTime t, Action action) {
+    DWS_CHECK(t >= now_);
+    const std::uint32_t handle = actions_.acquire(std::move(action));
+    queue_.push(
+        Event{t, next_seq_++, nullptr, EventKind::kGeneric, 0, handle});
+  }
 
   /// Schedule `action` `delay` ns after the current virtual time. Negative
   /// delays and delays that would overflow SimTime fail a DWS_CHECK instead
   /// of wrapping the clock (signed overflow would otherwise be UB *and* a
   /// silently corrupted schedule).
   void schedule_after(support::SimTime delay, Action action) {
-    DWS_CHECK(delay >= 0);
-    DWS_CHECK(delay <= std::numeric_limits<support::SimTime>::max() - now_);
+    check_delay(delay);
     schedule_at(now_ + delay, std::move(action));
   }
 
@@ -49,27 +80,18 @@ class Engine {
 
   std::uint64_t events_executed() const noexcept { return executed_; }
   std::size_t pending() const noexcept { return queue_.size(); }
+  /// High-water mark of pending() over the engine's lifetime — how deep the
+  /// calendar queue got (reported through ws::RunResult and the exp schema).
+  std::size_t max_pending() const noexcept { return queue_.max_size(); }
 
  private:
-  struct Event {
-    support::SimTime time;
-    std::uint64_t seq;
-    Action action;
-  };
-  /// Heap order for std::push_heap/pop_heap: the "largest" element is the
-  /// earliest (time, seq), so the heap front is the next event to fire.
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  void check_delay(support::SimTime delay) const {
+    DWS_CHECK(delay >= 0);
+    DWS_CHECK(delay <= std::numeric_limits<support::SimTime>::max() - now_);
+  }
 
-  // A plain vector managed with the <algorithm> heap functions rather than
-  // std::priority_queue: pop_heap moves the front element to the back, where
-  // it can be moved out legally — priority_queue::top() is const and would
-  // force a const_cast to avoid copying the Action.
-  std::vector<Event> queue_;
+  CalendarQueue queue_;
+  SlabPool<Action> actions_;  // kGeneric closures, recycled by handle
   support::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/sim_time.hpp"
+
+namespace dws::sim {
+
+class EventSink;
+
+/// Typed event vocabulary of the simulator (see DESIGN.md §9). The engine
+/// itself interprets only kGeneric (the std::function escape hatch used by
+/// tests and examples); every other kind belongs to the EventSink that
+/// scheduled it, which decodes `rank`/`payload` accordingly. Keeping the
+/// full table in one place documents the event model and keeps kinds unique
+/// across layers, even though sim/ never dispatches the ws/dag ones.
+enum class EventKind : std::uint32_t {
+  kGeneric = 0,       ///< engine-owned closure; payload = action-pool handle
+  kNetworkDeliver,    ///< sim::Network: rank = dst, payload = in-flight handle
+  kWorkerStart,       ///< ws::Worker t = 0 bootstrap; rank = worker rank
+  kWorkerStep,        ///< ws::Worker poll/expand boundary; rank = worker rank
+  kDeferredResponse,  ///< ws::Worker packaged steal response leaving the rank;
+                      ///< payload = RunContext deferred-send pool handle
+  kDagStart,          ///< dag worker bootstrap; rank = worker rank
+  kDagTaskComplete,   ///< dag task completion; payload = TaskId
+};
+
+/// One scheduled event: a fixed-size POD record. The hot path never
+/// allocates — a typed event is 40 bytes copied into the calendar queue, and
+/// dispatch is a single indirect call through `sink`. Payload data larger
+/// than the inline `payload` handle lives in a SlabPool owned by whoever
+/// scheduled the event (the network's in-flight messages, the worker's
+/// packaged responses, the engine's generic actions).
+struct Event {
+  support::SimTime time = 0;
+  std::uint64_t seq = 0;           ///< insertion order; ties fire FIFO
+  EventSink* sink = nullptr;       ///< null => engine-owned kGeneric action
+  EventKind kind = EventKind::kGeneric;
+  std::uint32_t rank = 0;          ///< kind-defined (usually the target rank)
+  std::uint32_t payload = 0;       ///< kind-defined pool handle / small value
+};
+
+/// Receiver of typed events. Implemented by sim::Network, ws::Worker and
+/// dag's workers; the engine performs exactly one indirect call per typed
+/// event. Sinks are non-owning and must outlive every event they scheduled.
+class EventSink {
+ public:
+  virtual void on_event(const Event& ev) = 0;
+
+ protected:
+  ~EventSink() = default;
+};
+
+}  // namespace dws::sim

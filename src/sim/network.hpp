@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "support/sim_time.hpp"
@@ -17,6 +18,10 @@ struct NetworkStats {
   std::uint64_t bytes = 0;
   std::uint64_t intra_node_messages = 0;
   double max_load_hops = 0.0;  ///< peak in-flight hop-units (congestion)
+  /// Peak number of (src, dst) channels with a delivery in flight. Channel
+  /// ordering state is retired as soon as its last delivery fires, so this
+  /// bounds the non-overtaking map instead of the all-pairs worst case.
+  std::uint64_t peak_channels = 0;
 };
 
 /// Fluid-approximation congestion model. Every in-flight inter-node message
@@ -41,23 +46,33 @@ struct CongestionParams {
 /// Models what the paper's UTS implementation gets from MPI two-sided
 /// messaging: asynchronous sends whose delivery delay comes from the physical
 /// distance between ranks (LatencyModel), with per-channel non-overtaking
-/// (MPI's ordering guarantee for a (source, dest) pair). Delivery invokes a
-/// callback at the arrival time; the work-stealing worker layered above
-/// decides what "receiving" means (it polls between node expansions, like the
-/// reference implementation polls MPI).
-template <typename Message>
-class Network {
+/// (MPI's ordering guarantee for a (source, dest) pair). Delivery invokes
+/// `Deliver(dst, msg)` at the arrival time; the work-stealing worker layered
+/// above decides what "receiving" means (it polls between node expansions,
+/// like the reference implementation polls MPI).
+///
+/// Event-core integration: a send parks the message in a slab pool and
+/// schedules one typed kNetworkDeliver event carrying the pool handle — no
+/// per-message closure, no per-message allocation beyond what the message
+/// itself owns. `Deliver` defaults to std::function for tests; the ws and
+/// dag schedulers pass a concrete functor so delivery is a direct call.
+///
+/// Channel lifecycle: the non-overtaking clamp needs a channel's previous
+/// arrival time only while a delivery is still in flight — once the last one
+/// fires, any later send on that channel arrives at now + latency >= every
+/// past arrival, so the entry is retired (its map node is recycled to keep
+/// the steady state allocation-free). NetworkStats::peak_channels records
+/// the high-water mark of live channels.
+template <typename Message,
+          typename Deliver = std::function<void(topo::Rank, Message)>>
+class Network final : public EventSink {
  public:
-  /// `deliver(dst, msg)` runs at each message's arrival time.
-  using DeliverFn = std::function<void(topo::Rank dst, Message msg)>;
-
-  Network(Engine& engine, const topo::LatencyModel& latency, DeliverFn deliver,
+  Network(Engine& engine, const topo::LatencyModel& latency, Deliver deliver,
           CongestionParams congestion = {})
       : engine_(&engine),
         latency_(&latency),
         deliver_(std::move(deliver)),
         congestion_(congestion) {
-    DWS_CHECK(deliver_ != nullptr);
     DWS_CHECK(!congestion_.enabled || congestion_.capacity_hops > 0.0);
   }
 
@@ -79,37 +94,89 @@ class Network {
     // MPI non-overtaking: a later send on the same channel may not arrive
     // before an earlier one (possible here when a small message chases a
     // large one). Clamp to the channel's previous arrival time.
-    auto [it, inserted] = last_arrival_.try_emplace(channel_key(src, dst), arrival);
-    if (!inserted) {
-      if (arrival < it->second) arrival = it->second;
-      it->second = arrival;
+    const std::uint64_t key = channel_key(src, dst);
+    if (const auto it = channels_.find(key); it != channels_.end()) {
+      if (arrival < it->second.last_arrival) arrival = it->second.last_arrival;
+      it->second.last_arrival = arrival;
+      ++it->second.in_flight;
+    } else {
+      open_channel(key, arrival);
     }
 
     ++stats_.messages;
     stats_.bytes += bytes;
     if (latency_->layout().same_node(src, dst)) ++stats_.intra_node_messages;
 
-    engine_->schedule_at(arrival,
-                         [this, dst, hops, m = std::move(msg)]() mutable {
-                           load_hops_ -= hops;
-                           deliver_(dst, std::move(m));
-                         });
+    const std::uint32_t handle =
+        in_flight_.acquire(InFlight{std::move(msg), key, hops});
+    engine_->schedule_at(arrival, *this, EventKind::kNetworkDeliver, dst,
+                         handle);
+  }
+
+  /// kNetworkDeliver dispatch: unparks the message, drains its congestion
+  /// load, retires the channel if this was its last in-flight delivery, and
+  /// hands the message to the receiver.
+  void on_event(const Event& ev) override {
+    InFlight flight = in_flight_.take(ev.payload);
+    load_hops_ -= flight.hops;
+    retire_channel(flight.channel);
+    deliver_(static_cast<topo::Rank>(ev.rank), std::move(flight.msg));
   }
 
   const NetworkStats& stats() const noexcept { return stats_; }
+  /// Channels with at least one delivery currently in flight.
+  std::size_t active_channels() const noexcept { return channels_.size(); }
 
  private:
+  struct Channel {
+    support::SimTime last_arrival = 0;
+    std::uint32_t in_flight = 0;
+  };
+  struct InFlight {
+    Message msg;
+    std::uint64_t channel = 0;
+    std::int32_t hops = 0;
+  };
+  using ChannelMap = std::unordered_map<std::uint64_t, Channel>;
+
   static std::uint64_t channel_key(topo::Rank src, topo::Rank dst) noexcept {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
+  void open_channel(std::uint64_t key, support::SimTime arrival) {
+    if (spare_nodes_.empty()) {
+      channels_.emplace(key, Channel{arrival, 1});
+    } else {
+      // Recycle a retired map node: channel churn stays allocation-free.
+      auto node = std::move(spare_nodes_.back());
+      spare_nodes_.pop_back();
+      node.key() = key;
+      node.mapped() = Channel{arrival, 1};
+      channels_.insert(std::move(node));
+    }
+    stats_.peak_channels =
+        std::max(stats_.peak_channels,
+                 static_cast<std::uint64_t>(channels_.size()));
+  }
+
+  void retire_channel(std::uint64_t key) {
+    const auto it = channels_.find(key);
+    DWS_DCHECK(it != channels_.end());
+    DWS_DCHECK(it->second.in_flight > 0);
+    if (--it->second.in_flight == 0) {
+      spare_nodes_.push_back(channels_.extract(it));
+    }
+  }
+
   Engine* engine_;
   const topo::LatencyModel* latency_;
-  DeliverFn deliver_;
+  Deliver deliver_;
   CongestionParams congestion_;
   double load_hops_ = 0.0;  // in-flight hop-units (congestion state)
   NetworkStats stats_;
-  std::unordered_map<std::uint64_t, support::SimTime> last_arrival_;
+  ChannelMap channels_;
+  std::vector<typename ChannelMap::node_type> spare_nodes_;
+  SlabPool<InFlight> in_flight_;
 };
 
 }  // namespace dws::sim

@@ -78,12 +78,7 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
         static_cast<double>(config.num_ranks / config.procs_per_node);
   }
 
-  sim::Network<Message> network(
-      engine, latency,
-      [&workers](topo::Rank dst, Message msg) {
-        workers[dst]->on_message(std::move(msg));
-      },
-      congestion);
+  WsNetwork network(engine, latency, DeliverToWorkers{&workers}, congestion);
 
   RunContext ctx;
   ctx.engine = &engine;
@@ -97,8 +92,8 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
   for (topo::Rank r = 0; r < config.num_ranks; ++r) {
     workers.push_back(std::make_unique<Worker>(r, ctx));
   }
-  for (auto& w : workers) {
-    engine.schedule_at(0, [worker = w.get()] { worker->start(); });
+  for (topo::Rank r = 0; r < config.num_ranks; ++r) {
+    engine.schedule_at(0, *workers[r], sim::EventKind::kWorkerStart, r);
   }
 
   engine.run();
@@ -129,6 +124,7 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
   result.stats = metrics::aggregate(result.per_rank);
   result.network = network.stats();
   result.engine_events = engine.events_executed();
+  result.engine_peak_pending = engine.max_pending();
 
   if (config.ws.record_trace) {
     result.trace.total_time = ctx.termination_time;

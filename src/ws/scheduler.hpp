@@ -64,6 +64,8 @@ struct RunResult {
   metrics::JobTrace trace;                    ///< activity trace (if recorded)
   sim::NetworkStats network;
   std::uint64_t engine_events = 0;
+  /// High-water mark of the engine's pending-event queue (calendar depth).
+  std::uint64_t engine_peak_pending = 0;
 
   support::SimTime per_node_cost = 0;  ///< ws.node_cost() used by the run
 

@@ -6,7 +6,9 @@
 #include "metrics/rank_stats.hpp"
 #include "metrics/trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/event.hpp"
 #include "sim/network.hpp"
+#include "sim/pool.hpp"
 #include "topo/latency.hpp"
 #include "uts/tree.hpp"
 #include "ws/chunk_stack.hpp"
@@ -19,12 +21,30 @@ namespace dws::ws {
 class Worker;
 class RunObserver;
 
+/// Routes a network delivery to the destination worker. A concrete functor
+/// (not std::function) so Network's delivery dispatch is a direct call.
+struct DeliverToWorkers {
+  std::vector<std::unique_ptr<Worker>>* workers = nullptr;
+  void operator()(topo::Rank dst, Message msg) const;
+};
+
+/// The run's transport, typed on the direct-call delivery functor.
+using WsNetwork = sim::Network<Message, DeliverToWorkers>;
+
+/// A packaged steal response waiting out its victim-side handling delay
+/// before entering the network (EventKind::kDeferredResponse).
+struct PendingSend {
+  StealResponse resp;
+  topo::Rank thief = 0;
+  std::uint32_t bytes = 0;
+};
+
 /// Shared, immutable-per-run context handed to every worker, plus the one
 /// piece of cross-worker mutable state: the termination flag that rank 0
 /// sets when the token ring proves global quiescence.
 struct RunContext {
   sim::Engine* engine = nullptr;
-  sim::Network<Message>* network = nullptr;
+  WsNetwork* network = nullptr;
   const WsConfig* config = nullptr;
   const uts::TreeParams* tree = nullptr;
   const topo::LatencyModel* latency = nullptr;
@@ -32,6 +52,10 @@ struct RunContext {
 
   /// Optional passive instrumentation (observer.hpp); null when not auditing.
   RunObserver* observer = nullptr;
+
+  /// Deferred steal responses in flight between packaging and send; shared
+  /// across workers so slots recycle run-wide.
+  sim::SlabPool<PendingSend> deferred;
 
   bool terminated = false;
   support::SimTime termination_time = 0;
@@ -47,6 +71,11 @@ struct RunContext {
 /// with chunked stacks, asynchronous steal request/response messaging,
 /// token-ring termination detection, and per-rank activity tracing.
 ///
+/// Event-core integration: the worker's continuations are typed events
+/// (kWorkerStart, kWorkerStep, kDeferredResponse) dispatched through
+/// on_event — the simulation's hot loop schedules POD records, never
+/// closures.
+///
 /// Faithfulness notes (matching §II-A):
 ///  - no continuations: workers exchange plain tree nodes in chunks;
 ///  - the victim services steal requests *between* node expansions (we queue
@@ -55,13 +84,16 @@ struct RunContext {
 ///  - no work-first: the thief blocks on its outstanding request and retries
 ///    (with a new victim) on refusal;
 ///  - victim selection is pluggable (the paper's experimental axis).
-class Worker {
+class Worker final : public sim::EventSink {
  public:
   Worker(topo::Rank rank, RunContext& ctx);
 
   /// Schedule this worker's t = 0 behaviour: rank 0 seeds the tree root and
   /// starts expanding; everyone else starts a work-discovery session.
   void start();
+
+  /// Typed-event dispatch (kWorkerStart / kWorkerStep / kDeferredResponse).
+  void on_event(const sim::Event& ev) override;
 
   /// Network delivery entry point.
   void on_message(Message msg);

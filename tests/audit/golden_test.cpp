@@ -1,0 +1,114 @@
+/// Committed-golden regression test: the fig06 quick sweep, run under the
+/// audit observer, must reproduce tests/golden/fig06_quick.jsonl BYTE FOR
+/// BYTE. The file was generated on the pre-refactor closure event core, so
+/// this pins the typed event core (calendar queue, slab pools, EventSink
+/// dispatch) to the exact (time, seq) schedule — and with it every counter,
+/// trace, and metric — of the original engine.
+///
+/// The records are written in schema v1 compatibility mode, matching the
+/// version the file was generated with; v2's extra fields would otherwise
+/// change the bytes without changing the simulation.
+///
+/// To regenerate after an *intentional* semantic change, run this binary
+/// with DWS_UPDATE_GOLDEN=1 in the environment and commit the diff with an
+/// explanation of why the schedule legitimately changed.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "audit/audit.hpp"
+#include "exp/figures.hpp"
+#include "exp/record.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "uts/params.hpp"
+
+#ifndef DWS_GOLDEN_DIR
+#error "DWS_GOLDEN_DIR must point at tests/golden (set by tests/audit/CMakeLists.txt)"
+#endif
+
+namespace dws::audit {
+namespace {
+
+std::string golden_path() {
+  return std::string(DWS_GOLDEN_DIR) + "/fig06_quick.jsonl";
+}
+
+/// The fig06 --quick sweep: SIM200K, ranks {128, 256}, the paper's four
+/// series, chunk 4, congestion on. Must match the generator exactly.
+std::string generate_records() {
+  ws::RunConfig base;
+  base.tree = uts::tree_by_name("SIM200K");
+  base.ws.chunk_size = 4;
+  base.enable_congestion(1.0);
+
+  exp::SweepSpec spec(base);
+  spec.axis(exp::ranks_axis({128, 256}))
+      .axis(exp::series_axis({exp::make_series(exp::kReference, exp::kOneN),
+                              exp::make_series(exp::kRand, exp::kOneN),
+                              exp::make_series(exp::kRand, exp::k8RR),
+                              exp::make_series(exp::kRand, exp::k8G)}));
+  const auto expanded = spec.expand();
+  EXPECT_TRUE(expanded);
+
+  exp::RunnerOptions options;
+  options.threads = 1;  // serial: the golden was generated serially
+  options.progress = false;
+  options.run = [](const ws::RunConfig& cfg) { return checked_run(cfg); };
+  const exp::SweepReport report =
+      exp::SweepRunner(options).run(expanded.value());
+  EXPECT_TRUE(report.all_ok());
+
+  exp::RecordOptions record_options{exp::RecordFormat::kJsonl,
+                                    /*wall_clock=*/false};
+  record_options.schema_version = 1;  // the version the golden was cut at
+  std::ostringstream out;
+  exp::RecordWriter writer(out, record_options);
+  writer.write_report(expanded.value(), report);
+  return out.str();
+}
+
+TEST(GoldenFile, Fig06QuickIsByteIdenticalUnderAudit) {
+  const std::string generated = generate_records();
+  ASSERT_FALSE(generated.empty());
+
+  if (std::getenv("DWS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << golden_path();
+    out << generated;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing " << golden_path()
+      << " (run with DWS_UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  ASSERT_EQ(generated.size(), expected.size())
+      << "record stream length changed — the event schedule is no longer "
+         "identical to the committed golden";
+  // Byte compare with a readable first-divergence report.
+  if (generated != expected) {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < generated.size(); ++i) {
+      if (generated[i] != expected[i]) break;
+      if (generated[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    FAIL() << "golden mismatch first diverges at line " << line << ", column "
+           << col;
+  }
+}
+
+}  // namespace
+}  // namespace dws::audit

@@ -67,6 +67,9 @@ SweepReport fake_report(const std::vector<SweepPoint>& points) {
     r.result.num_ranks = p.config.num_ranks;
     r.result.nodes = 100;
     r.result.leaves = 50;
+    r.result.engine_events = 4321;
+    r.result.engine_peak_pending = 77;
+    r.result.network.peak_channels = 13;
     r.wall_seconds = 1.25;  // must not leak into wall_clock=false output
     report.points.push_back(std::move(r));
   }
@@ -82,7 +85,7 @@ TEST(RecordWriter, JsonlSchemaHeaderAndOneLinePerPoint) {
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
   EXPECT_NE(text.find("\"schema\":\"dws.exp.sweep\""), std::string::npos);
-  EXPECT_NE(text.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"version\":2"), std::string::npos);
   EXPECT_NE(text.find("\"coords\":{\"ranks\":\"4\"}"), std::string::npos);
   EXPECT_EQ(text.find("wall_s"), std::string::npos);  // wall_clock=false
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
@@ -105,10 +108,134 @@ TEST(RecordWriter, CsvHasSchemaCommentHeaderAndRows) {
   RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
-  EXPECT_NE(text.find("# schema=dws.exp.sweep version=1"), std::string::npos);
+  EXPECT_NE(text.find("# schema=dws.exp.sweep version=2"), std::string::npos);
   EXPECT_NE(text.find("index,"), std::string::npos);
   // comment + header + 2 rows
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(RecordWriter, SchemaVersion1OmitsTheV2Fields) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordOptions options{RecordFormat::kJsonl, false};
+  options.schema_version = 1;
+  RecordWriter writer(out, options);
+  writer.write_report(points, fake_report(points));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"version\":1"), std::string::npos);
+  EXPECT_EQ(text.find("engine_peak_pending"), std::string::npos);
+  EXPECT_EQ(text.find("net_peak_channels"), std::string::npos);
+}
+
+TEST(RecordReader, RoundTripsJsonlV2) {
+  SweepSpec spec(base_config());
+  spec.axis(ranks_axis({2, 4}));
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kJsonl, false});
+  writer.write_report(points, fake_report(points));
+
+  std::istringstream in(out.str());
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  EXPECT_EQ(file.value().version, 2);
+  EXPECT_EQ(file.value().format, RecordFormat::kJsonl);
+  ASSERT_EQ(file.value().records.size(), 2u);
+  const SweepRecord& rec = file.value().records[1];
+  EXPECT_EQ(rec.index, 1u);
+  EXPECT_EQ(rec.ranks, 4u);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.nodes, 100u);
+  EXPECT_EQ(rec.engine_events, 4321u);
+  EXPECT_EQ(rec.engine_peak_pending, 77u);
+  EXPECT_EQ(rec.net_peak_channels, 13u);
+  EXPECT_FALSE(rec.has_wall_s);
+  ASSERT_EQ(rec.coords.size(), 1u);
+  EXPECT_EQ(rec.coords[0].first, "ranks");
+  EXPECT_EQ(rec.coords[0].second, "4");
+  EXPECT_EQ(rec.fingerprint, config_fingerprint(points[1].config));
+}
+
+TEST(RecordReader, RoundTripsCsvV2) {
+  SweepSpec spec(base_config());
+  spec.axis(ranks_axis({2, 4}));
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, true});
+  writer.write_report(points, fake_report(points));
+
+  std::istringstream in(out.str());
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  EXPECT_EQ(file.value().version, 2);
+  EXPECT_EQ(file.value().format, RecordFormat::kCsv);
+  ASSERT_EQ(file.value().records.size(), 2u);
+  const SweepRecord& rec = file.value().records[0];
+  EXPECT_EQ(rec.ranks, 2u);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.engine_peak_pending, 77u);
+  EXPECT_EQ(rec.net_peak_channels, 13u);
+  EXPECT_TRUE(rec.has_wall_s);
+  EXPECT_DOUBLE_EQ(rec.wall_s, 1.25);
+}
+
+TEST(RecordReader, AcceptsV1FilesWithZeroedNewFields) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordOptions options{RecordFormat::kJsonl, false};
+  options.schema_version = 1;
+  RecordWriter writer(out, options);
+  writer.write_report(points, fake_report(points));
+
+  std::istringstream in(out.str());
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  EXPECT_EQ(file.value().version, 1);
+  ASSERT_EQ(file.value().records.size(), 1u);
+  EXPECT_EQ(file.value().records[0].engine_events, 4321u);
+  EXPECT_EQ(file.value().records[0].engine_peak_pending, 0u);  // v1: absent
+  EXPECT_EQ(file.value().records[0].net_peak_channels, 0u);
+}
+
+TEST(RecordReader, RejectsUnsupportedVersionsAndGarbage) {
+  {
+    std::istringstream in("{\"schema\":\"dws.exp.sweep\",\"version\":99}\n");
+    const auto file = read_records(in);
+    ASSERT_FALSE(file.has_value());
+    EXPECT_NE(file.error().find("unsupported schema version"),
+              std::string::npos);
+  }
+  {
+    std::istringstream in("not a record stream\n");
+    EXPECT_FALSE(read_records(in).has_value());
+  }
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(read_records(in).has_value());
+  }
+}
+
+TEST(RecordReader, ReadsErrorRecordsWithEscapes) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  SweepReport report;
+  PointResult r;
+  r.index = 0;
+  r.ok = false;
+  r.error = "line1\nline2 \"quoted\"";
+  report.points.push_back(std::move(r));
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kJsonl, false});
+  writer.write_report(points, report);
+
+  std::istringstream in(out.str());
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  ASSERT_EQ(file.value().records.size(), 1u);
+  EXPECT_FALSE(file.value().records[0].ok);
+  EXPECT_EQ(file.value().records[0].error, "line1\nline2 \"quoted\"");
 }
 
 TEST(RecordWriter, FailedPointsRecordTheError) {

@@ -184,6 +184,45 @@ TEST(NetworkCongestion, SameNodeTrafficIsImmune) {
   EXPECT_EQ(arrivals[0], model.params().same_node);
 }
 
+TEST_F(NetworkTest, RetiresChannelsWhenTheLastDeliveryFires) {
+  // Two messages on one channel, one on another: the channel map holds the
+  // ordering state only while a delivery is in flight.
+  net_.send(0, 5, TestMsg{1}, 16);
+  net_.send(0, 5, TestMsg{2}, 16);
+  net_.send(3, 7, TestMsg{3}, 16);
+  EXPECT_EQ(net_.active_channels(), 2u);
+  engine_.run();
+  EXPECT_EQ(log_.size(), 3u);
+  EXPECT_EQ(net_.active_channels(), 0u);  // all in-flight drained
+  EXPECT_EQ(net_.stats().peak_channels, 2u);
+
+  // Reusing a retired channel reopens it (with a recycled map node) and the
+  // non-overtaking clamp starts fresh: delivery is at plain now + latency.
+  const auto before = engine_.now();
+  net_.send(0, 5, TestMsg{4}, 16);
+  EXPECT_EQ(net_.active_channels(), 1u);
+  engine_.run();
+  EXPECT_EQ(log_.back().at, before + model_.message_latency(0, 5, 16));
+  EXPECT_EQ(net_.active_channels(), 0u);
+  EXPECT_EQ(net_.stats().peak_channels, 2u);  // high-water, not current
+}
+
+TEST_F(NetworkTest, PeakChannelsTracksDistinctPairsNotMessages) {
+  // Many messages over the same pair count once; the peak is bounded by the
+  // number of concurrently in-flight (src, dst) pairs, which is what keeps
+  // the channel map small on long runs.
+  for (int i = 0; i < 10; ++i) net_.send(1, 2, TestMsg{i}, 8);
+  EXPECT_EQ(net_.active_channels(), 1u);
+  EXPECT_EQ(net_.stats().peak_channels, 1u);
+  for (topo::Rank src = 10; src < 14; ++src) {
+    net_.send(src, 20, TestMsg{0}, 8);
+  }
+  EXPECT_EQ(net_.stats().peak_channels, 5u);
+  engine_.run();
+  EXPECT_EQ(net_.active_channels(), 0u);
+  EXPECT_EQ(net_.stats().messages, 14u);
+}
+
 TEST(NetworkDeterminism, SameSendsSameDeliveries) {
   auto run_once = [] {
     topo::TofuMachine machine;
