@@ -1,0 +1,52 @@
+/// Ablation (DESIGN.md §10): steal-protocol robustness under injected
+/// faults. The paper's runs assume a lossless interconnect; this bench
+/// degrades it — message loss recovered by the steal/token timers, and
+/// latency jitter — and shows how much of the Tofu-skewed policy's advantage
+/// over the reference survives. Loss hits the skewed policy's tight
+/// steal-retry loops hardest; jitter mostly washes out in the session noise.
+#include <cstdio>
+
+#include "exp/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dws;
+  exp::figure_init(
+      argc, argv, "Ablation C",
+      "policy gap under message loss and latency jitter (not a paper figure)");
+
+  const auto ranks = exp::quick_mode() ? 128u : 1024u;
+  const std::vector<double> drops{0.0, 0.005, 0.02};
+  const std::vector<double> jitters{0.0, 0.1, 0.5};
+
+  auto base = exp::large_scale_base();
+  base.num_ranks = ranks;
+  exp::apply_alloc(exp::kOneN, base);
+  // Timers sized to the network round-trip (~1 µs), not to the run: generous
+  // enough to stay silent on the fault-free baseline, tight enough that a
+  // recovered loss costs RTTs rather than a visible slice of the runtime.
+  base.ws.steal_timeout = 50'000;    // 50 µs
+  base.ws.token_timeout = 2'000'000;  // 2 ms: a 128-rank ring circulation
+  exp::SweepSpec spec(base);
+  spec.axis(exp::fault_drop_axis(drops))
+      .axis(exp::fault_jitter_axis(jitters))
+      .axis(exp::variant_axis({exp::kReference, exp::kTofuHalf}));
+  const auto results = exp::run_figure_sweep(spec);
+
+  support::Table table({"drop", "jitter", "Reference", "Tofu Half", "drops",
+                        "retries", "regens"});
+  for (std::size_t d = 0; d < drops.size(); ++d) {
+    for (std::size_t j = 0; j < jitters.size(); ++j) {
+      const auto& ref = results[(d * jitters.size() + j) * 2];
+      const auto& tofu = results[(d * jitters.size() + j) * 2 + 1];
+      table.add_row({support::fmt(drops[d] * 100.0, 1) + "%",
+                     support::fmt(jitters[j] * 100.0, 0) + "%",
+                     support::fmt(ref.speedup(), 1),
+                     support::fmt(tofu.speedup(), 1),
+                     std::to_string(tofu.faults.dropped_messages),
+                     std::to_string(tofu.stats.steal_retries),
+                     std::to_string(tofu.stats.token_regens)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -52,6 +52,10 @@ int main(int argc, char** argv) {
               "invert the verdict: succeed iff a violation was caught "
               "(mutation testing)",
               &expect_failure)
+      .toggle("--faults", "",
+              "draw fault-injection knobs (loss/dup/jitter/stragglers) for "
+              "roughly half the cases",
+              &opts.faults)
       .toggle("--quiet", "-q", "suppress the progress line", &quiet);
   if (const auto status = spec.parse(argc, argv); !status) {
     std::fprintf(stderr, "%s\n%s", status.message().c_str(),

@@ -44,6 +44,10 @@ int main(int argc, char** argv) {
   std::uint32_t shape = 0;
   double congestion_scale = 1.0;
   bool run_audit = false;
+  std::uint64_t steal_timeout = 0;
+  std::uint64_t token_timeout = 0;
+  std::uint64_t pause_duration = 0;
+  std::uint64_t pause_window = 0;
   ws::RunConfig sim_cfg;
   sim_cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
   sim_cfg.ws.steal_amount = ws::StealAmount::kHalf;
@@ -126,6 +130,47 @@ int main(int argc, char** argv) {
       .u32("--alias-max", "",
            "tofu policy: max ranks using the alias-table backend (sim)",
            &sim_cfg.ws.alias_table_max_ranks)
+      .u64("--steal-timeout", "",
+           "abandon an unanswered steal request after this many ns (sim), "
+           "0 disables",
+           &steal_timeout)
+      .u32("--steal-retry-max", "",
+           "same-victim retries after a steal timeout (sim), default 3",
+           &sim_cfg.ws.steal_retry_max)
+      .f64("--steal-backoff", "",
+           "timeout multiplier per retry (sim), default 2.0",
+           &sim_cfg.ws.steal_backoff)
+      .u64("--token-timeout", "",
+           "regenerate an unreturned termination token after this many ns "
+           "(sim), 0 disables",
+           &token_timeout)
+      .f64("--fault-drop", "", "droppable-message loss probability (sim)",
+           &sim_cfg.fault.drop_prob)
+      .f64("--fault-dup", "", "message duplication probability (sim)",
+           &sim_cfg.fault.dup_prob)
+      .f64("--fault-jitter", "",
+           "max fractional latency jitter per message (sim)",
+           &sim_cfg.fault.jitter_frac)
+      .f64("--fault-degraded-frac", "",
+           "fraction of channels with degraded latency (sim)",
+           &sim_cfg.fault.degraded_frac)
+      .f64("--fault-degraded-mult", "",
+           "latency multiplier on degraded channels (sim), default 3.0",
+           &sim_cfg.fault.degraded_mult)
+      .u32("--fault-stragglers", "",
+           "ranks with scaled-up node cost (sim)",
+           &sim_cfg.fault.straggler_ranks)
+      .f64("--fault-straggler-factor", "",
+           "node-cost multiplier on straggler ranks (sim), default 4.0",
+           &sim_cfg.fault.straggler_factor)
+      .u32("--fault-pauses", "", "ranks that take one transient pause (sim)",
+           &sim_cfg.fault.pause_ranks)
+      .u64("--fault-pause-duration", "", "pause length in ns (sim)",
+           &pause_duration)
+      .u64("--fault-pause-window", "",
+           "pauses start uniformly in [0, window] ns (sim)", &pause_window)
+      .u64("--fault-seed", "", "fault-injector RNG seed (sim), default 1",
+           &sim_cfg.fault.seed)
       .toggle("--audit", "",
               "run the dws::audit invariant checker (sim); exit 1 on "
               "violations (DWS_AUDIT=1 does the same)",
@@ -194,6 +239,11 @@ int main(int argc, char** argv) {
   } else if (engine == "sim") {
     sim_cfg.tree = tree;
     sim_cfg.num_ranks = n;
+    sim_cfg.ws.steal_timeout = static_cast<support::SimTime>(steal_timeout);
+    sim_cfg.ws.token_timeout = static_cast<support::SimTime>(token_timeout);
+    sim_cfg.fault.pause_duration =
+        static_cast<support::SimTime>(pause_duration);
+    sim_cfg.fault.pause_window = static_cast<support::SimTime>(pause_window);
     if (congestion_scale > 0.0) sim_cfg.enable_congestion(congestion_scale);
     if (const auto status = sim_cfg.validate(); !status) {
       std::fprintf(stderr, "invalid simulation config: %s\n",

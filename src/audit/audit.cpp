@@ -74,7 +74,10 @@ Auditor::Auditor(const ws::RunConfig& config, AuditConfig audit)
       request_outstanding_(config.num_ranks, 0),
       response_outstanding_(config.num_ranks, 0),
       last_phase_time_(config.num_ranks, 0),
-      finished_(config.num_ranks, 0) {}
+      finished_(config.num_ranks, 0) {
+  relaxed_ = config.fault.enabled() || config.ws.steal_timeout > 0 ||
+             config.ws.token_timeout > 0;
+}
 
 void Auditor::violation(Family f, std::string message) {
   ++report_.violations_total;
@@ -138,7 +141,7 @@ void Auditor::on_steal_request_sent(topo::Rank thief, topo::Rank victim,
     violation(Family::kMessages,
               "rank " + rank_str(thief) + " sent a steal request to itself");
   }
-  if (request_outstanding_[thief]) {
+  if (request_outstanding_[thief] && !relaxed_) {
     violation(Family::kMessages,
               "rank " + rank_str(thief) +
                   " sent a second steal request with one outstanding");
@@ -152,13 +155,13 @@ void Auditor::on_steal_response_sent(topo::Rank victim, topo::Rank thief,
   ++report_.responses_sent;
   bytes_sent_ += bytes;
   if (audit_.check_messages) {
-    if (!request_outstanding_[thief]) {
+    if (!request_outstanding_[thief] && !relaxed_) {
       violation(Family::kMessages,
                 "rank " + rank_str(victim) +
                     " answered a request rank " + rank_str(thief) +
                     " never sent");
     }
-    if (response_outstanding_[thief]) {
+    if (response_outstanding_[thief] && !relaxed_) {
       violation(Family::kMessages, "two responses in flight to rank " +
                                        rank_str(thief));
     }
@@ -184,7 +187,7 @@ void Auditor::on_steal_response_received(topo::Rank thief, topo::Rank victim,
   (void)victim;
   ++report_.responses_received;
   if (audit_.check_messages) {
-    if (!response_outstanding_[thief]) {
+    if (!response_outstanding_[thief] && !relaxed_) {
       violation(Family::kMessages,
                 "rank " + rank_str(thief) +
                     " received a response with none in flight");
@@ -238,6 +241,34 @@ void Auditor::on_lifeline_push_received(topo::Rank rank, std::uint64_t chunks,
   ++work_responses_recv_;
 }
 
+void Auditor::on_steal_timeout(topo::Rank thief, topo::Rank victim,
+                               std::uint32_t attempt) {
+  (void)victim, (void)attempt;
+  ++report_.steal_timeouts;
+  if (!relaxed_) {
+    violation(Family::kMessages,
+              "rank " + rank_str(thief) +
+                  " timed out a steal request in a run with no timeout "
+                  "configured");
+  }
+  if (audit_.check_messages) {
+    // The abandoned pair is written off; the retry's own hooks restart it.
+    request_outstanding_[thief] = 0;
+    response_outstanding_[thief] = 0;
+  }
+}
+
+void Auditor::on_duplicate_response(topo::Rank thief, std::uint64_t chunks,
+                                    std::uint64_t nodes) {
+  (void)chunks, (void)nodes;
+  ++report_.duplicate_responses;
+  if (!relaxed_) {
+    violation(Family::kMessages,
+              "rank " + rank_str(thief) +
+                  " discarded a duplicate response in a fault-free run");
+  }
+}
+
 void Auditor::on_token_sent(topo::Rank from, topo::Rank to,
                             const ws::Token& t) {
   ++report_.tokens;
@@ -253,6 +284,25 @@ void Auditor::on_token_sent(topo::Rank from, topo::Rank to,
   // the token that rank 0 accepts for termination must be consistent — keep
   // it for on_termination().
   if (to == 0) last_token_to_zero_ = t;
+}
+
+void Auditor::on_token_accepted(topo::Rank rank, const ws::Token& t) {
+  if (rank != 0) {
+    violation(Family::kClock,
+              "rank " + rank_str(rank) + " accepted a termination token "
+              "(only rank 0 closes the circulation)");
+  }
+  accepted_token_ = t;
+}
+
+void Auditor::on_token_regenerated(topo::Rank rank, std::uint32_t generation) {
+  (void)generation;
+  ++report_.token_regens;
+  if (!relaxed_) {
+    violation(Family::kClock,
+              "rank " + rank_str(rank) +
+                  " regenerated the token in a run with no token timeout");
+  }
 }
 
 void Auditor::on_phase(topo::Rank rank, support::SimTime t, metrics::Phase p) {
@@ -306,17 +356,20 @@ void Auditor::on_termination(support::SimTime t) {
   }
   if (audit_.check_clock && config_.num_ranks > 1) {
     // Termination-token soundness: rank 0 may only accept a white token whose
-    // accumulated work-message counters balance.
-    if (!last_token_to_zero_.has_value()) {
+    // accumulated work-message counters balance. The accepted token is
+    // authoritative; under regeneration the last token observed en route to
+    // rank 0 may be a stale probe rank 0 (correctly) ignored.
+    const std::optional<ws::Token>& final_token =
+        accepted_token_.has_value() ? accepted_token_ : last_token_to_zero_;
+    if (!final_token.has_value()) {
       violation(Family::kClock,
                 "termination declared before any token returned to rank 0");
-    } else if (last_token_to_zero_->black ||
-               last_token_to_zero_->sent != last_token_to_zero_->recv) {
+    } else if (final_token->black || final_token->sent != final_token->recv) {
       violation(Family::kClock,
                 "termination declared on an unsound token (" +
-                    std::string(last_token_to_zero_->black ? "black" : "white") +
-                    ", sent " + std::to_string(last_token_to_zero_->sent) +
-                    ", recv " + std::to_string(last_token_to_zero_->recv) + ")");
+                    std::string(final_token->black ? "black" : "white") +
+                    ", sent " + std::to_string(final_token->sent) +
+                    ", recv " + std::to_string(final_token->recv) + ")");
     }
   }
 }
@@ -444,17 +497,24 @@ void Auditor::finalize(const ws::RunResult& result) {
     // mechanically: N-1 messages of token_bytes each from rank 0).
     const std::uint64_t terminates =
         (terminated_ && config_.num_ranks > 1) ? config_.num_ranks - 1 : 0;
+    // Fault accounting: a dropped message was still *sent* — both the ledger
+    // and sim::NetworkStats count it at the send side, so drops need no
+    // correction. A duplicated message is counted once by the ledger (one
+    // hook) but twice by the network (two deliveries enqueued): add the
+    // injector's duplicate counts back.
     const std::uint64_t expected_messages =
         report_.requests + report_.responses_sent + report_.tokens +
-        report_.lifeline_registers + report_.lifeline_pushes + terminates;
+        report_.lifeline_registers + report_.lifeline_pushes + terminates +
+        result.faults.duplicated_messages;
     if (expected_messages != result.network.messages) {
       violation(Family::kMessages,
                 "ledger counted " + std::to_string(expected_messages) +
                     " messages, network stats claim " +
                     std::to_string(result.network.messages));
     }
-    const std::uint64_t expected_bytes =
-        bytes_sent_ + terminates * config_.ws.token_bytes;
+    const std::uint64_t expected_bytes = bytes_sent_ +
+                                         terminates * config_.ws.token_bytes +
+                                         result.faults.duplicated_bytes;
     if (expected_bytes != result.network.bytes) {
       violation(Family::kMessages,
                 "ledger counted " + std::to_string(expected_bytes) +

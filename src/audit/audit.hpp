@@ -102,6 +102,9 @@ struct AuditReport {
   std::uint64_t tokens = 0;
   std::uint64_t lifeline_registers = 0;
   std::uint64_t lifeline_pushes = 0;
+  std::uint64_t steal_timeouts = 0;       ///< abandoned requests (fault mode)
+  std::uint64_t duplicate_responses = 0;  ///< network duplicates discarded
+  std::uint64_t token_regens = 0;         ///< termination tokens regenerated
 
   bool ok() const noexcept { return violations_total == 0; }
   /// One-line verdict; multi-line violation list when not ok().
@@ -141,8 +144,14 @@ class Auditor final : public ws::RunObserver {
                              std::uint32_t bytes) override;
   void on_lifeline_push_received(topo::Rank rank, std::uint64_t chunks,
                                  std::uint64_t nodes) override;
+  void on_steal_timeout(topo::Rank thief, topo::Rank victim,
+                        std::uint32_t attempt) override;
+  void on_duplicate_response(topo::Rank thief, std::uint64_t chunks,
+                             std::uint64_t nodes) override;
   void on_token_sent(topo::Rank from, topo::Rank to,
                      const ws::Token& t) override;
+  void on_token_accepted(topo::Rank rank, const ws::Token& t) override;
+  void on_token_regenerated(topo::Rank rank, std::uint32_t generation) override;
   void on_phase(topo::Rank rank, support::SimTime t,
                 metrics::Phase p) override;
   void on_termination(support::SimTime t) override;
@@ -183,8 +192,18 @@ class Auditor final : public ws::RunObserver {
   std::vector<std::uint8_t> response_outstanding_;  // per thief
   std::uint64_t bytes_sent_ = 0;
 
+  /// Fault mode (drops/dups/timeouts configured): per-pair request/response
+  /// pairing is legitimately violated — a thief re-requests after abandoning,
+  /// a victim answers a request the timeout already wrote off — so those
+  /// checks are skipped. Work conservation stays EXACT: drops are counted at
+  /// send by both the ledger and sim::NetworkStats, duplicates are counted in
+  /// fault::FaultStats and added back in finalize(), and banked late answers
+  /// flow through the ordinary response hooks.
+  bool relaxed_ = false;
+
   // Clock / trace ledger.
   std::optional<ws::Token> last_token_to_zero_;
+  std::optional<ws::Token> accepted_token_;  // last token rank 0 accepted
   std::vector<support::SimTime> last_phase_time_;
   std::vector<std::uint8_t> finished_;
   bool terminated_ = false;

@@ -73,9 +73,24 @@ class MutatingObserver final : public ws::RunObserver {
                                  std::uint64_t nodes) override {
     inner_.on_lifeline_push_received(rank, chunks, nodes);
   }
+  void on_steal_timeout(topo::Rank thief, topo::Rank victim,
+                        std::uint32_t attempt) override {
+    inner_.on_steal_timeout(thief, victim, attempt);
+  }
+  void on_duplicate_response(topo::Rank thief, std::uint64_t chunks,
+                             std::uint64_t nodes) override {
+    inner_.on_duplicate_response(thief, chunks, nodes);
+  }
   void on_token_sent(topo::Rank from, topo::Rank to,
                      const ws::Token& t) override {
     inner_.on_token_sent(from, to, t);
+  }
+  void on_token_accepted(topo::Rank rank, const ws::Token& t) override {
+    inner_.on_token_accepted(rank, t);
+  }
+  void on_token_regenerated(topo::Rank rank,
+                            std::uint32_t generation) override {
+    inner_.on_token_regenerated(rank, generation);
   }
   void on_phase(topo::Rank rank, support::SimTime t,
                 metrics::Phase p) override {
@@ -204,6 +219,17 @@ std::vector<ws::RunConfig> shrink_candidates(const ws::RunConfig& config) {
     c.congestion_scale = 0.0;
     push(std::move(c));
   }
+  if (config.fault.enabled() || config.ws.steal_timeout != 0 ||
+      config.ws.token_timeout != 0) {
+    // All-or-nothing: the timeouts exist to keep a lossy run live, so they
+    // only come off together with the fault model (validate() would reject
+    // drop_prob > 0 without them).
+    ws::RunConfig c = config;
+    c.fault = fault::FaultConfig{};
+    c.ws.steal_timeout = 0;
+    c.ws.token_timeout = 0;
+    push(std::move(c));
+  }
   {  // one knob at a time back to the boring default
     ws::RunConfig c = config;
     c.ws.idle_policy = ws::IdlePolicy::kPersistentSteal;
@@ -261,7 +287,8 @@ const char* to_string(Mutation m) {
   return "?";
 }
 
-ws::RunConfig random_config(std::uint64_t seed, std::uint64_t node_budget) {
+ws::RunConfig random_config(std::uint64_t seed, std::uint64_t node_budget,
+                            bool with_faults) {
   // Rejection loop: some draws produce trees over budget; re-derive from a
   // decorrelated sub-seed until one fits. The loop terminates fast — the
   // parameter ranges below make oversized trees the rare case.
@@ -313,6 +340,43 @@ ws::RunConfig random_config(std::uint64_t seed, std::uint64_t node_budget) {
     cfg.origin_cube = static_cast<std::uint32_t>(rng.next_below(500));
     if (rng.next_below(2) == 1) cfg.enable_congestion(0.5 + rng.next_double());
 
+    if (with_faults && rng.next_below(2) == 1) {
+      cfg.fault.drop_prob = rng.next_below(2) == 1 ? 0.05 * rng.next_double()
+                                                   : 0.0;
+      cfg.fault.dup_prob = rng.next_below(2) == 1 ? 0.05 * rng.next_double()
+                                                  : 0.0;
+      cfg.fault.jitter_frac = rng.next_below(2) == 1 ? 0.5 * rng.next_double()
+                                                     : 0.0;
+      if (rng.next_below(3) == 0) {
+        cfg.fault.degraded_frac = 0.2 * rng.next_double();
+        cfg.fault.degraded_mult = 1.0 + 4.0 * rng.next_double();
+      }
+      if (rng.next_below(3) == 0) {
+        cfg.fault.straggler_ranks =
+            1 + static_cast<std::uint32_t>(rng.next_below(2));
+        cfg.fault.straggler_factor = 2.0 + 6.0 * rng.next_double();
+      }
+      if (rng.next_below(4) == 0) {
+        cfg.fault.pause_ranks = 1;
+        cfg.fault.pause_duration =
+            1000 + static_cast<support::SimTime>(rng.next_below(100'000));
+        cfg.fault.pause_window =
+            static_cast<support::SimTime>(rng.next_below(1'000'000));
+      }
+      cfg.fault.seed = rng.next();
+      if (cfg.fault.drop_prob > 0.0) {
+        // Liveness: loss needs the timeout recovery paths (validate()
+        // rejects the combination otherwise).
+        cfg.ws.steal_timeout =
+            50'000 + static_cast<support::SimTime>(rng.next_below(200'000));
+        cfg.ws.token_timeout =
+            1'000'000 + static_cast<support::SimTime>(rng.next_below(9'000'000));
+      } else if (cfg.fault.enabled() && rng.next_below(2) == 1) {
+        cfg.ws.steal_timeout =
+            50'000 + static_cast<support::SimTime>(rng.next_below(200'000));
+      }
+    }
+
     if (!cfg.validate()) continue;
     if (uts::enumerate_sequential(cfg.tree, node_budget).truncated) continue;
     return cfg;
@@ -346,7 +410,7 @@ std::string reproducer_command(const ws::RunConfig& config) {
       "-d %u -a %u --ranks %u --placement %s --ppn %u --origin-cube %u "
       "--policy %s --steal %s --chunk %u -g %u --poll %u --seed %llu "
       "--idle %s --lifeline-tries %u --local-tries %u%s "
-      "--congestion %.17g --alias-max %u --audit",
+      "--congestion %.17g --alias-max %u",
       static_cast<unsigned>(config.tree.type), config.tree.root_branching,
       config.tree.q, config.tree.m, config.tree.root_seed, config.tree.gen_mx,
       static_cast<unsigned>(config.tree.shape), config.num_ranks, placement,
@@ -360,7 +424,52 @@ std::string reproducer_command(const ws::RunConfig& config) {
       config.ws.one_sided_steals ? " --one-sided" : "",
       config.congestion.enabled ? config.congestion_scale : 0.0,
       config.ws.alias_table_max_ranks);
-  return buf;
+
+  std::string cmd(buf);
+  const auto flag_u64 = [&cmd](const char* flag, std::uint64_t v) {
+    cmd += ' ';
+    cmd += flag;
+    cmd += ' ';
+    cmd += std::to_string(v);
+  };
+  const auto flag_f64 = [&cmd, &buf](const char* flag, double v) {
+    std::snprintf(buf, sizeof(buf), " %s %.17g", flag, v);
+    cmd += buf;
+  };
+  if (config.ws.steal_timeout != 0) {
+    flag_u64("--steal-timeout",
+             static_cast<std::uint64_t>(config.ws.steal_timeout));
+    flag_u64("--steal-retry-max", config.ws.steal_retry_max);
+    flag_f64("--steal-backoff", config.ws.steal_backoff);
+  }
+  if (config.ws.token_timeout != 0) {
+    flag_u64("--token-timeout",
+             static_cast<std::uint64_t>(config.ws.token_timeout));
+  }
+  const fault::FaultConfig& f = config.fault;
+  if (f.enabled()) {
+    if (f.drop_prob > 0.0) flag_f64("--fault-drop", f.drop_prob);
+    if (f.dup_prob > 0.0) flag_f64("--fault-dup", f.dup_prob);
+    if (f.jitter_frac > 0.0) flag_f64("--fault-jitter", f.jitter_frac);
+    if (f.degraded_frac > 0.0) {
+      flag_f64("--fault-degraded-frac", f.degraded_frac);
+      flag_f64("--fault-degraded-mult", f.degraded_mult);
+    }
+    if (f.straggler_ranks > 0) {
+      flag_u64("--fault-stragglers", f.straggler_ranks);
+      flag_f64("--fault-straggler-factor", f.straggler_factor);
+    }
+    if (f.pause_ranks > 0 && f.pause_duration > 0) {
+      flag_u64("--fault-pauses", f.pause_ranks);
+      flag_u64("--fault-pause-duration",
+               static_cast<std::uint64_t>(f.pause_duration));
+      flag_u64("--fault-pause-window",
+               static_cast<std::uint64_t>(f.pause_window));
+    }
+    flag_u64("--fault-seed", f.seed);
+  }
+  cmd += " --audit";
+  return cmd;
 }
 
 FuzzResult run_fuzz(const FuzzOptions& opts) {
@@ -370,7 +479,8 @@ FuzzResult run_fuzz(const FuzzOptions& opts) {
   configs->reserve(opts.cases);
   support::SplitMix64 case_seeds(opts.seed);
   for (std::uint64_t i = 0; i < opts.cases; ++i) {
-    configs->push_back(random_config(case_seeds.next(), opts.node_budget));
+    configs->push_back(
+        random_config(case_seeds.next(), opts.node_budget, opts.faults));
   }
 
   exp::SweepSpec spec(configs->front());

@@ -42,6 +42,11 @@ struct FuzzOptions {
   bool progress = false;
   Mutation mutation = Mutation::kNone;
   std::uint32_t max_shrink_rounds = 64;
+  /// Draw fault-injection knobs (message loss, duplication, jitter,
+  /// stragglers, pauses — fault::FaultConfig) for roughly half the cases.
+  /// Cases with loss always get steal/token timeouts (the liveness recovery
+  /// path), which also puts the auditor in its relaxed message mode.
+  bool faults = false;
   /// Family toggles for every case; expected_nodes/leaves are filled per
   /// case from the sequential oracle. The distribution family is sampled
   /// only for configs small enough to afford it (<= 256 ranks).
@@ -65,9 +70,12 @@ struct FuzzResult {
 
 /// Deterministic random RunConfig for `seed`: subcritical binomial or
 /// bounded geometric tree, 2..64 ranks over all three placements, and every
-/// scheduler knob drawn from its interesting range. The returned config
-/// validates and its sequential tree fits `node_budget`.
-ws::RunConfig random_config(std::uint64_t seed, std::uint64_t node_budget);
+/// scheduler knob drawn from its interesting range. With `with_faults`,
+/// roughly half the configs additionally draw a fault::FaultConfig plus the
+/// timeouts that keep a lossy run live. The returned config validates and
+/// its sequential tree fits `node_budget`.
+ws::RunConfig random_config(std::uint64_t seed, std::uint64_t node_budget,
+                            bool with_faults = false);
 
 /// The uts_cli invocation reproducing an audited run of `config`.
 std::string reproducer_command(const ws::RunConfig& config);

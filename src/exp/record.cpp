@@ -10,6 +10,7 @@
 #include "crypto/sha1.hpp"
 #include "support/check.hpp"
 #include "support/sim_time.hpp"
+#include "ws/victim.hpp"
 
 namespace dws::exp {
 namespace {
@@ -124,12 +125,45 @@ std::string canonical_config(const ws::RunConfig& c) {
   kvu("ws.node_bytes", c.ws.node_bytes);
   kvu("ws.token_bytes", c.ws.token_bytes);
   kvu("ws.seed", c.ws.seed);
-  kvu("ws.alias_table_max_ranks", c.ws.alias_table_max_ranks);
+  if (c.ws.victim_policy == ws::VictimPolicy::kTofuSkewed) {
+    // The two Tofu sampling backends are equal in distribution but draw
+    // different RNG sequences, so two runs match iff the *active* backend
+    // matches — not the raw alias_table_max_ranks threshold, which can
+    // differ without changing anything the simulation does.
+    kv("ws.tofu_sampler",
+       ws::tofu_uses_alias(c.ws, c.num_ranks) ? "alias" : "rejection");
+  }
   kvu("ws.one_sided_steals", c.ws.one_sided_steals ? 1 : 0);
   kv("ws.idle_policy", ws::to_string(c.ws.idle_policy));
   kvu("ws.lifeline_tries", c.ws.lifeline_tries);
   kvu("ws.hierarchical_local_tries", c.ws.hierarchical_local_tries);
   kvu("ws.record_trace", c.ws.record_trace ? 1 : 0);
+
+  // Robustness/fault keys appear only when active so that every pre-fault
+  // config keeps its established fingerprint.
+  if (c.ws.steal_timeout != 0) {
+    kvu("ws.steal_timeout", static_cast<std::uint64_t>(c.ws.steal_timeout));
+    kvu("ws.steal_retry_max", c.ws.steal_retry_max);
+    kvd("ws.steal_backoff", c.ws.steal_backoff);
+  }
+  if (c.ws.token_timeout != 0) {
+    kvu("ws.token_timeout", static_cast<std::uint64_t>(c.ws.token_timeout));
+  }
+  if (c.fault.enabled()) {
+    kvd("fault.drop_prob", c.fault.drop_prob);
+    kvd("fault.dup_prob", c.fault.dup_prob);
+    kvd("fault.jitter_frac", c.fault.jitter_frac);
+    kvd("fault.degraded_frac", c.fault.degraded_frac);
+    kvd("fault.degraded_mult", c.fault.degraded_mult);
+    kvu("fault.straggler_ranks", c.fault.straggler_ranks);
+    kvd("fault.straggler_factor", c.fault.straggler_factor);
+    kvu("fault.pause_ranks", c.fault.pause_ranks);
+    kvu("fault.pause_duration",
+        static_cast<std::uint64_t>(c.fault.pause_duration));
+    kvu("fault.pause_window",
+        static_cast<std::uint64_t>(c.fault.pause_window));
+    kvu("fault.seed", c.fault.seed);
+  }
   return s;
 }
 
@@ -162,6 +196,9 @@ void RecordWriter::write_header() {
            "mean_steal_distance,net_messages,net_bytes,engine_events";
   if (options_.schema_version >= 2) {
     *out_ << ",engine_peak_pending,net_peak_channels";
+  }
+  if (options_.schema_version >= 3) {
+    *out_ << ",steal_timeouts,steal_retries,token_regens,net_drops,net_dups";
   }
   if (options_.wall_clock) *out_ << ",wall_s";
   *out_ << "\n";
@@ -215,6 +252,13 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
       *out_ << ",\"engine_peak_pending\":" << r.engine_peak_pending
             << ",\"net_peak_channels\":" << r.network.peak_channels;
     }
+    if (options_.schema_version >= 3) {
+      *out_ << ",\"steal_timeouts\":" << r.stats.steal_timeouts
+            << ",\"steal_retries\":" << r.stats.steal_retries
+            << ",\"token_regens\":" << r.stats.token_regens
+            << ",\"net_drops\":" << r.faults.dropped_messages
+            << ",\"net_dups\":" << r.faults.duplicated_messages;
+    }
     if (options_.wall_clock) {
       *out_ << ",\"wall_s\":" << fmt_metric(pr.wall_seconds);
     }
@@ -239,6 +283,11 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
         << r.engine_events;
   if (options_.schema_version >= 2) {
     *out_ << ',' << r.engine_peak_pending << ',' << r.network.peak_channels;
+  }
+  if (options_.schema_version >= 3) {
+    *out_ << ',' << r.stats.steal_timeouts << ',' << r.stats.steal_retries
+          << ',' << r.stats.token_regens << ',' << r.faults.dropped_messages
+          << ',' << r.faults.duplicated_messages;
   }
   if (options_.wall_clock) *out_ << ',' << fmt_metric(pr.wall_seconds);
   *out_ << "\n";
@@ -298,6 +347,11 @@ void assign_field(SweepRecord& r, std::string_view key, std::string_view v) {
   else if (key == "engine_events") r.engine_events = to_u64(v);
   else if (key == "engine_peak_pending") r.engine_peak_pending = to_u64(v);
   else if (key == "net_peak_channels") r.net_peak_channels = to_u64(v);
+  else if (key == "steal_timeouts") r.steal_timeouts = to_u64(v);
+  else if (key == "steal_retries") r.steal_retries = to_u64(v);
+  else if (key == "token_regens") r.token_regens = to_u64(v);
+  else if (key == "net_drops") r.net_drops = to_u64(v);
+  else if (key == "net_dups") r.net_dups = to_u64(v);
   else if (key == "wall_s") {
     r.has_wall_s = true;
     r.wall_s = to_f64(v);

@@ -29,9 +29,13 @@ namespace dws::exp {
 ///   1 — initial schema.
 ///   2 — adds `engine_peak_pending` (event-queue high-water mark) and
 ///       `net_peak_channels` (peak live (src,dst) network channels).
-/// RecordReader accepts both; RecordOptions::schema_version lets a writer
-/// emit v1 byte-for-byte (the golden-file tests pin a v1 stream).
-inline constexpr int kRecordSchemaVersion = 2;
+///   3 — adds the fault/robustness counters: `steal_timeouts`,
+///       `steal_retries`, `token_regens` (steal-protocol recovery) and
+///       `net_drops`, `net_dups` (fault::Injector message verdicts).
+/// RecordReader accepts all of them; RecordOptions::schema_version lets a
+/// writer emit an older version byte-for-byte (the golden-file tests pin a
+/// v1 stream, the compat tests a v2 stream).
+inline constexpr int kRecordSchemaVersion = 3;
 inline constexpr int kRecordMinSchemaVersion = 1;
 
 enum class RecordFormat { kJsonl, kCsv };
@@ -106,6 +110,11 @@ struct SweepRecord {
   std::uint64_t engine_events = 0;
   std::uint64_t engine_peak_pending = 0;  // v2+
   std::uint64_t net_peak_channels = 0;    // v2+
+  std::uint64_t steal_timeouts = 0;       // v3+
+  std::uint64_t steal_retries = 0;        // v3+
+  std::uint64_t token_regens = 0;         // v3+
+  std::uint64_t net_drops = 0;            // v3+
+  std::uint64_t net_dups = 0;             // v3+
   bool has_wall_s = false;
   double wall_s = 0.0;
 };

@@ -1,6 +1,7 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "ws/config.hpp"
 
@@ -112,6 +113,47 @@ Axis placement_axis(
            cfg.placement = placement;
            cfg.procs_per_node = procs;
          }});
+  }
+  return axis;
+}
+
+namespace {
+
+std::string percent_label(double p) {
+  if (p == 0.0) return "off";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g%%", p * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+Axis fault_drop_axis(const std::vector<double>& probs) {
+  Axis axis{"drop", {}};
+  for (const double p : probs) {
+    axis.points.push_back(
+        {percent_label(p),
+         [p](ws::RunConfig& cfg) { cfg.fault.drop_prob = p; }});
+  }
+  return axis;
+}
+
+Axis fault_jitter_axis(const std::vector<double>& fracs) {
+  Axis axis{"jitter", {}};
+  for (const double f : fracs) {
+    axis.points.push_back(
+        {percent_label(f),
+         [f](ws::RunConfig& cfg) { cfg.fault.jitter_frac = f; }});
+  }
+  return axis;
+}
+
+Axis fault_straggler_axis(const std::vector<std::uint32_t>& counts) {
+  Axis axis{"stragglers", {}};
+  for (const std::uint32_t n : counts) {
+    axis.points.push_back(
+        {n == 0 ? "off" : std::to_string(n),
+         [n](ws::RunConfig& cfg) { cfg.fault.straggler_ranks = n; }});
   }
   return axis;
 }

@@ -50,6 +50,13 @@ Axis local_tries_axis(const std::vector<std::uint32_t>& tries);
 Axis placement_axis(
     const std::vector<std::pair<topo::Placement, std::uint32_t>>& allocs);
 
+/// Fault-injection axes (fault::FaultConfig), labelled "off" / "1%" / "2".
+/// Points with loss need ws.steal_timeout/token_timeout set on the base
+/// config — RunConfig::validate enforces the pairing.
+Axis fault_drop_axis(const std::vector<double>& probs);
+Axis fault_jitter_axis(const std::vector<double>& fracs);
+Axis fault_straggler_axis(const std::vector<std::uint32_t>& counts);
+
 /// Escape hatch: any label/mutation pairs under one axis name.
 Axis custom_axis(std::string name, std::vector<AxisPoint> points);
 

@@ -18,6 +18,10 @@ JobStats aggregate(const std::vector<RankStats>& per_rank) {
     job.failed_steals += r.failed_steals;
     job.successful_steals += r.successful_steals;
     job.chunks_sent += r.chunks_sent;
+    job.steal_timeouts += r.steal_timeouts;
+    job.steal_retries += r.steal_retries;
+    job.duplicate_responses += r.duplicate_responses;
+    job.token_regens += r.token_regens;
     job.sessions += r.sessions;
     distance_total += r.steal_distance_sum;
     session_time += r.total_session_time;

@@ -14,12 +14,19 @@ struct RankStats {
   std::uint64_t nodes_processed = 0;
   std::uint64_t leaves_seen = 0;
 
-  std::uint64_t steal_attempts = 0;     ///< requests sent
+  std::uint64_t steal_attempts = 0;     ///< requests sent (retries included)
   std::uint64_t failed_steals = 0;      ///< responses carrying no work
   std::uint64_t successful_steals = 0;  ///< responses carrying work
   std::uint64_t requests_served = 0;    ///< requests answered (either way)
   std::uint64_t chunks_sent = 0;
   std::uint64_t chunks_received = 0;
+
+  /// Steal-protocol robustness counters (WsConfig::steal_timeout /
+  /// token_timeout; DESIGN.md §10).
+  std::uint64_t steal_timeouts = 0;       ///< requests abandoned by the timer
+  std::uint64_t steal_retries = 0;        ///< same-victim re-sends
+  std::uint64_t duplicate_responses = 0;  ///< network-duplicated answers dropped
+  std::uint64_t token_regens = 0;         ///< rank 0: probes given up on
 
   /// Sum over *successful* steals of the 6D Euclidean distance to the
   /// victim — mean distance is direct evidence of where a victim-selection
@@ -55,6 +62,10 @@ struct JobStats {
   std::uint64_t failed_steals = 0;
   std::uint64_t successful_steals = 0;
   std::uint64_t chunks_sent = 0;
+  std::uint64_t steal_timeouts = 0;
+  std::uint64_t steal_retries = 0;
+  std::uint64_t duplicate_responses = 0;
+  std::uint64_t token_regens = 0;
   std::uint64_t sessions = 0;
   double mean_session_ms = 0.0;       ///< avg duration of a discovery session
   double mean_search_time_s = 0.0;    ///< avg per-rank total search time

@@ -23,6 +23,8 @@ enum class EventKind : std::uint32_t {
                       ///< payload = RunContext deferred-send pool handle
   kDagStart,          ///< dag worker bootstrap; rank = worker rank
   kDagTaskComplete,   ///< dag task completion; payload = TaskId
+  kStealTimeout,      ///< ws::Worker steal-request timer; payload = request id
+  kTokenTimeout,      ///< ws::Worker rank-0 token timer; payload = generation
 };
 
 /// One scheduled event: a fixed-size POD record. The hot path never

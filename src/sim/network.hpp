@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 #include "support/sim_time.hpp"
 #include "topo/latency.hpp"
@@ -63,54 +64,52 @@ struct CongestionParams {
 /// past arrival, so the entry is retired (its map node is recycled to keep
 /// the steady state allocation-free). NetworkStats::peak_channels records
 /// the high-water mark of live channels.
+///
+/// Fault injection (DESIGN.md §10): with a fault::Injector attached, each
+/// send first asks the injector for a plan. A dropped message is still
+/// counted in NetworkStats (the send happened; only delivery is lost) but
+/// schedules nothing and adds no congestion load. A duplicated message is
+/// delivered twice — the copy gets its own jitter draw but both obey the
+/// channel clamp — and counted twice. Latency multipliers (jitter, degraded
+/// links) scale the full congested latency of each delivery.
 template <typename Message,
           typename Deliver = std::function<void(topo::Rank, Message)>>
 class Network final : public EventSink {
  public:
   Network(Engine& engine, const topo::LatencyModel& latency, Deliver deliver,
-          CongestionParams congestion = {})
+          CongestionParams congestion = {},
+          fault::Injector* faults = nullptr)
       : engine_(&engine),
         latency_(&latency),
         deliver_(std::move(deliver)),
-        congestion_(congestion) {
+        congestion_(congestion),
+        faults_(faults) {
     DWS_CHECK(!congestion_.enabled || congestion_.capacity_hops > 0.0);
   }
 
   /// Send `msg` of `bytes` payload bytes from `src` to `dst` (src != dst).
-  void send(topo::Rank src, topo::Rank dst, Message msg, std::uint32_t bytes) {
+  /// `cls` declares the message's loss semantics to the fault injector; it
+  /// is ignored when no injector is attached.
+  void send(topo::Rank src, topo::Rank dst, Message msg, std::uint32_t bytes,
+            fault::MsgClass cls = fault::MsgClass::kReliable) {
     DWS_CHECK(src != dst);
-    support::SimTime latency = latency_->message_latency(src, dst, bytes);
-    std::int32_t hops = 0;
-    if (congestion_.enabled && !latency_->layout().same_node(src, dst)) {
-      hops = latency_->hops(src, dst);
-      const double multiplier = 1.0 + load_hops_ / congestion_.capacity_hops;
-      latency = static_cast<support::SimTime>(
-          static_cast<double>(latency) * multiplier);
-      load_hops_ += hops;
-      stats_.max_load_hops = std::max(stats_.max_load_hops, load_hops_);
+    if (faults_ != nullptr && faults_->enabled()) {
+      const fault::SendPlan plan =
+          faults_->plan_send(channel_key(src, dst), cls, bytes);
+      if (plan.drop) {
+        // The send still happened from the sender's point of view: count it
+        // so send-side ledgers (audit) and NetworkStats agree, but schedule
+        // no delivery and load no links.
+        count_message(src, dst, bytes);
+        return;
+      }
+      if (plan.duplicate) {
+        enqueue(src, dst, Message(msg), bytes, plan.dup_latency_mult);
+      }
+      enqueue(src, dst, std::move(msg), bytes, plan.latency_mult);
+      return;
     }
-    support::SimTime arrival = engine_->now() + latency;
-
-    // MPI non-overtaking: a later send on the same channel may not arrive
-    // before an earlier one (possible here when a small message chases a
-    // large one). Clamp to the channel's previous arrival time.
-    const std::uint64_t key = channel_key(src, dst);
-    if (const auto it = channels_.find(key); it != channels_.end()) {
-      if (arrival < it->second.last_arrival) arrival = it->second.last_arrival;
-      it->second.last_arrival = arrival;
-      ++it->second.in_flight;
-    } else {
-      open_channel(key, arrival);
-    }
-
-    ++stats_.messages;
-    stats_.bytes += bytes;
-    if (latency_->layout().same_node(src, dst)) ++stats_.intra_node_messages;
-
-    const std::uint32_t handle =
-        in_flight_.acquire(InFlight{std::move(msg), key, hops});
-    engine_->schedule_at(arrival, *this, EventKind::kNetworkDeliver, dst,
-                         handle);
+    enqueue(src, dst, std::move(msg), bytes, 1.0);
   }
 
   /// kNetworkDeliver dispatch: unparks the message, drains its congestion
@@ -143,6 +142,52 @@ class Network final : public EventSink {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
+  /// One actual delivery: congested latency, fault latency multiplier,
+  /// channel clamp, stats, and the kNetworkDeliver event.
+  void enqueue(topo::Rank src, topo::Rank dst, Message msg,
+               std::uint32_t bytes, double latency_mult) {
+    support::SimTime latency = latency_->message_latency(src, dst, bytes);
+    std::int32_t hops = 0;
+    if (congestion_.enabled && !latency_->layout().same_node(src, dst)) {
+      hops = latency_->hops(src, dst);
+      const double multiplier = 1.0 + load_hops_ / congestion_.capacity_hops;
+      latency = static_cast<support::SimTime>(
+          static_cast<double>(latency) * multiplier);
+      load_hops_ += hops;
+      stats_.max_load_hops = std::max(stats_.max_load_hops, load_hops_);
+    }
+    if (latency_mult != 1.0) {
+      latency = static_cast<support::SimTime>(
+          static_cast<double>(latency) * latency_mult);
+    }
+    support::SimTime arrival = engine_->now() + latency;
+
+    // MPI non-overtaking: a later send on the same channel may not arrive
+    // before an earlier one (possible here when a small message chases a
+    // large one). Clamp to the channel's previous arrival time.
+    const std::uint64_t key = channel_key(src, dst);
+    if (const auto it = channels_.find(key); it != channels_.end()) {
+      if (arrival < it->second.last_arrival) arrival = it->second.last_arrival;
+      it->second.last_arrival = arrival;
+      ++it->second.in_flight;
+    } else {
+      open_channel(key, arrival);
+    }
+
+    count_message(src, dst, bytes);
+
+    const std::uint32_t handle =
+        in_flight_.acquire(InFlight{std::move(msg), key, hops});
+    engine_->schedule_at(arrival, *this, EventKind::kNetworkDeliver, dst,
+                         handle);
+  }
+
+  void count_message(topo::Rank src, topo::Rank dst, std::uint32_t bytes) {
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    if (latency_->layout().same_node(src, dst)) ++stats_.intra_node_messages;
+  }
+
   void open_channel(std::uint64_t key, support::SimTime arrival) {
     if (spare_nodes_.empty()) {
       channels_.emplace(key, Channel{arrival, 1});
@@ -172,6 +217,7 @@ class Network final : public EventSink {
   const topo::LatencyModel* latency_;
   Deliver deliver_;
   CongestionParams congestion_;
+  fault::Injector* faults_;
   double load_hops_ = 0.0;  // in-flight hop-units (congestion state)
   NetworkStats stats_;
   ChannelMap channels_;

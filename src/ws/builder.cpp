@@ -97,6 +97,31 @@ RunConfigBuilder& RunConfigBuilder::alias_table_max_ranks(
   return *this;
 }
 
+RunConfigBuilder& RunConfigBuilder::steal_timeout(support::SimTime t) {
+  cfg_.ws.steal_timeout = t;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::steal_retry_max(std::uint32_t retries) {
+  cfg_.ws.steal_retry_max = retries;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::steal_backoff(double factor) {
+  cfg_.ws.steal_backoff = factor;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::token_timeout(support::SimTime t) {
+  cfg_.ws.token_timeout = t;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::fault(const fault::FaultConfig& f) {
+  cfg_.fault = f;
+  return *this;
+}
+
 RunConfigBuilder& RunConfigBuilder::congestion(double scale) {
   congestion_scale_ = scale;
   congestion_off_ = false;

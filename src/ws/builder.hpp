@@ -58,6 +58,16 @@ class RunConfigBuilder {
   RunConfigBuilder& record_trace(bool on);
   RunConfigBuilder& alias_table_max_ranks(std::uint32_t max_ranks);
 
+  /// Steal-protocol robustness knobs (WsConfig; DESIGN.md §10).
+  RunConfigBuilder& steal_timeout(support::SimTime t);
+  RunConfigBuilder& steal_retry_max(std::uint32_t retries);
+  RunConfigBuilder& steal_backoff(double factor);
+  RunConfigBuilder& token_timeout(support::SimTime t);
+
+  /// Fault/perturbation model for the run (RunConfig::fault). Individual
+  /// knobs are set on the struct; this replaces it wholesale.
+  RunConfigBuilder& fault(const fault::FaultConfig& f);
+
   /// Fluid congestion model, capacity anchored to the final ranks/procs.
   RunConfigBuilder& congestion(double scale = 1.0);
   RunConfigBuilder& no_congestion();

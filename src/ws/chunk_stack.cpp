@@ -1,5 +1,7 @@
 #include "ws/chunk_stack.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace dws::ws {
@@ -32,7 +34,19 @@ void ChunkStack::install(std::vector<Chunk> chunks) {
   for (auto& chunk : chunks) {
     DWS_CHECK(!chunk.empty());
     total_nodes_ += chunk.size();
-    chunks_.push_back(std::move(chunk));
+    if (chunk.size() <= chunk_size_) {
+      chunks_.push_back(std::move(chunk));
+      continue;
+    }
+    // An oversized chunk (a foreign producer, or work stolen under a larger
+    // chunk_size) would silently break the chunks <= chunk_size invariant
+    // that stealable-chunk accounting and the auditor rely on: split it.
+    for (std::size_t off = 0; off < chunk.size(); off += chunk_size_) {
+      const std::size_t end =
+          std::min<std::size_t>(off + chunk_size_, chunk.size());
+      chunks_.emplace_back(chunk.begin() + static_cast<std::ptrdiff_t>(off),
+                           chunk.begin() + static_cast<std::ptrdiff_t>(end));
+    }
   }
 }
 

@@ -104,6 +104,25 @@ struct WsConfig {
   /// pick is remote.
   std::uint32_t hierarchical_local_tries = 2;
 
+  /// Steal-protocol robustness (DESIGN.md §10). With steal_timeout > 0 a
+  /// thief arms a timer per steal request; if no response arrives in time it
+  /// abandons the request (a late answer is still honoured — the work it
+  /// carries is banked) and re-sends to the same victim up to steal_retry_max
+  /// times, the k-th retry waiting steal_timeout * steal_backoff^k, before
+  /// moving to a fresh victim. 0 disables timers — the paper's blocking
+  /// behaviour — and is only safe when the network never drops (validated).
+  support::SimTime steal_timeout = 0;
+  std::uint32_t steal_retry_max = 3;
+  double steal_backoff = 2.0;
+
+  /// Token-ring robustness: with token_timeout > 0, rank 0 regenerates the
+  /// termination token (with a fresh generation number) when a probe fails
+  /// to return in time; stale generations and duplicates are discarded by
+  /// every rank. Mattern-style counting is per-circulation and unaffected.
+  /// Size it well above an idle-ring circulation (N * hop RTT): a spurious
+  /// regeneration is safe but wastes messages.
+  support::SimTime token_timeout = 0;
+
   bool record_trace = true;
 
   /// Virtual compute time per tree node.

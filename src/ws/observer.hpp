@@ -71,9 +71,33 @@ class RunObserver {
     (void)rank, (void)chunks, (void)nodes;
   }
 
+  /// Thief's request `attempt` (0 = the initial send) to `victim` timed out
+  /// (WsConfig::steal_timeout) and was abandoned.
+  virtual void on_steal_timeout(topo::Rank thief, topo::Rank victim,
+                                std::uint32_t attempt) {
+    (void)thief, (void)victim, (void)attempt;
+  }
+  /// Thief discarded a network-duplicated steal response whose id it had
+  /// already consumed (only possible under fault injection).
+  virtual void on_duplicate_response(topo::Rank thief, std::uint64_t chunks,
+                                     std::uint64_t nodes) {
+    (void)thief, (void)chunks, (void)nodes;
+  }
+
   /// Termination token forwarded from `from` to `to`.
   virtual void on_token_sent(topo::Rank from, topo::Rank to, const Token& t) {
     (void)from, (void)to, (void)t;
+  }
+  /// Rank 0 accepted a returning probe of the current generation. Under
+  /// faults this — not the last on_token_sent to rank 0, which may be a
+  /// discarded stale token — is the probe that termination reasoning uses.
+  virtual void on_token_accepted(topo::Rank rank, const Token& t) {
+    (void)rank, (void)t;
+  }
+  /// Rank 0 gave up on circulation `generation` (WsConfig::token_timeout)
+  /// and will launch a fresh one.
+  virtual void on_token_regenerated(topo::Rank rank, std::uint32_t generation) {
+    (void)rank, (void)generation;
   }
   /// Rank entered `phase` at virtual time `t` (mirrors RankTrace::record,
   /// including re-records of the current phase that the trace collapses).

@@ -55,6 +55,48 @@ support::Status RunConfig::validate() const {
     return support::Status::error(
         "binomial tree with m*q >= 1 is (almost surely) infinite");
   }
+  if (ws.steal_backoff < 1.0) {
+    return support::Status::error("steal_backoff must be >= 1.0");
+  }
+  if (ws.steal_timeout < 0 || ws.token_timeout < 0) {
+    return support::Status::error("timeouts must be >= 0");
+  }
+  if (fault.drop_prob < 0.0 || fault.drop_prob >= 1.0 ||
+      fault.dup_prob < 0.0 || fault.dup_prob >= 1.0) {
+    return support::Status::error("fault probabilities must be in [0, 1)");
+  }
+  if (fault.jitter_frac < 0.0) {
+    return support::Status::error("fault.jitter_frac must be >= 0");
+  }
+  if (fault.degraded_frac < 0.0 || fault.degraded_frac > 1.0) {
+    return support::Status::error("fault.degraded_frac must be in [0, 1]");
+  }
+  if (fault.degraded_mult < 1.0 || fault.straggler_factor < 1.0) {
+    return support::Status::error(
+        "fault.degraded_mult and fault.straggler_factor must be >= 1");
+  }
+  if (fault.straggler_ranks > num_ranks || fault.pause_ranks > num_ranks) {
+    return support::Status::error(
+        "fault straggler/pause rank counts exceed num_ranks");
+  }
+  if (fault.pause_duration < 0 || fault.pause_window < 0) {
+    return support::Status::error("fault pause times must be >= 0");
+  }
+  if (fault.drop_prob > 0.0) {
+    // Liveness: a lost steal request/refusal is only recovered by the steal
+    // timer, a lost token only by regeneration. Without them a single drop
+    // can hang the run.
+    if (ws.steal_timeout == 0) {
+      return support::Status::error(
+          "fault.drop_prob > 0 requires ws.steal_timeout > 0 (lost requests "
+          "are recovered by the steal timer)");
+    }
+    if (num_ranks > 1 && ws.token_timeout == 0) {
+      return support::Status::error(
+          "fault.drop_prob > 0 requires ws.token_timeout > 0 (a lost "
+          "termination token is recovered by regeneration)");
+    }
+  }
   return support::Status::ok();
 }
 
@@ -78,7 +120,13 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
         static_cast<double>(config.num_ranks / config.procs_per_node);
   }
 
-  WsNetwork network(engine, latency, DeliverToWorkers{&workers}, congestion);
+  // The injector lives for the whole run; network and workers share it. A
+  // null pointer (no faults) keeps the hot paths on their zero-cost branch.
+  fault::Injector injector(config.fault, config.num_ranks);
+  fault::Injector* faults = injector.enabled() ? &injector : nullptr;
+
+  WsNetwork network(engine, latency, DeliverToWorkers{&workers}, congestion,
+                    faults);
 
   RunContext ctx;
   ctx.engine = &engine;
@@ -88,6 +136,7 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
   ctx.latency = &latency;
   ctx.num_ranks = config.num_ranks;
   ctx.observer = observer;
+  ctx.faults = faults;
 
   for (topo::Rank r = 0; r < config.num_ranks; ++r) {
     workers.push_back(std::make_unique<Worker>(r, ctx));
@@ -123,6 +172,7 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
   }
   result.stats = metrics::aggregate(result.per_rank);
   result.network = network.stats();
+  result.faults = injector.stats();
   result.engine_events = engine.events_executed();
   result.engine_peak_pending = engine.max_pending();
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "metrics/rank_stats.hpp"
 #include "metrics/trace.hpp"
 #include "sim/network.hpp"
@@ -28,6 +29,12 @@ struct RunConfig {
   std::uint32_t origin_cube = 0;
   topo::LatencyParams latency;
   sim::CongestionParams congestion;
+
+  /// Fault/perturbation model (DESIGN.md §10). Defaults to no faults; when
+  /// any knob is active, run_simulation attaches a fault::Injector to the
+  /// network and workers. validate() requires the protocol-recovery knobs
+  /// (ws.steal_timeout, ws.token_timeout) whenever messages can be lost.
+  fault::FaultConfig fault;
 
   /// When > 0, enable_congestion(scale) was called: run_simulation re-anchors
   /// capacity_hops to the *current* ranks/procs at run time, so a sweep axis
@@ -63,6 +70,8 @@ struct RunResult {
   std::vector<metrics::RankStats> per_rank;   ///< raw per-rank counters
   metrics::JobTrace trace;                    ///< activity trace (if recorded)
   sim::NetworkStats network;
+  /// What the fault injector actually did (all zero without faults).
+  fault::FaultStats faults;
   std::uint64_t engine_events = 0;
   /// High-water mark of the engine's pending-event queue (calendar depth).
   std::uint64_t engine_peak_pending = 0;

@@ -54,6 +54,10 @@ TofuSkewedSelector::TofuSkewedSelector(topo::Rank self,
   for (topo::Rank j = 0; j < num_ranks_; ++j) {
     if (j != self_) weight_sum_ += latency_->victim_weight(self_, j);
   }
+  // Degenerate-allocation guard: if every victim weight underflowed to zero,
+  // neither backend could ever draw — fail loudly here instead of spinning
+  // in next() (the alias table would divide by zero just as silently).
+  DWS_CHECK(weight_sum_ > 0.0 && "all victim weights are zero");
   if (num_ranks_ <= alias_table_max_ranks) {
     std::vector<double> weights(num_ranks_);
     for (topo::Rank j = 0; j < num_ranks_; ++j) {
@@ -67,14 +71,19 @@ topo::Rank TofuSkewedSelector::next() {
   if (alias_.has_value()) {
     return static_cast<topo::Rank>(alias_->sample(rng_));
   }
-  // Rejection sampling with w_max = 1 (see header).
-  for (;;) {
+  // Rejection sampling with w_max = 1 (see header). The constructor
+  // guarantees a positive weight exists, so this accepts with probability 1;
+  // the iteration bound turns "astronomically unlikely or a bug" into a loud
+  // failure instead of a silent spin.
+  for (std::uint64_t iter = 0; iter < kMaxRejectionIterations; ++iter) {
     const auto candidate = static_cast<topo::Rank>(rng_.next_below(num_ranks_));
     if (candidate == self_) continue;
     const double w = latency_->victim_weight(self_, candidate);
     DWS_DCHECK(w > 0.0 && w <= 1.0);
     if (rng_.next_double() < w) return candidate;
   }
+  DWS_CHECK(false && "tofu rejection sampling failed to accept");
+  return self_;  // unreachable
 }
 
 double TofuSkewedSelector::probability(topo::Rank victim) const {

@@ -68,6 +68,9 @@ class TofuSkewedSelector final : public VictimSelector {
 
   bool uses_alias_table() const noexcept { return alias_.has_value(); }
 
+  /// Bound on consecutive rejections before next() aborts (see victim.cpp).
+  static constexpr std::uint64_t kMaxRejectionIterations = 1'000'000;
+
   /// Normalised selection probability of `victim` (for tests and Fig. 8).
   double probability(topo::Rank victim) const;
 
@@ -117,5 +120,14 @@ class HierarchicalSelector final : public VictimSelector {
 std::unique_ptr<VictimSelector> make_selector(const WsConfig& config,
                                               topo::Rank self,
                                               const topo::LatencyModel& latency);
+
+/// Which sampling backend kTofuSkewed runs with at this job size. The two
+/// backends are equal in distribution but draw different RNG sequences, so
+/// the *active backend* — not the raw alias_table_max_ranks threshold — is
+/// what identifies a Tofu run; the record fingerprint uses this.
+inline bool tofu_uses_alias(const WsConfig& config,
+                            topo::Rank num_ranks) noexcept {
+  return num_ranks <= config.alias_table_max_ranks;
+}
 
 }  // namespace dws::ws

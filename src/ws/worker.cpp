@@ -1,5 +1,6 @@
 #include "ws/worker.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/check.hpp"
@@ -45,9 +46,16 @@ void Worker::on_event(const sim::Event& ev) {
     case sim::EventKind::kDeferredResponse: {
       // Packaging delay served: the response enters the network now.
       PendingSend send = ctx_.deferred.take(ev.payload);
-      ctx_.network->send(rank_, send.thief, std::move(send.resp), send.bytes);
+      ctx_.network->send(rank_, send.thief, std::move(send.resp), send.bytes,
+                        send.cls);
       break;
     }
+    case sim::EventKind::kStealTimeout:
+      handle_steal_timeout(ev.payload);
+      break;
+    case sim::EventKind::kTokenTimeout:
+      handle_token_timeout(ev.payload);
+      break;
     default:
       DWS_CHECK(false);
   }
@@ -60,6 +68,10 @@ Worker::Worker(topo::Rank rank, RunContext& ctx)
       selector_(ctx.num_ranks > 1 ? make_selector(*ctx.config, rank, *ctx.latency)
                                   : nullptr),
       trace_(metrics::Phase::kIdle, 0) {
+  per_node_cost_ = ctx_.config->node_cost();
+  if (ctx_.faults != nullptr) {
+    per_node_cost_ = ctx_.faults->scaled_node_cost(rank_, per_node_cost_);
+  }
   if (ctx_.config->idle_policy == IdlePolicy::kLifeline) {
     // Lifeline graph: hypercube buddies (Saraswat et al.) — rank ^ 2^k for
     // every bit position that stays inside the job.
@@ -128,7 +140,18 @@ void Worker::step() {
         stack_.push(uts::child_node(*node, c));
       }
     }
-    cost += ctx_.config->node_cost();
+    cost += per_node_cost_;
+  }
+
+  // Transient pause (fault injection): the rank stalls once, at the first
+  // step boundary past the pause's scheduled start. Idle ranks are already
+  // stalled from the work's point of view, so only active time is charged.
+  if (ctx_.faults != nullptr && !pause_taken_) {
+    if (const auto at = ctx_.faults->pause_start(rank_);
+        at.has_value() && ctx_.engine->now() >= *at) {
+      pause_taken_ = true;
+      cost += ctx_.faults->config().pause_duration;
+    }
   }
 
   // Lifeline extension: surplus generated by this expansion feeds dormant
@@ -210,11 +233,24 @@ void Worker::handle(Message msg) {
 
 void Worker::handle_steal_request(const StealRequest& req,
                                   support::SimTime send_delay) {
+  if (ctx_.faults != nullptr) {
+    // A network-duplicated request must not be answered twice: the thief
+    // would discard the second response as a duplicate, losing any work it
+    // carried. Ids on the (thief -> victim) channel arrive non-decreasing
+    // (non-overtaking), so a repeat id is exactly a duplicate.
+    const auto [it, inserted] =
+        last_request_seen_.try_emplace(req.thief, req.request_id);
+    if (!inserted) {
+      if (req.request_id <= it->second) return;
+      it->second = req.request_id;
+    }
+  }
   ++stats_.requests_served;
   const bool steal_half = ctx_.config->steal_amount == StealAmount::kHalf;
   const std::size_t k = stack_.chunks_for_steal(steal_half);
 
   StealResponse resp;
+  resp.request_id = req.request_id;
   std::uint32_t bytes = ctx_.config->response_header_bytes;
   std::uint64_t nodes_sent = 0;
   if (k > 0) {
@@ -229,16 +265,21 @@ void Worker::handle_steal_request(const StealRequest& req,
   }
 
   const topo::Rank thief = req.thief;
+  // Refusals are recoverable (the thief's timeout re-drives the steal), so
+  // they may be dropped; work-carrying responses must never be — there is no
+  // retransmission path for the nodes they carry (fault::MsgClass).
+  const fault::MsgClass cls =
+      k > 0 ? fault::MsgClass::kDupOnly : fault::MsgClass::kDroppable;
   if (ctx_.observer) {
     ctx_.observer->on_steal_response_sent(rank_, thief, k, nodes_sent, bytes);
   }
   if (send_delay == 0) {
-    ctx_.network->send(rank_, thief, std::move(resp), bytes);
+    ctx_.network->send(rank_, thief, std::move(resp), bytes, cls);
   } else {
     // Packaging happens at a poll boundary; the response leaves once this
     // and the previously drained requests have been serviced.
     const std::uint32_t handle =
-        ctx_.deferred.acquire(PendingSend{std::move(resp), thief, bytes});
+        ctx_.deferred.acquire(PendingSend{std::move(resp), thief, bytes, cls});
     ctx_.engine->schedule_after(send_delay, *this,
                                 sim::EventKind::kDeferredResponse, rank_,
                                 handle);
@@ -248,20 +289,47 @@ void Worker::handle_steal_request(const StealRequest& req,
 void Worker::handle_steal_response(StealResponse resp) {
   // Normally responses find us idle and waiting, but under kLifeline a push
   // can reactivate us while a steal request is still in flight, so the
-  // response may also land mid-expansion (via the inbox).
-  DWS_CHECK(waiting_response_);
-  waiting_response_ = false;
-  stats_.total_search_time += ctx_.engine->now() - request_sent_;
+  // response may also land mid-expansion (via the inbox). Under
+  // steal_timeout the response can also answer a request we already
+  // abandoned, and under fault injection it can be a network duplicate of
+  // an answer we already consumed — the id disambiguates.
+  const bool current =
+      waiting_response_ && resp.request_id == current_request_id_;
+  topo::Rank victim = request_victim_;
+  if (current) {
+    waiting_response_ = false;
+    stats_.total_search_time += ctx_.engine->now() - request_sent_;
+  } else {
+    const auto it = std::find_if(
+        abandoned_requests_.begin(), abandoned_requests_.end(),
+        [&](const AbandonedRequest& a) { return a.id == resp.request_id; });
+    if (it == abandoned_requests_.end()) {
+      // Network duplicate of an already-consumed response. Its chunks (if
+      // any) are copies of work already installed, so discarding conserves.
+      DWS_CHECK(ctx_.faults != nullptr &&
+                "steal response without an outstanding request");
+      std::uint64_t nodes = 0;
+      for (const auto& chunk : resp.chunks) nodes += chunk.size();
+      ++stats_.duplicate_responses;
+      if (ctx_.observer) {
+        ctx_.observer->on_duplicate_response(rank_, resp.chunks.size(), nodes);
+      }
+      return;
+    }
+    victim = it->victim;
+    abandoned_requests_.erase(it);
+  }
 
   if (ctx_.observer) {
     std::uint64_t nodes_received = 0;
     for (const auto& chunk : resp.chunks) nodes_received += chunk.size();
-    ctx_.observer->on_steal_response_received(rank_, request_victim_,
+    ctx_.observer->on_steal_response_received(rank_, victim,
                                               resp.chunks.size(),
                                               nodes_received);
   }
 
   if (resp.chunks.empty()) {
+    if (!current) return;  // the timeout already drove the steal loop on
     ++stats_.failed_steals;
     if (state_ != State::kIdle) return;  // reactivated meanwhile: drop it
     if (ctx_.config->idle_policy == IdlePolicy::kLifeline &&
@@ -273,10 +341,12 @@ void Worker::handle_steal_response(StealResponse resp) {
     return;
   }
 
+  // A late answer to an abandoned request still carries real work — the
+  // victim gave those nodes away; bank them exactly like a current answer.
   ++work_msgs_recv_;
   ++stats_.successful_steals;
   stats_.chunks_received += resp.chunks.size();
-  stats_.steal_distance_sum += ctx_.latency->euclidean(rank_, request_victim_);
+  stats_.steal_distance_sum += ctx_.latency->euclidean(rank_, victim);
   stack_.install(std::move(resp.chunks));
   if (state_ != State::kIdle) return;  // already active: just keep the work
 
@@ -285,6 +355,37 @@ void Worker::handle_steal_response(StealResponse resp) {
   state_ = State::kActive;
   record_phase(ctx_.engine->now(), metrics::Phase::kActive);
   schedule_step();
+}
+
+void Worker::handle_steal_timeout(std::uint32_t request_id) {
+  if (state_ == State::kDone) return;
+  // Stale timer: the answer arrived (or an earlier timeout already fired).
+  if (!waiting_response_ || current_request_id_ != request_id) return;
+  // The request or its answer is presumed lost. Abandon it — but remember
+  // the id: a late work-carrying answer must still be banked, not dropped.
+  waiting_response_ = false;
+  abandoned_requests_.push_back(AbandonedRequest{request_id, request_victim_});
+  ++stats_.steal_timeouts;
+  stats_.total_search_time += ctx_.engine->now() - request_sent_;
+  if (ctx_.observer) {
+    ctx_.observer->on_steal_timeout(rank_, request_victim_, retry_attempt_);
+  }
+  if (state_ != State::kIdle) return;  // reactivated meanwhile: nothing to do
+  if (retry_attempt_ < ctx_.config->steal_retry_max) {
+    // Same victim, exponentially longer timer (send_steal_request scales by
+    // steal_backoff^retry_attempt_).
+    ++retry_attempt_;
+    ++stats_.steal_retries;
+    send_steal_request(request_victim_);
+    return;
+  }
+  retry_attempt_ = 0;
+  if (ctx_.config->idle_policy == IdlePolicy::kLifeline &&
+      ++session_failures_ >= ctx_.config->lifeline_tries) {
+    register_on_lifelines();
+    return;
+  }
+  try_steal();
 }
 
 void Worker::handle_lifeline_register(const LifelineRegister& reg) {
@@ -363,7 +464,12 @@ void Worker::feed_lifeline_dependents() {
 
 void Worker::handle_token(Token token) {
   if (rank_ == 0) {
+    // Generation filter: only the probe we are actually waiting for counts.
+    // Anything else is a stale survivor of a regenerated circulation or a
+    // network duplicate; acting on it would be unsound.
+    if (!token_outstanding_ || token.generation != token_generation_) return;
     token_outstanding_ = false;
+    if (ctx_.observer) ctx_.observer->on_token_accepted(rank_, token);
     const bool quiet = !token.black && !black_ && state_ == State::kIdle &&
                        token.sent == token.recv;
     if (quiet) {
@@ -374,25 +480,62 @@ void Worker::handle_token(Token token) {
     if (state_ == State::kIdle) send_token(black_);
     return;
   }
+  // Generations on the ring channel arrive non-decreasing (non-overtaking
+  // and rank 0 launches them in order), so a non-increase is a stale token
+  // or a duplicate: discard.
+  if (token.generation <= max_token_gen_seen_) return;
+  max_token_gen_seen_ = token.generation;
   if (state_ == State::kIdle) {
-    send_token(token.black || black_, token.sent, token.recv);
+    send_token(token.black || black_, token.sent, token.recv,
+               token.generation);
   } else {
+    // A newer generation supersedes any held (now stale) token.
     holds_token_ = true;
     held_token_ = token;
   }
 }
 
 void Worker::send_token(bool black, std::uint64_t sent_acc,
-                        std::uint64_t recv_acc) {
+                        std::uint64_t recv_acc, std::uint32_t generation) {
   Token t;
   t.black = black;
   t.sent = sent_acc + work_msgs_sent_;
   t.recv = recv_acc + work_msgs_recv_;
   black_ = false;  // forwarding whitens the forwarder
-  if (rank_ == 0) token_outstanding_ = true;
+  if (rank_ == 0) {
+    // Launch: stamp a fresh circulation and, with token_timeout armed, a
+    // timer that regenerates the probe if it never comes home.
+    t.generation = ++token_generation_;
+    token_outstanding_ = true;
+    if (ctx_.config->token_timeout > 0) {
+      ctx_.engine->schedule_after(ctx_.config->token_timeout, *this,
+                                  sim::EventKind::kTokenTimeout, rank_,
+                                  t.generation);
+    }
+  } else {
+    t.generation = generation;
+  }
   const topo::Rank next = (rank_ + 1) % ctx_.num_ranks;
   if (ctx_.observer) ctx_.observer->on_token_sent(rank_, next, t);
-  ctx_.network->send(rank_, next, t, ctx_.config->token_bytes);
+  ctx_.network->send(rank_, next, t, ctx_.config->token_bytes,
+                     fault::MsgClass::kDroppable);
+}
+
+void Worker::handle_token_timeout(std::uint32_t generation) {
+  if (state_ == State::kDone) return;
+  DWS_CHECK(rank_ == 0);
+  // The probe came home (or a newer one is out): stale timer.
+  if (!token_outstanding_ || generation != token_generation_) return;
+  // The token is presumed lost somewhere on the ring. Regenerate it with
+  // the next generation — survivors of this one die at the generation
+  // filters, and Mattern counting restarts with the fresh circulation.
+  token_outstanding_ = false;
+  ++stats_.token_regens;
+  if (ctx_.observer) ctx_.observer->on_token_regenerated(rank_, generation);
+  if (state_ == State::kIdle) {
+    send_token(black_);
+  }
+  // If active, enter_idle() relaunches as usual when rank 0 next goes idle.
 }
 
 void Worker::enter_idle() {
@@ -412,7 +555,7 @@ void Worker::enter_idle() {
   if (holds_token_) {
     const Token t = held_token_;
     holds_token_ = false;
-    send_token(t.black || black_, t.sent, t.recv);
+    send_token(t.black || black_, t.sent, t.recv, t.generation);
   }
   if (rank_ == 0 && !token_outstanding_) {
     send_token(black_);
@@ -427,16 +570,35 @@ void Worker::try_steal() {
   DWS_CHECK(!waiting_response_);
   const topo::Rank victim = selector_->next();
   DWS_DCHECK(victim != rank_);
+  retry_attempt_ = 0;
+  send_steal_request(victim);
+}
+
+void Worker::send_steal_request(topo::Rank victim) {
   ++stats_.steal_attempts;
   waiting_response_ = true;
   request_sent_ = ctx_.engine->now();
   request_victim_ = victim;
+  current_request_id_ = ++next_request_id_;
   if (ctx_.observer) {
     ctx_.observer->on_steal_request_sent(rank_, victim,
                                          ctx_.config->steal_request_bytes);
   }
-  ctx_.network->send(rank_, victim, StealRequest{rank_},
-                     ctx_.config->steal_request_bytes);
+  ctx_.network->send(rank_, victim, StealRequest{rank_, current_request_id_},
+                     ctx_.config->steal_request_bytes,
+                     fault::MsgClass::kDroppable);
+  if (ctx_.config->steal_timeout > 0) {
+    // Exponential backoff: the k-th retry waits steal_timeout * backoff^k.
+    // Repeated multiplication, not std::pow — libm results vary across
+    // platforms and the wait feeds the deterministic event order.
+    double wait = static_cast<double>(ctx_.config->steal_timeout);
+    for (std::uint32_t k = 0; k < retry_attempt_; ++k) {
+      wait *= ctx_.config->steal_backoff;
+    }
+    ctx_.engine->schedule_after(static_cast<support::SimTime>(wait), *this,
+                                sim::EventKind::kStealTimeout, rank_,
+                                current_request_id_);
+  }
 }
 
 void Worker::declare_termination() {

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "metrics/rank_stats.hpp"
 #include "metrics/trace.hpp"
 #include "sim/engine.hpp"
@@ -37,6 +39,9 @@ struct PendingSend {
   StealResponse resp;
   topo::Rank thief = 0;
   std::uint32_t bytes = 0;
+  /// Loss class for the eventual network send: work-carrying responses are
+  /// kDupOnly (never dropped), refusals kDroppable.
+  fault::MsgClass cls = fault::MsgClass::kDroppable;
 };
 
 /// Shared, immutable-per-run context handed to every worker, plus the one
@@ -52,6 +57,11 @@ struct RunContext {
 
   /// Optional passive instrumentation (observer.hpp); null when not auditing.
   RunObserver* observer = nullptr;
+
+  /// Non-null iff fault injection is active for this run (DESIGN.md §10):
+  /// the network consults it per send; workers consult it for straggler
+  /// slowdowns and transient pauses.
+  fault::Injector* faults = nullptr;
 
   /// Deferred steal responses in flight between packaging and send; shared
   /// across workers so slots recycle run-wide.
@@ -129,8 +139,14 @@ class Worker final : public sim::EventSink {
   void register_on_lifelines();
   void enter_idle();
   void try_steal();
+  /// Sends one steal request (fresh id, timer when steal_timeout > 0).
+  void send_steal_request(topo::Rank victim);
+  /// kStealTimeout fired for `request_id`: abandon and retry/move on.
+  void handle_steal_timeout(std::uint32_t request_id);
   void send_token(bool black, std::uint64_t sent_acc = 0,
-                  std::uint64_t recv_acc = 0);
+                  std::uint64_t recv_acc = 0, std::uint32_t generation = 0);
+  /// kTokenTimeout fired for `generation` (rank 0): regenerate the probe.
+  void handle_token_timeout(std::uint32_t generation);
   void declare_termination();
   void finish(support::SimTime at);
 
@@ -157,6 +173,29 @@ class Worker final : public sim::EventSink {
   support::SimTime session_start_ = 0;
   support::SimTime request_sent_ = 0;
   topo::Rank request_victim_ = 0;  // victim of the outstanding request
+
+  // Steal-protocol robustness (WsConfig::steal_timeout; DESIGN.md §10).
+  std::uint32_t next_request_id_ = 0;     // last id issued (ids start at 1)
+  std::uint32_t current_request_id_ = 0;  // id of the outstanding request
+  std::uint32_t retry_attempt_ = 0;       // same-victim retries so far
+  /// Requests abandoned by a timeout whose answer has not arrived yet; a
+  /// late work-carrying answer is banked, anything else is discarded.
+  struct AbandonedRequest {
+    std::uint32_t id = 0;
+    topo::Rank victim = 0;
+  };
+  std::vector<AbandonedRequest> abandoned_requests_;
+  /// Victim side: highest request id seen per thief; repeats are network
+  /// duplicates and must not be answered twice. Only consulted under faults.
+  std::unordered_map<topo::Rank, std::uint32_t> last_request_seen_;
+
+  // Token regeneration (WsConfig::token_timeout).
+  std::uint32_t token_generation_ = 0;    // rank 0: current probe generation
+  std::uint32_t max_token_gen_seen_ = 0;  // other ranks: stale/dup filter
+
+  // Fault-layer compute perturbations, resolved once at construction.
+  support::SimTime per_node_cost_ = 0;
+  bool pause_taken_ = false;
 
   // Lifeline extension (IdlePolicy::kLifeline).
   bool dormant_ = false;                       // registered, not stealing

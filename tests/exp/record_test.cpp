@@ -41,6 +41,63 @@ TEST(ConfigFingerprint, ChangesWithAnySemanticField) {
   EXPECT_NE(config_fingerprint(cfg), config_fingerprint(chunk));
 }
 
+TEST(ConfigFingerprint, TofuRecordsTheActiveSamplerBackend) {
+  // The fingerprint must name the backend that actually runs (alias vs
+  // rejection), not the raw threshold: thresholds resolving to the same
+  // backend are the same experiment.
+  auto cfg = base_config();
+  cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
+  auto alias_lo = cfg;
+  alias_lo.ws.alias_table_max_ranks = 16;  // 8 ranks -> alias
+  auto alias_hi = cfg;
+  alias_hi.ws.alias_table_max_ranks = 1024;  // still alias
+  auto rejection = cfg;
+  rejection.ws.alias_table_max_ranks = 4;  // 8 ranks -> rejection
+  EXPECT_EQ(config_fingerprint(alias_lo), config_fingerprint(alias_hi));
+  EXPECT_NE(config_fingerprint(alias_lo), config_fingerprint(rejection));
+  EXPECT_NE(canonical_config(alias_lo).find("ws.tofu_sampler=alias"),
+            std::string::npos);
+  EXPECT_NE(canonical_config(rejection).find("ws.tofu_sampler=rejection"),
+            std::string::npos);
+}
+
+TEST(ConfigFingerprint, NonTofuPoliciesIgnoreTheAliasThreshold) {
+  auto a = base_config();
+  a.ws.alias_table_max_ranks = 4;
+  auto b = base_config();
+  b.ws.alias_table_max_ranks = 1024;
+  EXPECT_EQ(config_fingerprint(a), config_fingerprint(b));
+  EXPECT_EQ(canonical_config(a).find("ws.tofu_sampler"), std::string::npos);
+}
+
+TEST(ConfigFingerprint, FaultAndTimeoutKeysAppearOnlyWhenActive) {
+  // Pre-fault configs keep their established fingerprints: the new keys are
+  // emitted only when the corresponding feature is on.
+  const auto cfg = base_config();
+  const std::string canon = canonical_config(cfg);
+  EXPECT_EQ(canon.find("fault."), std::string::npos);
+  EXPECT_EQ(canon.find("ws.steal_timeout"), std::string::npos);
+  EXPECT_EQ(canon.find("ws.token_timeout"), std::string::npos);
+
+  auto timed = cfg;
+  timed.ws.steal_timeout = 1000;
+  EXPECT_NE(config_fingerprint(cfg), config_fingerprint(timed));
+  EXPECT_NE(canonical_config(timed).find("ws.steal_timeout=1000"),
+            std::string::npos);
+
+  auto faulted = cfg;
+  faulted.fault.drop_prob = 0.01;
+  faulted.fault.seed = 9;
+  EXPECT_NE(config_fingerprint(cfg), config_fingerprint(faulted));
+  const std::string fcanon = canonical_config(faulted);
+  EXPECT_NE(fcanon.find("fault.drop_prob="), std::string::npos);
+  EXPECT_NE(fcanon.find("fault.seed=9"), std::string::npos);
+
+  auto reseeded = faulted;
+  reseeded.fault.seed = 10;  // the fault stream is part of the experiment
+  EXPECT_NE(config_fingerprint(faulted), config_fingerprint(reseeded));
+}
+
 TEST(CanonicalConfig, NamesTheKeyFields) {
   const std::string canon = canonical_config(base_config());
   for (const char* key : {"tree.name=", "num_ranks=8", "ws.seed=1",
@@ -70,6 +127,11 @@ SweepReport fake_report(const std::vector<SweepPoint>& points) {
     r.result.engine_events = 4321;
     r.result.engine_peak_pending = 77;
     r.result.network.peak_channels = 13;
+    r.result.stats.steal_timeouts = 5;
+    r.result.stats.steal_retries = 4;
+    r.result.stats.token_regens = 2;
+    r.result.faults.dropped_messages = 9;
+    r.result.faults.duplicated_messages = 3;
     r.wall_seconds = 1.25;  // must not leak into wall_clock=false output
     report.points.push_back(std::move(r));
   }
@@ -85,7 +147,7 @@ TEST(RecordWriter, JsonlSchemaHeaderAndOneLinePerPoint) {
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
   EXPECT_NE(text.find("\"schema\":\"dws.exp.sweep\""), std::string::npos);
-  EXPECT_NE(text.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"version\":3"), std::string::npos);
   EXPECT_NE(text.find("\"coords\":{\"ranks\":\"4\"}"), std::string::npos);
   EXPECT_EQ(text.find("wall_s"), std::string::npos);  // wall_clock=false
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
@@ -108,7 +170,7 @@ TEST(RecordWriter, CsvHasSchemaCommentHeaderAndRows) {
   RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
-  EXPECT_NE(text.find("# schema=dws.exp.sweep version=2"), std::string::npos);
+  EXPECT_NE(text.find("# schema=dws.exp.sweep version=3"), std::string::npos);
   EXPECT_NE(text.find("index,"), std::string::npos);
   // comment + header + 2 rows
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
@@ -128,7 +190,7 @@ TEST(RecordWriter, SchemaVersion1OmitsTheV2Fields) {
   EXPECT_EQ(text.find("net_peak_channels"), std::string::npos);
 }
 
-TEST(RecordReader, RoundTripsJsonlV2) {
+TEST(RecordReader, RoundTripsJsonlCurrent) {
   SweepSpec spec(base_config());
   spec.axis(ranks_axis({2, 4}));
   const auto points = spec.expand().value();
@@ -139,7 +201,7 @@ TEST(RecordReader, RoundTripsJsonlV2) {
   std::istringstream in(out.str());
   const auto file = read_records(in);
   ASSERT_TRUE(file.has_value()) << file.error();
-  EXPECT_EQ(file.value().version, 2);
+  EXPECT_EQ(file.value().version, kRecordSchemaVersion);
   EXPECT_EQ(file.value().format, RecordFormat::kJsonl);
   ASSERT_EQ(file.value().records.size(), 2u);
   const SweepRecord& rec = file.value().records[1];
@@ -150,6 +212,11 @@ TEST(RecordReader, RoundTripsJsonlV2) {
   EXPECT_EQ(rec.engine_events, 4321u);
   EXPECT_EQ(rec.engine_peak_pending, 77u);
   EXPECT_EQ(rec.net_peak_channels, 13u);
+  EXPECT_EQ(rec.steal_timeouts, 5u);
+  EXPECT_EQ(rec.steal_retries, 4u);
+  EXPECT_EQ(rec.token_regens, 2u);
+  EXPECT_EQ(rec.net_drops, 9u);
+  EXPECT_EQ(rec.net_dups, 3u);
   EXPECT_FALSE(rec.has_wall_s);
   ASSERT_EQ(rec.coords.size(), 1u);
   EXPECT_EQ(rec.coords[0].first, "ranks");
@@ -157,7 +224,7 @@ TEST(RecordReader, RoundTripsJsonlV2) {
   EXPECT_EQ(rec.fingerprint, config_fingerprint(points[1].config));
 }
 
-TEST(RecordReader, RoundTripsCsvV2) {
+TEST(RecordReader, RoundTripsCsvCurrent) {
   SweepSpec spec(base_config());
   spec.axis(ranks_axis({2, 4}));
   const auto points = spec.expand().value();
@@ -168,7 +235,7 @@ TEST(RecordReader, RoundTripsCsvV2) {
   std::istringstream in(out.str());
   const auto file = read_records(in);
   ASSERT_TRUE(file.has_value()) << file.error();
-  EXPECT_EQ(file.value().version, 2);
+  EXPECT_EQ(file.value().version, kRecordSchemaVersion);
   EXPECT_EQ(file.value().format, RecordFormat::kCsv);
   ASSERT_EQ(file.value().records.size(), 2u);
   const SweepRecord& rec = file.value().records[0];
@@ -176,6 +243,8 @@ TEST(RecordReader, RoundTripsCsvV2) {
   EXPECT_TRUE(rec.ok);
   EXPECT_EQ(rec.engine_peak_pending, 77u);
   EXPECT_EQ(rec.net_peak_channels, 13u);
+  EXPECT_EQ(rec.steal_timeouts, 5u);
+  EXPECT_EQ(rec.net_dups, 3u);
   EXPECT_TRUE(rec.has_wall_s);
   EXPECT_DOUBLE_EQ(rec.wall_s, 1.25);
 }

@@ -66,6 +66,13 @@ TEST(RejectionSampler, AgreesWithAliasTable) {
   }
 }
 
+TEST(RejectionSamplerDeathTest, AllZeroWeightsAbort) {
+  // An all-zero weight function used to spin forever in sample(); the
+  // constructor now rejects it outright.
+  EXPECT_DEATH(RejectionSampler(4, 1.0, [](std::size_t) { return 0.0; }),
+               "all weights are zero");
+}
+
 TEST(RejectionSampler, WorksWithLooseUpperBound) {
   // w_max larger than any actual weight only slows sampling, never biases it.
   const std::vector<double> w{1.0, 2.0};

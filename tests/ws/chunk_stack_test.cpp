@@ -138,6 +138,34 @@ TEST(ChunkStack, PushAfterPartialPopReusesTopChunk) {
   EXPECT_EQ(s.pop()->height, 9u);
 }
 
+TEST(ChunkStack, InstallSplitsOversizedChunks) {
+  // Chunks arriving from a victim with a bigger chunk_size must be split to
+  // the local capacity, not installed oversized (which would make num_chunks
+  // lie to the steal accounting).
+  ChunkStack victim(10);
+  for (std::uint32_t i = 0; i < 20; ++i) victim.push(node(i));
+  ChunkStack thief(4);
+  thief.install(victim.steal(1));  // one 10-node chunk into capacity-4 chunks
+  EXPECT_EQ(thief.size(), 10u);
+  EXPECT_EQ(thief.num_chunks(), 3u);  // 4 + 4 + 2
+  // Pop order still walks the stolen chunk top-down.
+  for (std::uint32_t i = 10; i-- > 0;) {
+    const auto n = thief.pop();
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(n->height, i);
+  }
+  EXPECT_TRUE(thief.empty());
+}
+
+TEST(ChunkStack, InstallSplitKeepsThiefStealable) {
+  ChunkStack victim(8);
+  for (std::uint32_t i = 0; i < 16; ++i) victim.push(node(i));
+  ChunkStack thief(2);
+  thief.install(victim.steal(1));  // 8 nodes -> 4 local chunks
+  EXPECT_EQ(thief.num_chunks(), 4u);
+  EXPECT_EQ(thief.stealable_chunks(), 3u);
+}
+
 TEST(ChunkStack, NoNodesLostAcrossMixedWorkload) {
   ChunkStack s(5);
   std::size_t live = 0;

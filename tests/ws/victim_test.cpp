@@ -7,6 +7,9 @@
 #include <set>
 #include <vector>
 
+#include "uts/params.hpp"
+#include "ws/scheduler.hpp"
+
 namespace dws::ws {
 namespace {
 
@@ -188,6 +191,40 @@ TEST_F(VictimTest, FactoryBuildsConfiguredPolicy) {
   cfg.victim_policy = VictimPolicy::kTofuSkewed;
   auto tofu = make_selector(cfg, 2, latency);
   for (int i = 0; i < 50; ++i) EXPECT_NE(tofu->next(), 2u);
+}
+
+/// Regression for the alias/rejection substitution at run level: two
+/// thresholds that resolve to the SAME backend must replay the exact same
+/// schedule — the threshold itself is not allowed to perturb anything.
+TEST_F(VictimTest, SameTofuBackendIsRunLevelDeterministic) {
+  ws::RunConfig base;
+  base.tree = uts::tree_by_name("TEST_BIN_SMALL");
+  base.num_ranks = 8;
+  base.ws.chunk_size = 4;
+  base.ws.victim_policy = VictimPolicy::kTofuSkewed;
+  base.placement = topo::Placement::kOnePerNode;
+  base.procs_per_node = 1;
+
+  ws::RunConfig a = base;
+  a.ws.alias_table_max_ranks = 16;
+  ws::RunConfig b = base;
+  b.ws.alias_table_max_ranks = 1024;
+  ASSERT_TRUE(tofu_uses_alias(a.ws, a.num_ranks));
+  ASSERT_TRUE(tofu_uses_alias(b.ws, b.num_ranks));
+
+  const RunResult ra = run_simulation(a);
+  const RunResult rb = run_simulation(b);
+  EXPECT_EQ(ra.runtime, rb.runtime);
+  EXPECT_EQ(ra.nodes, rb.nodes);
+  EXPECT_EQ(ra.stats.successful_steals, rb.stats.successful_steals);
+  EXPECT_EQ(ra.stats.failed_steals, rb.stats.failed_steals);
+
+  // The rejection backend samples the same distribution but with a different
+  // draw stream; the run must still conserve the tree exactly.
+  ws::RunConfig c = base;
+  c.ws.alias_table_max_ranks = 4;
+  ASSERT_FALSE(tofu_uses_alias(c.ws, c.num_ranks));
+  EXPECT_EQ(run_simulation(c).nodes, ra.nodes);
 }
 
 TEST_F(VictimTest, PolicyNamesMatchPaper) {
