@@ -1,0 +1,181 @@
+/// sim_vs_rt: cross-validation of the discrete-event simulator against the
+/// native dws::rt shared-memory runtime (DESIGN.md §11's calibration loop).
+///
+/// Both backends run the SAME ws::RunConfig — same tree, same chunking, same
+/// victim selectors, same proto::Peer state machine — so every divergence is
+/// either (a) the simulator's latency/cost model, or (b) host scheduling
+/// noise. The loop closes in two steps:
+///
+///   1. a 1-thread native run measures the real per-node expansion cost
+///      (busy_ns / nodes) and the sim's node_cost() is recalibrated to it;
+///   2. a 2-thread native run measures the real steal round-trip time and
+///      the sim's LatencyParams collapse to that uniform in-process latency
+///      (threads have no torus: one tier, zero per-hop cost).
+///
+/// Then each thread count runs fully audited on both backends (the work/
+/// message/termination ledgers must pass on both) and the table reports
+/// sim-predicted vs measured efficiency plus steal traffic. On hosts with
+/// fewer cores than threads the native runs time-slice, so large deviations
+/// at high thread counts measure oversubscription, not the model — the table
+/// prints the core count and flags those rows instead of failing.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "exp/figures.hpp"
+#include "rt/runtime.hpp"
+#include "support/table.hpp"
+#include "uts/params.hpp"
+
+namespace {
+
+using namespace dws;
+
+/// Retune the sim's virtual node cost to the measured nanoseconds-per-node.
+void calibrate_node_cost(ws::RunConfig& cfg, support::SimTime measured) {
+  const support::SimTime sha =
+      static_cast<support::SimTime>(cfg.ws.sha_rounds) * cfg.ws.sha_round_cost;
+  if (measured > sha) {
+    cfg.ws.node_overhead = measured - sha;
+  } else {
+    // Host expands nodes faster than the configured SHA model: fold the
+    // entire measured cost into the overhead term.
+    cfg.ws.sha_round_cost = 0;
+    cfg.ws.node_overhead = measured;
+  }
+}
+
+/// Collapse the torus latency model to the measured uniform in-process
+/// steal latency (one-way = RTT / 2; threads have no hop structure).
+void calibrate_latency(ws::RunConfig& cfg, support::SimTime one_way) {
+  cfg.latency.same_node = one_way;
+  cfg.latency.same_blade = one_way;
+  cfg.latency.network_base = one_way;
+  cfg.latency.per_hop = 0;
+  // Channel pushes are not bandwidth-limited like torus links.
+  cfg.latency.bytes_per_ns = 1e9;
+}
+
+struct Measured {
+  double efficiency = 0.0;
+  double steals = 0.0;
+  double rtt = 0.0;  ///< mean search time per steal attempt, ns
+  bool audit_ok = false;
+  ws::RunResult result;
+};
+
+Measured run_once(ws::RunConfig cfg, ws::Backend backend) {
+  cfg.backend = backend;
+  const audit::AuditedResult ar = audit::audited_run(cfg);
+  Measured m;
+  m.result = ar.result;
+  m.efficiency = ar.result.efficiency();
+  m.steals = static_cast<double>(ar.result.stats.successful_steals);
+  const std::uint64_t attempts = ar.result.stats.steal_attempts;
+  double search_ns = 0.0;
+  for (const auto& rs : ar.result.per_rank) {
+    search_ns += static_cast<double>(rs.total_search_time);
+  }
+  m.rtt = attempts > 0 ? search_ns / static_cast<double>(attempts) : 0.0;
+  m.audit_ok = ar.report.ok();
+  if (!m.audit_ok) {
+    std::fprintf(stderr, "AUDIT FAILURE (%s, %u ranks):\n%s\n",
+                 ws::to_string(backend), cfg.num_ranks,
+                 ar.report.summary().c_str());
+  }
+  return m;
+}
+
+/// Native runs are nondeterministic: average a few repetitions.
+Measured run_native_avg(const ws::RunConfig& cfg, std::uint32_t reps) {
+  Measured acc;
+  acc.audit_ok = true;
+  for (std::uint32_t i = 0; i < reps; ++i) {
+    const Measured m = run_once(cfg, ws::Backend::kRt);
+    acc.efficiency += m.efficiency / reps;
+    acc.steals += m.steals / reps;
+    acc.rtt += m.rtt / reps;
+    acc.audit_ok = acc.audit_ok && m.audit_ok;
+    acc.result = m.result;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dws;
+  exp::figure_init(argc, argv, "sim vs rt",
+                   "cross-validate the simulator against real threads");
+  const bool quick = exp::quick_mode();
+  const std::uint32_t reps = quick ? 1 : exp::figure_options().seeds;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  ws::RunConfig base;
+  base.tree = uts::tree_by_name(quick ? "TEST_BIN_SMALL" : "SIM200K");
+  base.ws.chunk_size = 4;
+
+  // --- Calibration pass 1: measured per-node cost (1 thread, no stealing).
+  ws::RunConfig probe = base;
+  probe.num_ranks = 1;
+  probe.backend = ws::Backend::kRt;
+  const ws::RunResult solo = rt::run_native(probe);
+  calibrate_node_cost(base, solo.per_node_cost);
+
+  // --- Calibration pass 2: measured steal RTT (2 threads).
+  ws::RunConfig pair = base;
+  pair.num_ranks = 2;
+  const Measured duo = run_native_avg(pair, reps);
+  const auto one_way =
+      static_cast<support::SimTime>(duo.rtt > 0 ? duo.rtt / 2.0 : 1.0);
+  calibrate_latency(base, one_way);
+
+  std::printf("host cores: %u   reps per native point: %u\n", cores, reps);
+  std::printf("calibration: per-node cost %lld ns (model default %lld), "
+              "steal one-way %lld ns\n\n",
+              static_cast<long long>(solo.per_node_cost),
+              static_cast<long long>(ws::RunConfig{}.ws.node_cost()),
+              static_cast<long long>(one_way));
+
+  const std::vector<topo::Rank> thread_counts =
+      quick ? std::vector<topo::Rank>{2, 4} : std::vector<topo::Rank>{2, 4, 8, 16};
+
+  support::Table table({"threads", "sim eff", "rt eff", "deviation", "sim steals",
+                        "rt steals", "audits", "note"});
+  bool audits_ok = true;
+  bool within_band = true;
+  for (const topo::Rank n : thread_counts) {
+    ws::RunConfig cfg = base;
+    cfg.num_ranks = n;
+    const Measured sim = run_once(cfg, ws::Backend::kSim);
+    const Measured native = run_native_avg(cfg, reps);
+    audits_ok = audits_ok && sim.audit_ok && native.audit_ok;
+
+    const double dev = native.efficiency > 0
+                           ? (sim.efficiency - native.efficiency) / native.efficiency
+                           : 0.0;
+    const bool oversubscribed = cores > 0 && n > cores;
+    if (!oversubscribed && dev > 0.10) within_band = false;
+    table.add_row({support::fmt(std::uint64_t{n}), support::fmt(sim.efficiency, 3),
+                   support::fmt(native.efficiency, 3), support::fmt_pct(dev, 1),
+                   support::fmt(sim.steals, 0), support::fmt(native.steals, 0),
+                   (sim.audit_ok && native.audit_ok) ? "OK" : "FAIL",
+                   oversubscribed ? "oversubscribed" : ""});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Deviation = (sim - rt) / rt efficiency after calibration. Rows with\n"
+      "threads > cores time-slice one core; their deviation measures host\n"
+      "oversubscription, not the latency model, and is reported, not judged.\n");
+  if (!audits_ok) {
+    std::printf("RESULT: FAIL (work-conservation audit violated)\n");
+    return 1;
+  }
+  std::printf(within_band
+                  ? "RESULT: OK (sim within 10%% of measured efficiency on "
+                    "non-oversubscribed points)\n"
+                  : "RESULT: CHECK (sim optimistic by >10%% on a "
+                    "non-oversubscribed point)\n");
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "audit/audit.hpp"
 #include "exp/args.hpp"
 #include "exp/record.hpp"
+#include "exp/runner.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/occupancy.hpp"
 #include "sm/pool.hpp"
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
 
   std::string catalogue;
   std::string engine = "seq";
+  std::string backend = "sim";
   std::uint32_t n = 4;
   std::string out;
   std::uint32_t tree_type = 0;
@@ -72,6 +74,10 @@ int main(int argc, char** argv) {
       .u32("--granularity", "-g", "SHA rounds charged per node (sim engine)",
            &sim_cfg.ws.sha_rounds)
       .str("--engine", "-e", "engine: seq|pool|sim (default seq)", &engine)
+      .str("--backend", "",
+           "work-stealing backend for --engine sim: sim (virtual-time "
+           "simulator, default) or rt (real threads, wall-clock time)",
+           &backend)
       .u32("--ranks", "-n", "ranks (sim) or threads (pool), default 4", &n)
       .option("--policy", "-v", "P",
               std::string("victim policy (sim): ") + exp::policy_flag_values(),
@@ -237,6 +243,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.nodes),
                 static_cast<unsigned long long>(s.leaves), s.max_depth);
   } else if (engine == "sim") {
+    if (backend == "rt") {
+      sim_cfg.backend = ws::Backend::kRt;
+    } else if (backend != "sim") {
+      std::fprintf(stderr, "--backend must be sim|rt\n");
+      return 2;
+    }
     sim_cfg.tree = tree;
     sim_cfg.num_ranks = n;
     sim_cfg.ws.steal_timeout = static_cast<support::SimTime>(steal_timeout);
@@ -244,7 +256,11 @@ int main(int argc, char** argv) {
     sim_cfg.fault.pause_duration =
         static_cast<support::SimTime>(pause_duration);
     sim_cfg.fault.pause_window = static_cast<support::SimTime>(pause_window);
-    if (congestion_scale > 0.0) sim_cfg.enable_congestion(congestion_scale);
+    // Congestion is a simulator model; the native runtime has a real memory
+    // system, so keep it out of rt configs (and their records).
+    if (congestion_scale > 0.0 && sim_cfg.backend == ws::Backend::kSim) {
+      sim_cfg.enable_congestion(congestion_scale);
+    }
     if (const auto status = sim_cfg.validate(); !status) {
       std::fprintf(stderr, "invalid simulation config: %s\n",
                    status.message().c_str());
@@ -259,10 +275,13 @@ int main(int argc, char** argv) {
       if (!audited.report.ok()) return 1;
       r = audited.result;
     } else {
-      r = ws::run_simulation(sim_cfg);
+      r = exp::run_backend(sim_cfg);
     }
     const metrics::OccupancyCurve occ(r.trace);
-    std::printf("engine: distributed simulator, %u ranks, %s/%s, chunk %u\n",
+    std::printf("engine: distributed %s, %u ranks, %s/%s, chunk %u\n",
+                sim_cfg.backend == ws::Backend::kRt
+                    ? "native runtime (real threads)"
+                    : "simulator",
                 n, ws::to_string(sim_cfg.ws.victim_policy),
                 ws::to_string(sim_cfg.ws.steal_amount), sim_cfg.ws.chunk_size);
     std::printf("nodes=%llu leaves=%llu\n",

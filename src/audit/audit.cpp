@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "audit/distribution.hpp"
+#include "rt/runtime.hpp"
 #include "support/check.hpp"
 #include "topo/latency.hpp"
 #include "uts/sequential.hpp"
@@ -566,7 +567,9 @@ AuditedResult audited_run(const ws::RunConfig& config, AuditConfig audit,
   }
   Auditor auditor(config, audit);
   AuditedResult out;
-  out.result = ws::run_simulation(config, &auditor);
+  out.result = config.backend == ws::Backend::kRt
+                   ? rt::run_native(config, &auditor)
+                   : ws::run_simulation(config, &auditor);
   auditor.finalize(out.result);
   out.report = auditor.report();
   return out;

@@ -139,6 +139,12 @@ std::string canonical_config(const ws::RunConfig& c) {
   kvu("ws.hierarchical_local_tries", c.ws.hierarchical_local_tries);
   kvu("ws.record_trace", c.ws.record_trace ? 1 : 0);
 
+  // The backend key appears only for the native runtime so every simulator
+  // config keeps its established fingerprint (kSim is the default engine).
+  if (c.backend == ws::Backend::kRt) {
+    kv("backend", ws::to_string(c.backend));
+  }
+
   // Robustness/fault keys appear only when active so that every pre-fault
   // config keeps its established fingerprint.
   if (c.ws.steal_timeout != 0) {
@@ -200,6 +206,9 @@ void RecordWriter::write_header() {
   if (options_.schema_version >= 3) {
     *out_ << ",steal_timeouts,steal_retries,token_regens,net_drops,net_dups";
   }
+  if (options_.schema_version >= 4) {
+    *out_ << ",backend,per_node_cost_ns";
+  }
   if (options_.wall_clock) *out_ << ",wall_s";
   *out_ << "\n";
 }
@@ -259,6 +268,11 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
             << ",\"net_drops\":" << r.faults.dropped_messages
             << ",\"net_dups\":" << r.faults.duplicated_messages;
     }
+    if (options_.schema_version >= 4) {
+      *out_ << ",\"backend\":\"" << ws::to_string(c.backend) << "\""
+            << ",\"per_node_cost_ns\":"
+            << (pr.ok ? static_cast<std::uint64_t>(r.per_node_cost) : 0);
+    }
     if (options_.wall_clock) {
       *out_ << ",\"wall_s\":" << fmt_metric(pr.wall_seconds);
     }
@@ -288,6 +302,10 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
     *out_ << ',' << r.stats.steal_timeouts << ',' << r.stats.steal_retries
           << ',' << r.stats.token_regens << ',' << r.faults.dropped_messages
           << ',' << r.faults.duplicated_messages;
+  }
+  if (options_.schema_version >= 4) {
+    *out_ << ',' << ws::to_string(c.backend) << ','
+          << (pr.ok ? static_cast<std::uint64_t>(r.per_node_cost) : 0);
   }
   if (options_.wall_clock) *out_ << ',' << fmt_metric(pr.wall_seconds);
   *out_ << "\n";
@@ -352,6 +370,8 @@ void assign_field(SweepRecord& r, std::string_view key, std::string_view v) {
   else if (key == "token_regens") r.token_regens = to_u64(v);
   else if (key == "net_drops") r.net_drops = to_u64(v);
   else if (key == "net_dups") r.net_dups = to_u64(v);
+  else if (key == "backend") r.backend = std::string(v);
+  else if (key == "per_node_cost_ns") r.per_node_cost_ns = to_u64(v);
   else if (key == "wall_s") {
     r.has_wall_s = true;
     r.wall_s = to_f64(v);

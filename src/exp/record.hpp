@@ -32,10 +32,15 @@ namespace dws::exp {
 ///   3 — adds the fault/robustness counters: `steal_timeouts`,
 ///       `steal_retries`, `token_regens` (steal-protocol recovery) and
 ///       `net_drops`, `net_dups` (fault::Injector message verdicts).
+///   4 — adds `backend` (which engine ran the point: "sim" or "rt") and
+///       `per_node_cost_ns` (mean node-expansion cost the run's metrics are
+///       anchored to — the configured model cost on the simulator, the
+///       *measured* wall-clock mean on the native runtime). For rt points,
+///       runtime_ms/wall_s are real measured time.
 /// RecordReader accepts all of them; RecordOptions::schema_version lets a
 /// writer emit an older version byte-for-byte (the golden-file tests pin a
 /// v1 stream, the compat tests a v2 stream).
-inline constexpr int kRecordSchemaVersion = 3;
+inline constexpr int kRecordSchemaVersion = 4;
 inline constexpr int kRecordMinSchemaVersion = 1;
 
 enum class RecordFormat { kJsonl, kCsv };
@@ -115,6 +120,8 @@ struct SweepRecord {
   std::uint64_t token_regens = 0;         // v3+
   std::uint64_t net_drops = 0;            // v3+
   std::uint64_t net_dups = 0;             // v3+
+  std::string backend;                    // v4+ ("sim" / "rt")
+  std::uint64_t per_node_cost_ns = 0;     // v4+
   bool has_wall_s = false;
   double wall_s = 0.0;
 };

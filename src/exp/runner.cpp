@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "audit/audit.hpp"
+#include "rt/runtime.hpp"
 #include "support/check.hpp"
 
 namespace dws::exp {
@@ -46,20 +47,24 @@ class ScopedCheckHandler {
 
 }  // namespace
 
+ws::RunResult run_backend(const ws::RunConfig& config) {
+  return config.backend == ws::Backend::kRt ? rt::run_native(config)
+                                            : ws::run_simulation(config);
+}
+
 SweepRunner::SweepRunner(RunnerOptions options) : options_(std::move(options)) {
   if (!options_.run) {
     // DWS_AUDIT=1 swaps in the fully audited run: every point replays the
     // dws::audit conservation ledger, and a violation fails the point (the
     // throw lands in the same catch as a DWS_CHECK failure). Sampled once
-    // per runner so a sweep is all-audited or not at all.
+    // per runner so a sweep is all-audited or not at all. Both paths honour
+    // RunConfig::backend.
     if (audit::env_enabled()) {
       options_.run = [](const ws::RunConfig& cfg) {
         return audit::checked_run(cfg);
       };
     } else {
-      options_.run = [](const ws::RunConfig& cfg) {
-        return ws::run_simulation(cfg);
-      };
+      options_.run = [](const ws::RunConfig& cfg) { return run_backend(cfg); };
     }
   }
 }

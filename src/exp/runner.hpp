@@ -45,18 +45,25 @@ struct SweepReport {
   }
 };
 
+/// Dispatch one config to the engine its `backend` field names: the
+/// discrete-event simulator (Backend::kSim, the default) or the native
+/// thread-per-rank runtime (Backend::kRt). This is the only place outside
+/// dws::audit that links the two engines together; ws itself never sees rt.
+ws::RunResult run_backend(const ws::RunConfig& config);
+
 struct RunnerOptions {
-  /// Worker threads; 0 means hardware_concurrency (min 1). The simulations
-  /// themselves are single-threaded and independent, so this is a pure
-  /// fan-out over host cores.
+  /// Worker threads; 0 means hardware_concurrency (min 1). Simulator points
+  /// are single-threaded and independent, so this is a pure fan-out over
+  /// host cores. Backend::kRt points spawn num_ranks threads *each* — cap
+  /// `threads` (usually to 1) when sweeping the native runtime.
   unsigned threads = 0;
   /// Live "done/total + ETA" lines on stderr as points complete.
   bool progress = true;
-  /// The function executed per point. Defaults to ws::run_simulation — or,
-  /// when the DWS_AUDIT environment variable is set, to audit::checked_run,
-  /// which replays the dws::audit conservation ledger against every point
-  /// and fails the point on any violation. Tests substitute instrumented
-  /// stand-ins.
+  /// The function executed per point. Defaults to run_backend — or, when the
+  /// DWS_AUDIT environment variable is set, to audit::checked_run, which
+  /// replays the dws::audit conservation ledger against every point and
+  /// fails the point on any violation. Both honour RunConfig::backend.
+  /// Tests substitute instrumented stand-ins.
   std::function<ws::RunResult(const ws::RunConfig&)> run;
 };
 

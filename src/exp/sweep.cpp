@@ -117,6 +117,15 @@ Axis placement_axis(
   return axis;
 }
 
+Axis backend_axis(const std::vector<ws::Backend>& backends) {
+  Axis axis{"backend", {}};
+  for (const ws::Backend b : backends) {
+    axis.points.push_back(
+        {ws::to_string(b), [b](ws::RunConfig& cfg) { cfg.backend = b; }});
+  }
+  return axis;
+}
+
 namespace {
 
 std::string percent_label(double p) {

@@ -49,6 +49,10 @@ Axis local_tries_axis(const std::vector<std::uint32_t>& tries);
 /// Placement + procs_per_node pairs (the paper's 1/N, 8RR, 8G allocations).
 Axis placement_axis(
     const std::vector<std::pair<topo::Placement, std::uint32_t>>& allocs);
+/// Execution engine per point: the simulator vs. the native thread runtime
+/// (rt::run_native). Points only dispatch through the backend when the sweep
+/// runs via run_backend / audit::checked_run — SweepRunner's defaults do.
+Axis backend_axis(const std::vector<ws::Backend>& backends);
 
 /// Fault-injection axes (fault::FaultConfig), labelled "off" / "1%" / "2".
 /// Points with loss need ws.steal_timeout/token_timeout set on the base

@@ -1,10 +1,10 @@
-#include "ws/chunk_stack.hpp"
+#include "proto/chunk_stack.hpp"
 
 #include <algorithm>
 
 #include "support/check.hpp"
 
-namespace dws::ws {
+namespace dws::proto {
 
 ChunkStack::ChunkStack(std::uint32_t chunk_size) : chunk_size_(chunk_size) {
   DWS_CHECK(chunk_size_ > 0);
@@ -62,4 +62,4 @@ std::vector<Chunk> ChunkStack::steal(std::size_t n) {
   return stolen;
 }
 
-}  // namespace dws::ws
+}  // namespace dws::proto

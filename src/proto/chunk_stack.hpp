@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "proto/message.hpp"
+
+namespace dws::proto {
+
+/// The per-process work stack of the UTS work-stealing implementation:
+/// tree nodes managed in fixed-capacity chunks.
+///
+/// Local access is LIFO (depth-first traversal): push/pop operate on the
+/// newest chunk. Steals remove whole chunks from the *bottom* — the oldest
+/// work, nearest the root, hence the largest expected subtrees.
+///
+/// The newest chunk is private ("if there is only one incomplete chunk in
+/// the stack of a process, no work can be stolen, as the first chunk is
+/// always considered private", §II-A): stealable_chunks() is always
+/// num_chunks() - 1.
+class ChunkStack {
+ public:
+  explicit ChunkStack(std::uint32_t chunk_size);
+
+  void push(const uts::TreeNode& node);
+  /// Pop the most recently pushed node; nullopt when empty.
+  std::optional<uts::TreeNode> pop();
+
+  /// Install chunks obtained from a steal. They sit above any existing work,
+  /// so the thief resumes from the stolen nodes (and, having >= 1 chunk
+  /// boundaries, immediately becomes stealable itself when several chunks
+  /// arrive — the §IV-C effect).
+  void install(std::vector<Chunk> chunks);
+
+  /// Remove `n` chunks from the bottom (n <= stealable_chunks()).
+  std::vector<Chunk> steal(std::size_t n);
+
+  std::size_t stealable_chunks() const noexcept {
+    return chunks_.empty() ? 0 : chunks_.size() - 1;
+  }
+
+  /// How many chunks a steal of `amount` kind would currently transfer.
+  std::size_t chunks_for_steal(bool steal_half) const noexcept {
+    const std::size_t avail = stealable_chunks();
+    if (avail == 0) return 0;
+    return steal_half ? std::max<std::size_t>(1, avail / 2) : 1;
+  }
+
+  std::size_t num_chunks() const noexcept { return chunks_.size(); }
+  std::size_t size() const noexcept { return total_nodes_; }
+  bool empty() const noexcept { return total_nodes_ == 0; }
+  std::uint32_t chunk_size() const noexcept { return chunk_size_; }
+
+ private:
+  std::uint32_t chunk_size_;
+  std::deque<Chunk> chunks_;  // back = newest (private working chunk)
+  std::size_t total_nodes_ = 0;
+};
+
+}  // namespace dws::proto

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "topo/allocation.hpp"
+#include "uts/node.hpp"
+
+/// dws::proto — the transport-agnostic steal-protocol core (DESIGN.md §11).
+///
+/// Everything in this library is pure protocol: message vocabulary, chunked
+/// work stacks, victim selection, the timeout/retry state machine, and
+/// Mattern-token termination. Nothing here knows whether messages travel
+/// through the discrete-event simulator (dws::ws) or over MPSC channels
+/// between real threads (dws::rt) — bindings supply a Transport and a clock.
+namespace dws::proto {
+
+/// A chunk of work items — the steal granularity unit (§II-A: "a thief will
+/// steal a single chunk of nodes instead of a single node").
+using Chunk = std::vector<uts::TreeNode>;
+
+/// Thief -> victim: ask for work. `request_id` is a per-thief monotonic
+/// counter (starting at 1) echoed by the response; it lets the thief match
+/// late answers to timed-out requests and discard network duplicates, and
+/// lets the victim discard duplicated requests (DESIGN.md §10).
+struct StealRequest {
+  topo::Rank thief;
+  std::uint32_t request_id = 0;
+};
+
+/// Victim -> thief: the answer. Empty `chunks` is a refusal (a failed steal
+/// in the paper's statistics).
+struct StealResponse {
+  std::vector<Chunk> chunks;
+  std::uint32_t request_id = 0;
+};
+
+/// Termination-detection token circulating the ring 0 -> 1 -> ... -> N-1 -> 0.
+/// Carries a Dijkstra-style color plus cumulative work-message counters
+/// (Mattern-style counting handles messages still in flight when the token
+/// passes; see peer.cpp for the combined rule).
+struct Token {
+  bool black = false;
+  std::uint64_t sent = 0;  ///< cumulative work-carrying responses sent
+  std::uint64_t recv = 0;  ///< cumulative work-carrying responses received
+  /// Which circulation this probe belongs to. Rank 0 stamps a fresh
+  /// generation per launch; under token_timeout it regenerates a presumed-
+  /// lost token with the next generation, and every rank discards stale
+  /// generations and duplicates (DESIGN.md §10).
+  std::uint32_t generation = 0;
+};
+
+/// Rank 0 -> everyone: all work is globally exhausted, stop.
+struct Terminate {};
+
+/// Dormant thief -> lifeline buddy: "push me work when you have surplus"
+/// (IdlePolicy::kLifeline).
+struct LifelineRegister {
+  topo::Rank dependent;
+};
+
+/// Lifeline buddy -> dormant thief: unsolicited work delivery.
+struct LifelinePush {
+  std::vector<Chunk> chunks;
+};
+
+using Message = std::variant<StealRequest, StealResponse, Token, Terminate,
+                             LifelineRegister, LifelinePush>;
+
+}  // namespace dws::proto

@@ -1,10 +1,10 @@
-#include "ws/victim.hpp"
+#include "proto/victim.hpp"
 
 #include <vector>
 
 #include "support/check.hpp"
 
-namespace dws::ws {
+namespace dws::proto {
 
 namespace {
 
@@ -184,4 +184,4 @@ const char* to_string(IdlePolicy p) {
   return "?";
 }
 
-}  // namespace dws::ws
+}  // namespace dws::proto

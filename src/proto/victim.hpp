@@ -1,0 +1,133 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/alias_table.hpp"
+#include "support/rng.hpp"
+#include "topo/latency.hpp"
+#include "proto/config.hpp"
+
+namespace dws::proto {
+
+/// Chooses the next victim for one specific thief rank. One instance per
+/// rank, holding that rank's selection state (round-robin cursor or RNG) —
+/// mirroring the per-process state of the MPI implementation.
+class VictimSelector {
+ public:
+  virtual ~VictimSelector() = default;
+
+  /// The next victim to try; never the thief itself. Called once per steal
+  /// attempt; selectors are free to keep state between calls.
+  virtual topo::Rank next() = 0;
+};
+
+/// The reference implementation's deterministic scheme: start at rank+1 and
+/// walk the ring; the cursor persists across sessions and is NOT reset by
+/// successful steals (§II-A).
+class RoundRobinSelector final : public VictimSelector {
+ public:
+  RoundRobinSelector(topo::Rank self, topo::Rank num_ranks);
+  topo::Rank next() override;
+
+ private:
+  topo::Rank self_;
+  topo::Rank num_ranks_;
+  topo::Rank cursor_;
+};
+
+/// Uniform random over the other N-1 ranks.
+class UniformRandomSelector final : public VictimSelector {
+ public:
+  UniformRandomSelector(topo::Rank self, topo::Rank num_ranks,
+                        std::uint64_t seed);
+  topo::Rank next() override;
+
+ private:
+  topo::Rank self_;
+  topo::Rank num_ranks_;
+  support::Xoshiro256StarStar rng_;
+};
+
+/// The paper's distance-skewed selection: victim j is drawn with probability
+/// proportional to w(i,j) = 1/e(i,j) (1 if e = 0), e being the 6D Euclidean
+/// distance on the Tofu network.
+///
+/// Two interchangeable sampling backends (verified equal in distribution by
+/// tests): a Walker alias table per rank — the paper's GSL approach — below
+/// `alias_table_max_ranks`, and rejection sampling above, because N ranks
+/// with N-entry tables is O(N^2) memory inside a single simulator process.
+/// Rejection exploits w <= 1 (nodes sit on an integer lattice, so e >= 1
+/// whenever nonzero).
+class TofuSkewedSelector final : public VictimSelector {
+ public:
+  TofuSkewedSelector(topo::Rank self, const topo::LatencyModel& latency,
+                     std::uint64_t seed, std::uint32_t alias_table_max_ranks);
+  topo::Rank next() override;
+
+  bool uses_alias_table() const noexcept { return alias_.has_value(); }
+
+  /// Bound on consecutive rejections before next() aborts (see victim.cpp).
+  static constexpr std::uint64_t kMaxRejectionIterations = 1'000'000;
+
+  /// Normalised selection probability of `victim` (for tests and Fig. 8).
+  double probability(topo::Rank victim) const;
+
+ private:
+  topo::Rank self_;
+  topo::Rank num_ranks_;
+  const topo::LatencyModel* latency_;
+  support::Xoshiro256StarStar rng_;
+  std::optional<support::AliasTable> alias_;  // index = rank (self has weight 0)
+  double weight_sum_ = 0.0;                   // for probability()
+};
+
+/// Two-level hierarchical selection (related-work style, §VI): alternate
+/// between the local neighbourhood (ranks on the same compute node, or — for
+/// 1/N placements — the same Tofu cube) and the strictly remote rank set on a
+/// fixed schedule of `local_tries` local picks followed by one remote pick.
+/// Remote picks exclude the local peers, so the long-run local fraction is
+/// exactly local_tries / (local_tries + 1) whenever both sets are non-empty
+/// (degenerate jobs where one set is empty draw from the other).
+///
+/// Unlike TofuSkewedSelector this uses *fixed per-level policies* rather
+/// than distance weights, which is exactly the design the paper argues its
+/// skewed selection generalises.
+class HierarchicalSelector final : public VictimSelector {
+ public:
+  HierarchicalSelector(topo::Rank self, const topo::LatencyModel& latency,
+                       std::uint64_t seed, std::uint32_t local_tries = 2);
+  topo::Rank next() override;
+
+  std::size_t local_peers() const noexcept { return local_.size(); }
+  std::size_t remote_peers() const noexcept { return remote_.size(); }
+  std::uint32_t local_tries() const noexcept { return local_tries_; }
+  const std::vector<topo::Rank>& local_set() const noexcept { return local_; }
+  const std::vector<topo::Rank>& remote_set() const noexcept { return remote_; }
+
+ private:
+  topo::Rank self_;
+  topo::Rank num_ranks_;
+  std::uint32_t local_tries_;
+  std::uint32_t phase_ = 0;
+  support::Xoshiro256StarStar rng_;
+  std::vector<topo::Rank> local_;   // same node (or same cube) peers
+  std::vector<topo::Rank> remote_;  // every other rank outside local_
+};
+
+/// Factory keyed by WsConfig. Seeds are decorrelated per rank.
+std::unique_ptr<VictimSelector> make_selector(const WsConfig& config,
+                                              topo::Rank self,
+                                              const topo::LatencyModel& latency);
+
+/// Which sampling backend kTofuSkewed runs with at this job size. The two
+/// backends are equal in distribution but draw different RNG sequences, so
+/// the *active backend* — not the raw alias_table_max_ranks threshold — is
+/// what identifies a Tofu run; the record fingerprint uses this.
+inline bool tofu_uses_alias(const WsConfig& config,
+                            topo::Rank num_ranks) noexcept {
+  return num_ranks <= config.alias_table_max_ranks;
+}
+
+}  // namespace dws::proto

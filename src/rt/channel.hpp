@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+namespace dws::rt {
+
+/// Unbounded multi-producer single-consumer FIFO (Vyukov's intrusive MPSC
+/// design, node-based): any rank thread may push, only the owning rank pops.
+/// This is the "steal traffic over channels" half of the tasking-2.0 style
+/// runtime — work deques stay private to their owner; every cross-thread
+/// interaction is a message through one of these.
+///
+/// push() is wait-free (one exchange + one store); pop() is lock-free from
+/// the single consumer's point of view. A push is visible to the consumer
+/// once the producer's next-pointer store (release) is observed (acquire) —
+/// the message payload is published by that edge.
+///
+/// The "inconsistent state" window of Vyukov's algorithm (producer between
+/// its exchange and its next-store) only delays visibility of *later* pushes;
+/// pop() simply reports empty, which the polling rank loop retries. No
+/// blocking, no ABA (nodes are never recycled onto the same queue position).
+template <typename T>
+class MpscChannel {
+ public:
+  MpscChannel() {
+    Node* stub = new Node;
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscChannel() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  MpscChannel(const MpscChannel&) = delete;
+  MpscChannel& operator=(const MpscChannel&) = delete;
+
+  /// Producer side: enqueue `value`. Callable from any thread.
+  void push(T value) {
+    Node* node = new Node;
+    node->value = std::move(value);
+    // Claim the head slot, then link the previous head to us. Between the
+    // exchange and the store the chain is briefly broken; consumers see
+    // "empty" rather than a torn message.
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumer side: dequeue into `out`; false when (momentarily) empty.
+  /// Must only be called by the single owning consumer thread.
+  bool pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    tail_ = next;
+    delete tail;  // old stub; next becomes the new stub carrying no value
+    return true;
+  }
+
+  /// Consumer-side hint (racy by nature): true when a pop would succeed now.
+  bool ready() const {
+    return tail_->next.load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  alignas(64) std::atomic<Node*> head_;  // producers exchange here
+  alignas(64) Node* tail_;               // consumer-owned
+};
+
+}  // namespace dws::rt

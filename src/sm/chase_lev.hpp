@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -82,7 +83,9 @@ class ChaseLevDeque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return std::nullopt;
-    Buffer* buf = buffer_.load(std::memory_order_consume);
+    // Lê et al. load the array with consume; consume is deprecated (and
+    // compilers promote it to acquire anyway), so say acquire directly.
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
     T value = buf->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
@@ -99,23 +102,46 @@ class ChaseLevDeque {
   }
 
  private:
-  // Slots are plain storage, not atomics: a 24-byte payload cannot be a
-  // lock-free std::atomic. The element races are the classic "benign" ones
-  // of published Chase-Lev implementations — a thief that loses the CAS on
-  // top_ discards whatever it read, and a slot is only reused after top_
-  // has advanced past it (which the winning CAS orders via seq_cst).
+  // Slots are arrays of relaxed atomic words, as in Lê et al.'s reference
+  // (their array elements are atomic loads/stores): a multi-word payload
+  // cannot be one lock-free std::atomic<T>, and plain storage would make the
+  // owner's put(b) race a thief's get(t) once the ring wraps — undefined
+  // behaviour the "benign race" folklore hides, and an instant ThreadSanitizer
+  // report. Word atomics make every access defined; a *torn* value can only
+  // be read when the owner is overwriting slot i = t mod capacity, i.e. when
+  // it pushed at b = t + capacity, which push_bottom only does after seeing
+  // top > t — so the reader's CAS on top_ is guaranteed to fail and the torn
+  // value is discarded without being returned.
   struct Buffer {
+    static constexpr std::size_t kWords =
+        (sizeof(T) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+
     explicit Buffer(std::size_t cap)
-        : capacity(cap), mask(cap - 1), slots(new T[cap]) {}
+        : capacity(cap),
+          mask(cap - 1),
+          words(new std::atomic<std::uint64_t>[cap * kWords]) {}
     std::size_t capacity;
     std::size_t mask;
-    std::unique_ptr<T[]> slots;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;
 
     T get(std::int64_t i) const {
-      return slots[static_cast<std::size_t>(i) & mask];
+      std::uint64_t raw[kWords];
+      const std::size_t base = (static_cast<std::size_t>(i) & mask) * kWords;
+      for (std::size_t w = 0; w < kWords; ++w) {
+        raw[w] = words[base + w].load(std::memory_order_relaxed);
+      }
+      T v;
+      std::memcpy(&v, raw, sizeof(T));
+      return v;
     }
     void put(std::int64_t i, const T& v) {
-      slots[static_cast<std::size_t>(i) & mask] = v;
+      std::uint64_t raw[kWords];
+      raw[kWords - 1] = 0;  // tail padding beyond sizeof(T)
+      std::memcpy(raw, &v, sizeof(T));
+      const std::size_t base = (static_cast<std::size_t>(i) & mask) * kWords;
+      for (std::size_t w = 0; w < kWords; ++w) {
+        words[base + w].store(raw[w], std::memory_order_relaxed);
+      }
     }
   };
 

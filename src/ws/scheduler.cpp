@@ -8,6 +8,14 @@
 
 namespace dws::ws {
 
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kRt: return "rt";
+  }
+  return "?";
+}
+
 support::Status RunConfig::validate() const {
   if (num_ranks < 1) return support::Status::error("num_ranks must be >= 1");
   if (procs_per_node < 1) {
@@ -81,6 +89,21 @@ support::Status RunConfig::validate() const {
   }
   if (fault.pause_duration < 0 || fault.pause_window < 0) {
     return support::Status::error("fault pause times must be >= 0");
+  }
+  if (backend == Backend::kRt) {
+    // The native runtime runs real threads over reliable in-process
+    // channels: there is no injector to drop/duplicate/perturb, and
+    // one-sided steals would need cross-thread access to a private deque.
+    if (fault.enabled()) {
+      return support::Status::error(
+          "fault injection is simulator-only (backend=rt has reliable "
+          "in-process channels)");
+    }
+    if (ws.one_sided_steals) {
+      return support::Status::error(
+          "one_sided_steals is simulator-only (backend=rt serves requests "
+          "at the victim's poll boundaries)");
+    }
   }
   if (fault.drop_prob > 0.0) {
     // Liveness: a lost steal request/refusal is only recovered by the steal

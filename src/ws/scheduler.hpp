@@ -16,8 +16,20 @@
 
 namespace dws::ws {
 
-/// Everything identifying one simulated UTS work-stealing execution: the
-/// tree, the scheduler knobs, and the machine/job geometry.
+/// Which engine executes a RunConfig: the discrete-event simulator (ws) or
+/// the native thread-per-rank runtime (rt::run_native). Both speak the same
+/// proto::Peer protocol; the backend picks the transport and the clock
+/// (DESIGN.md §11). Dispatch lives above this layer (exp::run_backend /
+/// audit) so ws itself never links rt.
+enum class Backend {
+  kSim,  ///< deterministic virtual-time simulation (run_simulation)
+  kRt,   ///< real threads, real UTS work, wall-clock time (rt::run_native)
+};
+
+const char* to_string(Backend b);
+
+/// Everything identifying one UTS work-stealing execution: the tree, the
+/// scheduler knobs, and the machine/job geometry.
 struct RunConfig {
   uts::TreeParams tree;
   WsConfig ws;
@@ -35,6 +47,11 @@ struct RunConfig {
   /// network and workers. validate() requires the protocol-recovery knobs
   /// (ws.steal_timeout, ws.token_timeout) whenever messages can be lost.
   fault::FaultConfig fault;
+
+  /// Which engine runs this config (sweep axes flip it; the simulator is
+  /// the default and fingerprint-neutral choice). run_simulation ignores it
+  /// — callers route through exp::run_backend or audit::checked_run.
+  Backend backend = Backend::kSim;
 
   /// When > 0, enable_congestion(scale) was called: run_simulation re-anchors
   /// capacity_hops to the *current* ranks/procs at run time, so a sweep axis
@@ -98,7 +115,14 @@ struct RunResult {
   }
 };
 
+}  // namespace dws::ws
+
+namespace dws::proto {
 class RunObserver;
+}
+
+namespace dws::ws {
+using RunObserver = proto::RunObserver;
 
 /// Execute one full UTS work-stealing run on the simulator. Deterministic:
 /// equal RunConfigs produce bit-identical results — with or without an

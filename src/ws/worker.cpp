@@ -1,6 +1,5 @@
 #include "ws/worker.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "support/check.hpp"
@@ -8,32 +7,61 @@
 
 namespace dws::ws {
 
-// ---------------------------------------------------------------------------
-// Termination detection.
-//
-// Token ring 0 -> 1 -> ... -> N-1 -> 0. Rank 0 launches a probe whenever it is
-// idle and no probe is circulating. A rank holding the token forwards it only
-// while idle, adding its color and its cumulative counters of work-carrying
-// messages sent/received, then turns white. Two rules blacken the protocol:
-//
-//  (1) Color (Dijkstra-style, conservative): ANY rank that ships work turns
-//      black until its next token forward. This is strictly stronger than the
-//      classic "send to a lower rank" rule, so every interleaving the classic
-//      rule flags, this flags too.
-//  (2) Counting (Mattern-style): the probe also fails when the accumulated
-//      sent != received — which is exactly the case of a work message still
-//      in flight when the token passed both endpoints white (the known gap
-//      of color-only schemes under asynchronous delivery).
-//
-// Rank 0 declares termination iff the returning token is white, rank 0 is
-// itself white and idle, and sent == recv. The test suite backs this with a
-// conservation oracle (total nodes processed == sequential tree size, and
-// chunks sent == chunks received) over hundreds of randomized runs.
-// ---------------------------------------------------------------------------
-
 void DeliverToWorkers::operator()(topo::Rank dst, Message msg) const {
   (*workers)[dst]->on_message(std::move(msg));
 }
+
+Worker::Worker(topo::Rank rank, RunContext& ctx)
+    : rank_(rank),
+      ctx_(ctx),
+      peer_(*ctx.config,
+            proto::Peer::Params{rank, ctx.num_ranks, ctx.faults != nullptr},
+            ctx.latency, *this, ctx.observer) {
+  per_node_cost_ = ctx_.config->node_cost();
+  if (ctx_.faults != nullptr) {
+    per_node_cost_ = ctx_.faults->scaled_node_cost(rank_, per_node_cost_);
+  }
+}
+
+// ---- proto::Transport ------------------------------------------------------
+
+void Worker::send(topo::Rank to, Message msg, std::uint32_t bytes,
+                  fault::MsgClass cls) {
+  ctx_.network->send(rank_, to, std::move(msg), bytes, cls);
+}
+
+void Worker::send_deferred(support::SimTime delay, topo::Rank to,
+                           StealResponse resp, std::uint32_t bytes,
+                           fault::MsgClass cls) {
+  // Packaging happens at a poll boundary; the response enters the network
+  // once this and the previously drained requests have been serviced.
+  const std::uint32_t handle =
+      ctx_.deferred.acquire(PendingSend{std::move(resp), to, bytes, cls});
+  ctx_.engine->schedule_after(delay, *this, sim::EventKind::kDeferredResponse,
+                              rank_, handle);
+}
+
+void Worker::arm_steal_timer(support::SimTime delay,
+                             std::uint32_t request_id) {
+  ctx_.engine->schedule_after(delay, *this, sim::EventKind::kStealTimeout,
+                              rank_, request_id);
+}
+
+void Worker::arm_token_timer(support::SimTime delay,
+                             std::uint32_t generation) {
+  ctx_.engine->schedule_after(delay, *this, sim::EventKind::kTokenTimeout,
+                              rank_, generation);
+}
+
+void Worker::activated() { schedule_step(); }
+
+void Worker::terminated(support::SimTime at) {
+  DWS_CHECK(!ctx_.terminated);
+  ctx_.terminated = true;
+  ctx_.termination_time = at;
+}
+
+// ---- Event-loop binding ----------------------------------------------------
 
 void Worker::on_event(const sim::Event& ev) {
   switch (ev.kind) {
@@ -47,62 +75,31 @@ void Worker::on_event(const sim::Event& ev) {
       // Packaging delay served: the response enters the network now.
       PendingSend send = ctx_.deferred.take(ev.payload);
       ctx_.network->send(rank_, send.thief, std::move(send.resp), send.bytes,
-                        send.cls);
+                         send.cls);
       break;
     }
     case sim::EventKind::kStealTimeout:
-      handle_steal_timeout(ev.payload);
+      peer_.on_steal_timeout(ev.payload, ctx_.engine->now());
       break;
     case sim::EventKind::kTokenTimeout:
-      handle_token_timeout(ev.payload);
+      peer_.on_token_timeout(ev.payload, ctx_.engine->now());
       break;
     default:
       DWS_CHECK(false);
   }
 }
 
-Worker::Worker(topo::Rank rank, RunContext& ctx)
-    : rank_(rank),
-      ctx_(ctx),
-      stack_(ctx.config->chunk_size),
-      selector_(ctx.num_ranks > 1 ? make_selector(*ctx.config, rank, *ctx.latency)
-                                  : nullptr),
-      trace_(metrics::Phase::kIdle, 0) {
-  per_node_cost_ = ctx_.config->node_cost();
-  if (ctx_.faults != nullptr) {
-    per_node_cost_ = ctx_.faults->scaled_node_cost(rank_, per_node_cost_);
-  }
-  if (ctx_.config->idle_policy == IdlePolicy::kLifeline) {
-    // Lifeline graph: hypercube buddies (Saraswat et al.) — rank ^ 2^k for
-    // every bit position that stays inside the job.
-    for (std::uint32_t bit = 1; bit < ctx_.num_ranks; bit <<= 1) {
-      const topo::Rank buddy = rank_ ^ bit;
-      if (buddy < ctx_.num_ranks) lifeline_targets_.push_back(buddy);
-    }
-  }
-}
-
-void Worker::record_phase(support::SimTime t, metrics::Phase p) {
-  trace_.record(t, p);
-  if (ctx_.observer) ctx_.observer->on_phase(rank_, t, p);
-}
-
 void Worker::start() {
   DWS_CHECK(ctx_.engine->now() == 0);
   if (rank_ == 0) {
-    const uts::TreeNode root = uts::root_node(*ctx_.tree);
-    stack_.push(root);
-    if (ctx_.observer) ctx_.observer->on_root(rank_, root);
-    state_ = State::kActive;
-    record_phase(0, metrics::Phase::kActive);
-    schedule_step();
+    peer_.seed_root(uts::root_node(*ctx_.tree));
   } else {
-    enter_idle();
+    peer_.on_out_of_work(0);
   }
 }
 
 void Worker::schedule_step() {
-  if (step_scheduled_ || state_ != State::kActive) return;
+  if (step_scheduled_ || !peer_.active()) return;
   step_scheduled_ = true;
   // A step event fires at a node boundary; the work's cost is charged when
   // the next boundary is scheduled, so the first boundary is "now".
@@ -111,33 +108,35 @@ void Worker::schedule_step() {
 
 void Worker::step() {
   step_scheduled_ = false;
-  if (state_ != State::kActive) return;
+  if (!peer_.active()) return;
 
   // Poll boundary: serve whatever arrived while we were expanding.
   const support::SimTime busy = drain_inbox();
-  if (state_ != State::kActive) return;  // a drained Terminate ended the run
+  if (!peer_.active()) return;  // a drained Terminate ended the run
 
-  if (stack_.empty()) {
+  proto::ChunkStack& stack = peer_.stack();
+  if (stack.empty()) {
     // The previous node's work ended exactly at this boundary.
-    enter_idle();
+    peer_.on_out_of_work(ctx_.engine->now());
     return;
   }
 
   // Expand up to poll_interval nodes; their work occupies [now, now + cost],
   // so the next poll boundary lands at the end of it (plus time spent
   // packaging steal responses just now).
+  metrics::RankStats& stats = peer_.stats();
   support::SimTime cost = 0;
   for (std::uint32_t i = 0; i < ctx_.config->poll_interval; ++i) {
-    const auto node = stack_.pop();
+    const auto node = stack.pop();
     if (!node.has_value()) break;
-    ++stats_.nodes_processed;
+    ++stats.nodes_processed;
     const std::uint32_t n = uts::num_children(*ctx_.tree, *node);
     if (ctx_.observer) ctx_.observer->on_node_expanded(rank_, *node, n);
     if (n == 0) {
-      ++stats_.leaves_seen;
+      ++stats.leaves_seen;
     } else {
       for (std::uint32_t c = 0; c < n; ++c) {
-        stack_.push(uts::child_node(*node, c));
+        stack.push(uts::child_node(*node, c));
       }
     }
     cost += per_node_cost_;
@@ -156,11 +155,10 @@ void Worker::step() {
 
   // Lifeline extension: surplus generated by this expansion feeds dormant
   // dependents at the same poll boundary, charged like steal packaging.
-  if (!registered_dependents_.empty()) {
-    const std::size_t before = registered_dependents_.size();
-    feed_lifeline_dependents();
+  if (peer_.has_dependents()) {
     cost += ctx_.config->steal_handling_cost *
-            static_cast<support::SimTime>(before - registered_dependents_.size());
+            static_cast<support::SimTime>(
+                peer_.feed_lifeline_dependents(ctx_.engine->now()));
   }
 
   step_scheduled_ = true;
@@ -172,13 +170,13 @@ support::SimTime Worker::drain_inbox() {
   support::SimTime busy = 0;
   // Index-based iteration keeps us safe against vector reallocation.
   for (std::size_t i = 0; i < inbox_.size(); ++i) {
-    if (state_ == State::kDone) break;  // a drained Terminate ends everything
+    if (peer_.done()) break;  // a drained Terminate ends everything
     Message msg = std::move(inbox_[i]);
     if (const auto* req = std::get_if<StealRequest>(&msg)) {
       busy += ctx_.config->steal_handling_cost;
-      handle_steal_request(*req, busy);
+      peer_.on_steal_request(*req, ctx_.engine->now(), busy);
     } else {
-      handle(std::move(msg));
+      peer_.on_message(std::move(msg), ctx_.engine->now());
     }
   }
   inbox_.clear();
@@ -186,13 +184,13 @@ support::SimTime Worker::drain_inbox() {
 }
 
 void Worker::on_message(Message msg) {
-  if (state_ == State::kDone) return;
-  if (state_ == State::kActive) {
+  if (peer_.done()) return;
+  if (peer_.active()) {
     // One-sided steals bypass the victim's polling loop entirely: the
     // request is serviced at arrival, off the victim's critical path.
     if (ctx_.config->one_sided_steals) {
       if (const auto* req = std::get_if<StealRequest>(&msg)) {
-        handle_steal_request(*req, 0);
+        peer_.on_steal_request(*req, ctx_.engine->now(), 0);
         return;
       }
     }
@@ -202,430 +200,7 @@ void Worker::on_message(Message msg) {
     return;
   }
   // Idle ranks sit in the steal/wait loop and react immediately.
-  handle(std::move(msg));
-}
-
-void Worker::handle(Message msg) {
-  std::visit(
-      [this](auto&& m) {
-        using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, StealRequest>) {
-          handle_steal_request(m, 0);
-        } else if constexpr (std::is_same_v<T, StealResponse>) {
-          handle_steal_response(std::move(m));
-        } else if constexpr (std::is_same_v<T, Token>) {
-          handle_token(m);
-        } else if constexpr (std::is_same_v<T, LifelineRegister>) {
-          handle_lifeline_register(m);
-        } else if constexpr (std::is_same_v<T, LifelinePush>) {
-          receive_pushed_work(std::move(m.chunks));
-        } else {
-          static_assert(std::is_same_v<T, Terminate>);
-          // A rank with local work can never observe global termination —
-          // the token rules above make this impossible; the check makes a
-          // protocol bug loud instead of silently dropping work.
-          DWS_CHECK(state_ != State::kActive);
-          finish(ctx_.engine->now());
-        }
-      },
-      std::move(msg));
-}
-
-void Worker::handle_steal_request(const StealRequest& req,
-                                  support::SimTime send_delay) {
-  if (ctx_.faults != nullptr) {
-    // A network-duplicated request must not be answered twice: the thief
-    // would discard the second response as a duplicate, losing any work it
-    // carried. Ids on the (thief -> victim) channel arrive non-decreasing
-    // (non-overtaking), so a repeat id is exactly a duplicate.
-    const auto [it, inserted] =
-        last_request_seen_.try_emplace(req.thief, req.request_id);
-    if (!inserted) {
-      if (req.request_id <= it->second) return;
-      it->second = req.request_id;
-    }
-  }
-  ++stats_.requests_served;
-  const bool steal_half = ctx_.config->steal_amount == StealAmount::kHalf;
-  const std::size_t k = stack_.chunks_for_steal(steal_half);
-
-  StealResponse resp;
-  resp.request_id = req.request_id;
-  std::uint32_t bytes = ctx_.config->response_header_bytes;
-  std::uint64_t nodes_sent = 0;
-  if (k > 0) {
-    resp.chunks = stack_.steal(k);
-    stats_.chunks_sent += k;
-    for (const auto& chunk : resp.chunks) {
-      nodes_sent += chunk.size();
-      bytes += static_cast<std::uint32_t>(chunk.size()) * ctx_.config->node_bytes;
-    }
-    black_ = true;  // rule (1): shipping work blackens the victim
-    ++work_msgs_sent_;
-  }
-
-  const topo::Rank thief = req.thief;
-  // Refusals are recoverable (the thief's timeout re-drives the steal), so
-  // they may be dropped; work-carrying responses must never be — there is no
-  // retransmission path for the nodes they carry (fault::MsgClass).
-  const fault::MsgClass cls =
-      k > 0 ? fault::MsgClass::kDupOnly : fault::MsgClass::kDroppable;
-  if (ctx_.observer) {
-    ctx_.observer->on_steal_response_sent(rank_, thief, k, nodes_sent, bytes);
-  }
-  if (send_delay == 0) {
-    ctx_.network->send(rank_, thief, std::move(resp), bytes, cls);
-  } else {
-    // Packaging happens at a poll boundary; the response leaves once this
-    // and the previously drained requests have been serviced.
-    const std::uint32_t handle =
-        ctx_.deferred.acquire(PendingSend{std::move(resp), thief, bytes, cls});
-    ctx_.engine->schedule_after(send_delay, *this,
-                                sim::EventKind::kDeferredResponse, rank_,
-                                handle);
-  }
-}
-
-void Worker::handle_steal_response(StealResponse resp) {
-  // Normally responses find us idle and waiting, but under kLifeline a push
-  // can reactivate us while a steal request is still in flight, so the
-  // response may also land mid-expansion (via the inbox). Under
-  // steal_timeout the response can also answer a request we already
-  // abandoned, and under fault injection it can be a network duplicate of
-  // an answer we already consumed — the id disambiguates.
-  const bool current =
-      waiting_response_ && resp.request_id == current_request_id_;
-  topo::Rank victim = request_victim_;
-  if (current) {
-    waiting_response_ = false;
-    stats_.total_search_time += ctx_.engine->now() - request_sent_;
-  } else {
-    const auto it = std::find_if(
-        abandoned_requests_.begin(), abandoned_requests_.end(),
-        [&](const AbandonedRequest& a) { return a.id == resp.request_id; });
-    if (it == abandoned_requests_.end()) {
-      // Network duplicate of an already-consumed response. Its chunks (if
-      // any) are copies of work already installed, so discarding conserves.
-      DWS_CHECK(ctx_.faults != nullptr &&
-                "steal response without an outstanding request");
-      std::uint64_t nodes = 0;
-      for (const auto& chunk : resp.chunks) nodes += chunk.size();
-      ++stats_.duplicate_responses;
-      if (ctx_.observer) {
-        ctx_.observer->on_duplicate_response(rank_, resp.chunks.size(), nodes);
-      }
-      return;
-    }
-    victim = it->victim;
-    abandoned_requests_.erase(it);
-  }
-
-  if (ctx_.observer) {
-    std::uint64_t nodes_received = 0;
-    for (const auto& chunk : resp.chunks) nodes_received += chunk.size();
-    ctx_.observer->on_steal_response_received(rank_, victim,
-                                              resp.chunks.size(),
-                                              nodes_received);
-  }
-
-  if (resp.chunks.empty()) {
-    if (!current) return;  // the timeout already drove the steal loop on
-    ++stats_.failed_steals;
-    if (state_ != State::kIdle) return;  // reactivated meanwhile: drop it
-    if (ctx_.config->idle_policy == IdlePolicy::kLifeline &&
-        ++session_failures_ >= ctx_.config->lifeline_tries) {
-      register_on_lifelines();
-      return;
-    }
-    try_steal();
-    return;
-  }
-
-  // A late answer to an abandoned request still carries real work — the
-  // victim gave those nodes away; bank them exactly like a current answer.
-  ++work_msgs_recv_;
-  ++stats_.successful_steals;
-  stats_.chunks_received += resp.chunks.size();
-  stats_.steal_distance_sum += ctx_.latency->euclidean(rank_, victim);
-  stack_.install(std::move(resp.chunks));
-  if (state_ != State::kIdle) return;  // already active: just keep the work
-
-  // Work-discovery session ends with work in the queue.
-  stats_.total_session_time += ctx_.engine->now() - session_start_;
-  state_ = State::kActive;
-  record_phase(ctx_.engine->now(), metrics::Phase::kActive);
-  schedule_step();
-}
-
-void Worker::handle_steal_timeout(std::uint32_t request_id) {
-  if (state_ == State::kDone) return;
-  // Stale timer: the answer arrived (or an earlier timeout already fired).
-  if (!waiting_response_ || current_request_id_ != request_id) return;
-  // The request or its answer is presumed lost. Abandon it — but remember
-  // the id: a late work-carrying answer must still be banked, not dropped.
-  waiting_response_ = false;
-  abandoned_requests_.push_back(AbandonedRequest{request_id, request_victim_});
-  ++stats_.steal_timeouts;
-  stats_.total_search_time += ctx_.engine->now() - request_sent_;
-  if (ctx_.observer) {
-    ctx_.observer->on_steal_timeout(rank_, request_victim_, retry_attempt_);
-  }
-  if (state_ != State::kIdle) return;  // reactivated meanwhile: nothing to do
-  if (retry_attempt_ < ctx_.config->steal_retry_max) {
-    // Same victim, exponentially longer timer (send_steal_request scales by
-    // steal_backoff^retry_attempt_).
-    ++retry_attempt_;
-    ++stats_.steal_retries;
-    send_steal_request(request_victim_);
-    return;
-  }
-  retry_attempt_ = 0;
-  if (ctx_.config->idle_policy == IdlePolicy::kLifeline &&
-      ++session_failures_ >= ctx_.config->lifeline_tries) {
-    register_on_lifelines();
-    return;
-  }
-  try_steal();
-}
-
-void Worker::handle_lifeline_register(const LifelineRegister& reg) {
-  // A buddy with surplus feeds the dependent right away; otherwise the
-  // registration parks until this rank has stealable chunks again.
-  if (stack_.stealable_chunks() > 0) {
-    const bool steal_half = ctx_.config->steal_amount == StealAmount::kHalf;
-    const std::size_t k = stack_.chunks_for_steal(steal_half);
-    LifelinePush push;
-    push.chunks = stack_.steal(k);
-    std::uint32_t bytes = ctx_.config->response_header_bytes;
-    std::uint64_t nodes_sent = 0;
-    for (const auto& chunk : push.chunks) {
-      nodes_sent += chunk.size();
-      bytes += static_cast<std::uint32_t>(chunk.size()) * ctx_.config->node_bytes;
-    }
-    stats_.chunks_sent += k;
-    ++stats_.lifeline_pushes;
-    black_ = true;
-    ++work_msgs_sent_;
-    if (ctx_.observer) {
-      ctx_.observer->on_lifeline_push_sent(rank_, reg.dependent, k, nodes_sent,
-                                           bytes);
-    }
-    ctx_.network->send(rank_, reg.dependent, std::move(push), bytes);
-    return;
-  }
-  for (const topo::Rank r : registered_dependents_) {
-    if (r == reg.dependent) return;  // duplicate registration
-  }
-  registered_dependents_.push_back(reg.dependent);
-}
-
-void Worker::receive_pushed_work(std::vector<Chunk> chunks) {
-  DWS_CHECK(!chunks.empty());
-  ++work_msgs_recv_;
-  stats_.chunks_received += chunks.size();
-  if (ctx_.observer) {
-    std::uint64_t nodes_received = 0;
-    for (const auto& chunk : chunks) nodes_received += chunk.size();
-    ctx_.observer->on_lifeline_push_received(rank_, chunks.size(),
-                                             nodes_received);
-  }
-  stack_.install(std::move(chunks));
-  if (state_ != State::kIdle) return;  // already busy: surplus joins the stack
-
-  dormant_ = false;
-  session_failures_ = 0;
-  stats_.total_session_time += ctx_.engine->now() - session_start_;
-  state_ = State::kActive;
-  record_phase(ctx_.engine->now(), metrics::Phase::kActive);
-  schedule_step();
-}
-
-void Worker::register_on_lifelines() {
-  DWS_CHECK(state_ == State::kIdle);
-  dormant_ = true;
-  ++stats_.lifeline_registrations;
-  for (const topo::Rank buddy : lifeline_targets_) {
-    if (ctx_.observer) {
-      ctx_.observer->on_lifeline_register_sent(
-          rank_, buddy, ctx_.config->steal_request_bytes);
-    }
-    ctx_.network->send(rank_, buddy, LifelineRegister{rank_},
-                       ctx_.config->steal_request_bytes);
-  }
-}
-
-void Worker::feed_lifeline_dependents() {
-  while (!registered_dependents_.empty() && stack_.stealable_chunks() > 0) {
-    const topo::Rank dependent = registered_dependents_.back();
-    registered_dependents_.pop_back();
-    handle_lifeline_register(LifelineRegister{dependent});
-  }
-}
-
-void Worker::handle_token(Token token) {
-  if (rank_ == 0) {
-    // Generation filter: only the probe we are actually waiting for counts.
-    // Anything else is a stale survivor of a regenerated circulation or a
-    // network duplicate; acting on it would be unsound.
-    if (!token_outstanding_ || token.generation != token_generation_) return;
-    token_outstanding_ = false;
-    if (ctx_.observer) ctx_.observer->on_token_accepted(rank_, token);
-    const bool quiet = !token.black && !black_ && state_ == State::kIdle &&
-                       token.sent == token.recv;
-    if (quiet) {
-      declare_termination();
-      return;
-    }
-    // Failed probe: relaunch once idle (immediately if already idle).
-    if (state_ == State::kIdle) send_token(black_);
-    return;
-  }
-  // Generations on the ring channel arrive non-decreasing (non-overtaking
-  // and rank 0 launches them in order), so a non-increase is a stale token
-  // or a duplicate: discard.
-  if (token.generation <= max_token_gen_seen_) return;
-  max_token_gen_seen_ = token.generation;
-  if (state_ == State::kIdle) {
-    send_token(token.black || black_, token.sent, token.recv,
-               token.generation);
-  } else {
-    // A newer generation supersedes any held (now stale) token.
-    holds_token_ = true;
-    held_token_ = token;
-  }
-}
-
-void Worker::send_token(bool black, std::uint64_t sent_acc,
-                        std::uint64_t recv_acc, std::uint32_t generation) {
-  Token t;
-  t.black = black;
-  t.sent = sent_acc + work_msgs_sent_;
-  t.recv = recv_acc + work_msgs_recv_;
-  black_ = false;  // forwarding whitens the forwarder
-  if (rank_ == 0) {
-    // Launch: stamp a fresh circulation and, with token_timeout armed, a
-    // timer that regenerates the probe if it never comes home.
-    t.generation = ++token_generation_;
-    token_outstanding_ = true;
-    if (ctx_.config->token_timeout > 0) {
-      ctx_.engine->schedule_after(ctx_.config->token_timeout, *this,
-                                  sim::EventKind::kTokenTimeout, rank_,
-                                  t.generation);
-    }
-  } else {
-    t.generation = generation;
-  }
-  const topo::Rank next = (rank_ + 1) % ctx_.num_ranks;
-  if (ctx_.observer) ctx_.observer->on_token_sent(rank_, next, t);
-  ctx_.network->send(rank_, next, t, ctx_.config->token_bytes,
-                     fault::MsgClass::kDroppable);
-}
-
-void Worker::handle_token_timeout(std::uint32_t generation) {
-  if (state_ == State::kDone) return;
-  DWS_CHECK(rank_ == 0);
-  // The probe came home (or a newer one is out): stale timer.
-  if (!token_outstanding_ || generation != token_generation_) return;
-  // The token is presumed lost somewhere on the ring. Regenerate it with
-  // the next generation — survivors of this one die at the generation
-  // filters, and Mattern counting restarts with the fresh circulation.
-  token_outstanding_ = false;
-  ++stats_.token_regens;
-  if (ctx_.observer) ctx_.observer->on_token_regenerated(rank_, generation);
-  if (state_ == State::kIdle) {
-    send_token(black_);
-  }
-  // If active, enter_idle() relaunches as usual when rank 0 next goes idle.
-}
-
-void Worker::enter_idle() {
-  state_ = State::kIdle;
-  dormant_ = false;
-  session_failures_ = 0;
-  const support::SimTime now = ctx_.engine->now();
-  record_phase(now, metrics::Phase::kIdle);
-  ++stats_.sessions;
-  session_start_ = now;
-
-  if (ctx_.num_ranks == 1) {
-    // Nobody to steal from: exhausting local work IS global termination.
-    declare_termination();
-    return;
-  }
-  if (holds_token_) {
-    const Token t = held_token_;
-    holds_token_ = false;
-    send_token(t.black || black_, t.sent, t.recv, t.generation);
-  }
-  if (rank_ == 0 && !token_outstanding_) {
-    send_token(black_);
-  }
-  // A steal request may still be in flight from before a lifeline push
-  // reactivated us; its response restarts the steal loop when it arrives.
-  if (!waiting_response_) try_steal();
-}
-
-void Worker::try_steal() {
-  DWS_CHECK(state_ == State::kIdle);
-  DWS_CHECK(!waiting_response_);
-  const topo::Rank victim = selector_->next();
-  DWS_DCHECK(victim != rank_);
-  retry_attempt_ = 0;
-  send_steal_request(victim);
-}
-
-void Worker::send_steal_request(topo::Rank victim) {
-  ++stats_.steal_attempts;
-  waiting_response_ = true;
-  request_sent_ = ctx_.engine->now();
-  request_victim_ = victim;
-  current_request_id_ = ++next_request_id_;
-  if (ctx_.observer) {
-    ctx_.observer->on_steal_request_sent(rank_, victim,
-                                         ctx_.config->steal_request_bytes);
-  }
-  ctx_.network->send(rank_, victim, StealRequest{rank_, current_request_id_},
-                     ctx_.config->steal_request_bytes,
-                     fault::MsgClass::kDroppable);
-  if (ctx_.config->steal_timeout > 0) {
-    // Exponential backoff: the k-th retry waits steal_timeout * backoff^k.
-    // Repeated multiplication, not std::pow — libm results vary across
-    // platforms and the wait feeds the deterministic event order.
-    double wait = static_cast<double>(ctx_.config->steal_timeout);
-    for (std::uint32_t k = 0; k < retry_attempt_; ++k) {
-      wait *= ctx_.config->steal_backoff;
-    }
-    ctx_.engine->schedule_after(static_cast<support::SimTime>(wait), *this,
-                                sim::EventKind::kStealTimeout, rank_,
-                                current_request_id_);
-  }
-}
-
-void Worker::declare_termination() {
-  DWS_CHECK(rank_ == 0);
-  DWS_CHECK(!ctx_.terminated);
-  ctx_.terminated = true;
-  ctx_.termination_time = ctx_.engine->now();
-  if (ctx_.observer) ctx_.observer->on_termination(ctx_.termination_time);
-  for (topo::Rank r = 1; r < ctx_.num_ranks; ++r) {
-    ctx_.network->send(0, r, Terminate{}, ctx_.config->token_bytes);
-  }
-  finish(ctx_.engine->now());
-}
-
-void Worker::finish(support::SimTime at) {
-  // Open sessions/searches end at termination (paper §IV-B: a session "ends
-  // with either work in the queue or application termination").
-  if (state_ == State::kIdle) {
-    stats_.total_session_time += at - session_start_;
-    if (waiting_response_) {
-      stats_.total_search_time += at - request_sent_;
-      waiting_response_ = false;
-    }
-  }
-  state_ = State::kDone;
-  stats_.finish_time = at;
-  if (ctx_.observer) ctx_.observer->on_finish(rank_, at);
+  peer_.on_message(std::move(msg), ctx_.engine->now());
 }
 
 }  // namespace dws::ws

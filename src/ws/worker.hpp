@@ -1,12 +1,13 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "metrics/rank_stats.hpp"
 #include "metrics/trace.hpp"
+#include "proto/peer.hpp"
+#include "proto/transport.hpp"
 #include "sim/engine.hpp"
 #include "sim/event.hpp"
 #include "sim/network.hpp"
@@ -16,12 +17,11 @@
 #include "ws/chunk_stack.hpp"
 #include "ws/config.hpp"
 #include "ws/message.hpp"
-#include "ws/victim.hpp"
+#include "ws/observer.hpp"
 
 namespace dws::ws {
 
 class Worker;
-class RunObserver;
 
 /// Routes a network delivery to the destination worker. A concrete functor
 /// (not std::function) so Network's delivery dispatch is a direct call.
@@ -71,15 +71,20 @@ struct RunContext {
   support::SimTime termination_time = 0;
 };
 
-/// One simulated MPI rank running the UTS work-stealing loop of the paper's
-/// reference implementation (Fig. 1 of the paper):
+/// One simulated MPI rank: a thin discrete-event binding over the
+/// transport-agnostic proto::Peer, which owns ALL protocol decisions —
+/// steal request/response handling, timeout/retry/backoff, lifelines, and
+/// token termination (DESIGN.md §11). What remains here is strictly
+/// execution and delivery semantics:
 ///
-///   while not finished:
-///     while node <- GET(stack):   expand node, PUSH children
-///     while stack empty:          v <- SELECT_VICTIM; STEAL(v)
-///
-/// with chunked stacks, asynchronous steal request/response messaging,
-/// token-ring termination detection, and per-rank activity tracing.
+///  - the node-expansion loop (kWorkerStep events), charging virtual compute
+///    time per node and fault-injected pauses/slowdowns;
+///  - MPI-style polling: messages arriving mid-expansion queue in an inbox
+///    and are drained at the next poll boundary, each steal request charging
+///    steal_handling_cost of victim time (one-sided steals bypass this);
+///  - the proto::Transport surface: sends enter sim::Network, deferred
+///    responses park in the run's SlabPool until their packaging delay
+///    elapses, timers become kStealTimeout/kTokenTimeout events.
 ///
 /// Event-core integration: the worker's continuations are typed events
 /// (kWorkerStart, kWorkerStep, kDeferredResponse) dispatched through
@@ -88,13 +93,11 @@ struct RunContext {
 ///
 /// Faithfulness notes (matching §II-A):
 ///  - no continuations: workers exchange plain tree nodes in chunks;
-///  - the victim services steal requests *between* node expansions (we queue
-///    messages arriving mid-expansion and drain them at the next poll
-///    boundary, charging steal_handling_cost each);
+///  - the victim services steal requests *between* node expansions;
 ///  - no work-first: the thief blocks on its outstanding request and retries
 ///    (with a new victim) on refusal;
 ///  - victim selection is pluggable (the paper's experimental axis).
-class Worker final : public sim::EventSink {
+class Worker final : public sim::EventSink, private proto::Transport {
  public:
   Worker(topo::Rank rank, RunContext& ctx);
 
@@ -102,109 +105,48 @@ class Worker final : public sim::EventSink {
   /// starts expanding; everyone else starts a work-discovery session.
   void start();
 
-  /// Typed-event dispatch (kWorkerStart / kWorkerStep / kDeferredResponse).
+  /// Typed-event dispatch (kWorkerStart / kWorkerStep / kDeferredResponse /
+  /// kStealTimeout / kTokenTimeout).
   void on_event(const sim::Event& ev) override;
 
   /// Network delivery entry point.
   void on_message(Message msg);
 
-  const metrics::RankStats& stats() const noexcept { return stats_; }
-  const metrics::RankTrace& trace() const noexcept { return trace_; }
+  const metrics::RankStats& stats() const noexcept { return peer_.stats(); }
+  const metrics::RankTrace& trace() const noexcept { return peer_.trace(); }
 
   /// True once this rank has learnt of global termination.
-  bool done() const noexcept { return state_ == State::kDone; }
-  std::size_t stack_size() const noexcept { return stack_.size(); }
+  bool done() const noexcept { return peer_.done(); }
+  std::size_t stack_size() const noexcept { return peer_.stack().size(); }
 
  private:
-  enum class State {
-    kActive,  ///< stack non-empty; expanding nodes
-    kIdle,    ///< stack empty; stealing (a request may be outstanding)
-    kDone,    ///< terminated
-  };
+  // proto::Transport — the simulator side of the protocol seam.
+  void send(topo::Rank to, Message msg, std::uint32_t bytes,
+            fault::MsgClass cls) override;
+  void send_deferred(support::SimTime delay, topo::Rank to, StealResponse resp,
+                     std::uint32_t bytes, fault::MsgClass cls) override;
+  void arm_steal_timer(support::SimTime delay,
+                       std::uint32_t request_id) override;
+  void arm_token_timer(support::SimTime delay,
+                       std::uint32_t generation) override;
+  void activated() override;
+  void terminated(support::SimTime at) override;
 
   void schedule_step();
   void step();
-  /// trace_.record plus the observer's on_phase hook.
-  void record_phase(support::SimTime t, metrics::Phase p);
   /// Serve queued messages at a poll boundary; returns virtual time spent.
   support::SimTime drain_inbox();
-  void handle(Message msg);
-  void handle_steal_request(const StealRequest& req, support::SimTime send_delay);
-  void handle_steal_response(StealResponse resp);
-  void handle_token(Token token);
-  void handle_lifeline_register(const LifelineRegister& reg);
-  void receive_pushed_work(std::vector<Chunk> chunks);
-  /// kLifeline: hand surplus chunks to dormant dependents (at poll points).
-  void feed_lifeline_dependents();
-  void register_on_lifelines();
-  void enter_idle();
-  void try_steal();
-  /// Sends one steal request (fresh id, timer when steal_timeout > 0).
-  void send_steal_request(topo::Rank victim);
-  /// kStealTimeout fired for `request_id`: abandon and retry/move on.
-  void handle_steal_timeout(std::uint32_t request_id);
-  void send_token(bool black, std::uint64_t sent_acc = 0,
-                  std::uint64_t recv_acc = 0, std::uint32_t generation = 0);
-  /// kTokenTimeout fired for `generation` (rank 0): regenerate the probe.
-  void handle_token_timeout(std::uint32_t generation);
-  void declare_termination();
-  void finish(support::SimTime at);
 
   topo::Rank rank_;
   RunContext& ctx_;
-  ChunkStack stack_;
-  std::unique_ptr<VictimSelector> selector_;
+  proto::Peer peer_;
 
-  State state_ = State::kIdle;
   bool step_scheduled_ = false;
-  bool waiting_response_ = false;
   std::vector<Message> inbox_;  // arrived while expanding; drained at polls
-
-  // Termination detection (Dijkstra-style coloring, conservative variant:
-  // *any* work send blackens the sender, combined with Mattern-style
-  // sent/received counting; see worker.cpp for the argument).
-  bool black_ = false;
-  bool holds_token_ = false;
-  Token held_token_;
-  bool token_outstanding_ = false;  // rank 0 only: a probe is circulating
-  std::uint64_t work_msgs_sent_ = 0;
-  std::uint64_t work_msgs_recv_ = 0;
-
-  support::SimTime session_start_ = 0;
-  support::SimTime request_sent_ = 0;
-  topo::Rank request_victim_ = 0;  // victim of the outstanding request
-
-  // Steal-protocol robustness (WsConfig::steal_timeout; DESIGN.md §10).
-  std::uint32_t next_request_id_ = 0;     // last id issued (ids start at 1)
-  std::uint32_t current_request_id_ = 0;  // id of the outstanding request
-  std::uint32_t retry_attempt_ = 0;       // same-victim retries so far
-  /// Requests abandoned by a timeout whose answer has not arrived yet; a
-  /// late work-carrying answer is banked, anything else is discarded.
-  struct AbandonedRequest {
-    std::uint32_t id = 0;
-    topo::Rank victim = 0;
-  };
-  std::vector<AbandonedRequest> abandoned_requests_;
-  /// Victim side: highest request id seen per thief; repeats are network
-  /// duplicates and must not be answered twice. Only consulted under faults.
-  std::unordered_map<topo::Rank, std::uint32_t> last_request_seen_;
-
-  // Token regeneration (WsConfig::token_timeout).
-  std::uint32_t token_generation_ = 0;    // rank 0: current probe generation
-  std::uint32_t max_token_gen_seen_ = 0;  // other ranks: stale/dup filter
 
   // Fault-layer compute perturbations, resolved once at construction.
   support::SimTime per_node_cost_ = 0;
   bool pause_taken_ = false;
-
-  // Lifeline extension (IdlePolicy::kLifeline).
-  bool dormant_ = false;                       // registered, not stealing
-  std::uint32_t session_failures_ = 0;         // failed steals this session
-  std::vector<topo::Rank> lifeline_targets_;   // our hypercube buddies
-  std::vector<topo::Rank> registered_dependents_;  // who waits on us
-
-  metrics::RankStats stats_;
-  metrics::RankTrace trace_;
 };
 
 }  // namespace dws::ws

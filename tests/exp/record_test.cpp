@@ -147,7 +147,7 @@ TEST(RecordWriter, JsonlSchemaHeaderAndOneLinePerPoint) {
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
   EXPECT_NE(text.find("\"schema\":\"dws.exp.sweep\""), std::string::npos);
-  EXPECT_NE(text.find("\"version\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"version\":4"), std::string::npos);
   EXPECT_NE(text.find("\"coords\":{\"ranks\":\"4\"}"), std::string::npos);
   EXPECT_EQ(text.find("wall_s"), std::string::npos);  // wall_clock=false
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
@@ -170,10 +170,60 @@ TEST(RecordWriter, CsvHasSchemaCommentHeaderAndRows) {
   RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
-  EXPECT_NE(text.find("# schema=dws.exp.sweep version=3"), std::string::npos);
+  EXPECT_NE(text.find("# schema=dws.exp.sweep version=4"), std::string::npos);
   EXPECT_NE(text.find("index,"), std::string::npos);
   // comment + header + 2 rows
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(CanonicalConfig, BackendKeyAppearsOnlyForTheNativeRuntime) {
+  ws::RunConfig sim = base_config();
+  ws::RunConfig rt = base_config();
+  rt.backend = ws::Backend::kRt;
+  // Simulator fingerprints must not move when the backend field is added.
+  EXPECT_EQ(canonical_config(sim).find("backend="), std::string::npos);
+  EXPECT_NE(canonical_config(rt).find("backend=rt"), std::string::npos);
+  EXPECT_NE(config_fingerprint(sim), config_fingerprint(rt));
+}
+
+TEST(RecordSchema, V4RoundTripsBackendAndMeasuredCost) {
+  ws::RunConfig cfg = base_config();
+  cfg.backend = ws::Backend::kRt;
+  SweepSpec spec(cfg);
+  const auto points = spec.expand().value();
+  SweepReport report = fake_report(points);
+  report.points[0].result.per_node_cost = 1234;
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kJsonl, false});
+  writer.write_report(points, report);
+  EXPECT_NE(out.str().find("\"backend\":\"rt\""), std::string::npos);
+
+  std::istringstream in(out.str());
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  ASSERT_EQ(file.value().records.size(), 1u);
+  const SweepRecord& rec = file.value().records.front();
+  EXPECT_EQ(rec.backend, "rt");
+  EXPECT_EQ(rec.per_node_cost_ns, 1234u);
+}
+
+TEST(RecordSchema, V3EmissionOmitsTheV4FieldsAndStaysReadable) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordOptions options{RecordFormat::kJsonl, false};
+  options.schema_version = 3;
+  RecordWriter writer(out, options);
+  writer.write_report(points, fake_report(points));
+  EXPECT_EQ(out.str().find("backend"), std::string::npos);
+  EXPECT_EQ(out.str().find("per_node_cost_ns"), std::string::npos);
+
+  std::istringstream in(out.str());
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  EXPECT_EQ(file.value().version, 3);
+  ASSERT_EQ(file.value().records.size(), 1u);
+  EXPECT_TRUE(file.value().records.front().backend.empty());
 }
 
 TEST(RecordWriter, SchemaVersion1OmitsTheV2Fields) {

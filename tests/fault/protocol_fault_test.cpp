@@ -208,7 +208,7 @@ TEST(RecordSchema, V3RoundTripsTheFaultCounters) {
   ASSERT_GT(result.faults.dropped_messages + result.faults.duplicated_messages,
             0u);
 
-  std::istringstream in(run_jsonl(cfg, exp::kRecordSchemaVersion));
+  std::istringstream in(run_jsonl(cfg, 3));
   const auto file = exp::read_records(in);
   ASSERT_TRUE(file) << file.error();
   EXPECT_EQ(file.value().version, 3);

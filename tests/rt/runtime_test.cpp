@@ -1,0 +1,141 @@
+// dws::rt native-runtime tests. Real threads on a possibly single-core CI
+// host, so trees are small (TEST_BIN_* ~ 200..5k nodes) and nothing asserts
+// on wall-clock magnitudes — only on conservation, protocol ledgers, and the
+// audit verdict. Scheduling nondeterminism is the point: every run takes a
+// different interleaving through the same proto::Peer state machine, and the
+// oracles below must hold on all of them.
+#include "rt/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "audit/audit.hpp"
+#include "exp/runner.hpp"
+#include "uts/sequential.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws::rt {
+namespace {
+
+ws::RunConfig small_config(topo::Rank ranks, const char* tree = "TEST_BIN_SMALL") {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name(tree);
+  cfg.num_ranks = ranks;
+  cfg.backend = ws::Backend::kRt;
+  return cfg;
+}
+
+void expect_conserved(const ws::RunConfig& cfg, const ws::RunResult& r) {
+  const auto oracle = uts::enumerate_sequential(cfg.tree);
+  EXPECT_EQ(r.nodes, oracle.nodes);
+  EXPECT_EQ(r.leaves, oracle.leaves);
+  EXPECT_EQ(r.num_ranks, cfg.num_ranks);
+
+  std::uint64_t nodes = 0, chunks_sent = 0, chunks_received = 0;
+  for (const auto& rs : r.per_rank) {
+    nodes += rs.nodes_processed;
+    chunks_sent += rs.chunks_sent;
+    chunks_received += rs.chunks_received;
+  }
+  EXPECT_EQ(nodes, oracle.nodes);
+  EXPECT_EQ(chunks_sent, chunks_received);
+  EXPECT_GT(r.runtime, 0);
+  // Measured, not configured: total busy time / nodes expanded.
+  EXPECT_GT(r.per_node_cost, 0);
+}
+
+TEST(RtRuntime, SingleRankMatchesTheSequentialOracle) {
+  const ws::RunConfig cfg = small_config(1);
+  const ws::RunResult r = run_native(cfg);
+  expect_conserved(cfg, r);
+  EXPECT_EQ(r.per_rank.size(), 1u);
+  EXPECT_EQ(r.per_rank[0].steal_attempts, 0u);
+  EXPECT_EQ(r.network.messages, 0u);
+}
+
+TEST(RtRuntime, FourThreadsConserveNodesAndChunks) {
+  const ws::RunConfig cfg = small_config(4);
+  const ws::RunResult r = run_native(cfg);
+  expect_conserved(cfg, r);
+  // Termination needs at least one full token circulation.
+  std::uint64_t attempts = 0;
+  for (const auto& rs : r.per_rank) attempts += rs.steal_attempts;
+  EXPECT_GT(attempts, 0u);
+  EXPECT_GT(r.network.messages, 0u);
+}
+
+TEST(RtRuntime, RepeatedRunsConserveUnderEveryInterleaving) {
+  const ws::RunConfig cfg = small_config(3, "TEST_BIN_TINY");
+  for (int i = 0; i < 8; ++i) {
+    expect_conserved(cfg, run_native(cfg));
+  }
+}
+
+TEST(RtRuntime, StealAndTokenTimersFireSafelyOnRealThreads) {
+  // Timers aggressive enough to actually fire under oversubscription; the
+  // abandoned-request banking and token generation filters must keep every
+  // node exactly-once regardless of how many fire.
+  ws::RunConfig cfg = small_config(4);
+  cfg.ws.steal_timeout = 20'000;  // 20 us — spurious timeouts guaranteed
+  cfg.ws.steal_retry_max = 2;
+  cfg.ws.token_timeout = 200'000;  // 200 us
+  const ws::RunResult r = run_native(cfg);
+  expect_conserved(cfg, r);
+}
+
+TEST(RtRuntime, LifelineIdlePolicyConservesOnRealThreads) {
+  ws::RunConfig cfg = small_config(4);
+  cfg.ws.idle_policy = proto::IdlePolicy::kLifeline;
+  cfg.ws.lifeline_tries = 2;
+  expect_conserved(cfg, run_native(cfg));
+}
+
+TEST(RtRuntime, StealHalfAndRandomVictimsConserve) {
+  ws::RunConfig cfg = small_config(4);
+  cfg.ws.victim_policy = proto::VictimPolicy::kRandom;
+  cfg.ws.steal_amount = proto::StealAmount::kHalf;
+  expect_conserved(cfg, run_native(cfg));
+}
+
+TEST(RtRuntime, AuditedNativeRunPassesEveryFamily) {
+  // The full work/message/clock/distribution auditor rides the LockedObserver
+  // seam; its per-node fingerprint ledger is the strongest exactly-once
+  // check we have, now applied to a genuinely concurrent execution.
+  const ws::RunConfig cfg = small_config(2);
+  const audit::AuditedResult ar = audit::audited_run(cfg);
+  EXPECT_TRUE(ar.report.ok()) << ar.report.summary();
+  EXPECT_GT(ar.report.nodes_expanded, 0u);
+  // A refusal may still be in flight when rank 0 terminates (the thief gets
+  // Terminate first and its channel drains unread), so sent >= received.
+  EXPECT_GE(ar.report.responses_sent, ar.report.responses_received);
+  expect_conserved(cfg, ar.result);
+}
+
+TEST(RtRuntime, RunBackendDispatchesOnTheConfig) {
+  ws::RunConfig cfg = small_config(2);
+  const ws::RunResult native = exp::run_backend(cfg);
+  cfg.backend = ws::Backend::kSim;
+  const ws::RunResult sim1 = exp::run_backend(cfg);
+  const ws::RunResult sim2 = exp::run_backend(cfg);
+  // Same tree either way; only the sim is bit-reproducible.
+  EXPECT_EQ(native.nodes, sim1.nodes);
+  EXPECT_EQ(sim1.runtime, sim2.runtime);
+  EXPECT_EQ(sim1.stats.steal_attempts, sim2.stats.steal_attempts);
+}
+
+TEST(RtRuntime, ValidateRejectsWhatTheRuntimeCannotHonour) {
+  ws::RunConfig cfg = small_config(2);
+  cfg.fault.drop_prob = 0.1;
+  cfg.ws.steal_timeout = 1'000'000;
+  cfg.ws.token_timeout = 1'000'000;
+  EXPECT_FALSE(cfg.validate().is_ok());  // faults are a simulator model
+
+  ws::RunConfig one_sided = small_config(2);
+  one_sided.ws.one_sided_steals = true;
+  EXPECT_FALSE(one_sided.validate().is_ok());
+
+  ws::RunConfig plain = small_config(2);
+  EXPECT_TRUE(plain.validate().is_ok());
+}
+
+}  // namespace
+}  // namespace dws::rt

@@ -1,0 +1,152 @@
+// Concurrency stress for sm::ChaseLevDeque, meant to run under
+// ThreadSanitizer (the CI tsan job builds this file with -fsanitize=thread).
+// The payload is 24 bytes — the uts::TreeNode size class, and deliberately
+// wider than one atomic word — so a torn slot read that escaped the CAS
+// guard would corrupt the self-checking fields and fail the checksums below.
+#include "sm/chase_lev.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dws::sm {
+namespace {
+
+/// Three related words: any torn read (words from two different elements)
+/// breaks the b/c relations with probability ~1.
+struct Payload {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+static_assert(sizeof(Payload) == 24);
+
+Payload make_payload(std::uint64_t i) {
+  return Payload{i, i * 3 + 1, ~i};
+}
+
+struct Consumed {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> torn{0};        // payload self-check failures
+  std::atomic<std::uint64_t> duplicated{0};  // element delivered twice
+};
+
+class Ledger {
+ public:
+  explicit Ledger(std::uint64_t items)
+      : items_(items), seen_(new std::atomic<std::uint8_t>[items]) {
+    for (std::uint64_t i = 0; i < items; ++i) seen_[i].store(0);
+  }
+
+  void consume(const Payload& p, Consumed& out) {
+    out.count.fetch_add(1, std::memory_order_relaxed);
+    if (p.a >= items_ || p.b != p.a * 3 + 1 || p.c != ~p.a) {
+      out.torn.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (seen_[p.a].fetch_add(1, std::memory_order_relaxed) != 0) {
+      out.duplicated.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t missing() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t i = 0; i < items_; ++i) {
+      if (seen_[i].load(std::memory_order_relaxed) == 0) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::uint64_t items_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> seen_;
+};
+
+/// Owner pushes/pops in bursts while thieves hammer the top end. The tiny
+/// initial capacity (8) forces many grow() cycles under contention, so the
+/// buffer swap and the retired-buffer reads are exercised too.
+TEST(ChaseLevStress, ConcurrentStealsDeliverEveryElementExactlyOnce) {
+  constexpr std::uint64_t kItems = 60'000;
+  constexpr int kThieves = 3;
+
+  ChaseLevDeque<Payload> deque(8);
+  Ledger ledger(kItems);
+  Consumed consumed;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (const auto v = deque.steal_top()) ledger.consume(*v, consumed);
+      }
+      // Drain whatever the owner left behind.
+      while (const auto v = deque.steal_top()) ledger.consume(*v, consumed);
+    });
+  }
+
+  // Owner: bursts of pushes, then pops that race the thieves for the same
+  // elements (including the t == b last-element CAS duel).
+  std::uint64_t next = 0;
+  while (next < kItems) {
+    for (int i = 0; i < 64 && next < kItems; ++i) {
+      deque.push_bottom(make_payload(next++));
+    }
+    for (int i = 0; i < 48; ++i) {
+      const auto v = deque.pop_bottom();
+      if (!v.has_value()) break;
+      ledger.consume(*v, consumed);
+    }
+  }
+  while (const auto v = deque.pop_bottom()) ledger.consume(*v, consumed);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.count.load(), kItems);
+  EXPECT_EQ(consumed.torn.load(), 0u);
+  EXPECT_EQ(consumed.duplicated.load(), 0u);
+  EXPECT_EQ(ledger.missing(), 0u);
+  EXPECT_EQ(deque.size_estimate(), 0u);
+}
+
+/// All-thieves variant: the owner only produces, so every element crosses
+/// the steal path; growth happens while steals are in flight.
+TEST(ChaseLevStress, GrowthUnderPureStealPressure) {
+  constexpr std::uint64_t kItems = 30'000;
+  constexpr int kThieves = 4;
+
+  ChaseLevDeque<Payload> deque(8);
+  Ledger ledger(kItems);
+  Consumed consumed;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (const auto v = deque.steal_top()) ledger.consume(*v, consumed);
+      }
+      while (const auto v = deque.steal_top()) ledger.consume(*v, consumed);
+    });
+  }
+
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    deque.push_bottom(make_payload(i));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.count.load(), kItems);
+  EXPECT_EQ(consumed.torn.load(), 0u);
+  EXPECT_EQ(consumed.duplicated.load(), 0u);
+  EXPECT_EQ(ledger.missing(), 0u);
+}
+
+}  // namespace
+}  // namespace dws::sm
