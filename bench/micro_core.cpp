@@ -256,6 +256,11 @@ struct CorePayload {
 struct CoreReport {
   double engine_events_per_sec = 0.0;
   double sim_events_per_sec = 0.0;
+  /// UTS nodes expanded per wall-clock second in the same end-to-end run —
+  /// the figure that maps simulator throughput onto the paper's workload
+  /// scale (10^9-node trees), and the baseline bench/parallel_core's
+  /// sharded speedups are judged against.
+  double sim_nodes_per_sec = 0.0;
   double allocs_per_event = 0.0;
   double alloc_bytes_per_event = 0.0;
   std::uint64_t queue_high_water = 0;
@@ -374,6 +379,7 @@ void measure_simulation(CoreReport& report) {
     const double rate = static_cast<double>(result.engine_events) / secs;
     if (rate > best) {
       best = rate;
+      report.sim_nodes_per_sec = static_cast<double>(result.nodes) / secs;
       report.sim_engine_events = result.engine_events;
       report.sim_queue_high_water = result.engine_peak_pending;
     }
@@ -393,9 +399,10 @@ int run_core_report(const std::string& path) {
     return 1;
   }
   std::fprintf(f,
-               "{\"schema\":\"dws.bench.core\",\"version\":1,\n"
+               "{\"schema\":\"dws.bench.core\",\"version\":2,\n"
                " \"engine_events_per_sec\":%.6g,\n"
                " \"sim_events_per_sec\":%.6g,\n"
+               " \"sim_nodes_per_sec\":%.6g,\n"
                " \"allocs_per_event\":%.6g,\n"
                " \"alloc_bytes_per_event\":%.6g,\n"
                " \"queue_high_water\":%llu,\n"
@@ -403,6 +410,7 @@ int run_core_report(const std::string& path) {
                " \"peak_heap_bytes\":%llu,\n"
                " \"sim_engine_events\":%llu}\n",
                report.engine_events_per_sec, report.sim_events_per_sec,
+               report.sim_nodes_per_sec,
                report.allocs_per_event, report.alloc_bytes_per_event,
                static_cast<unsigned long long>(report.queue_high_water),
                static_cast<unsigned long long>(report.sim_queue_high_water),
@@ -410,11 +418,12 @@ int run_core_report(const std::string& path) {
                static_cast<unsigned long long>(report.sim_engine_events));
   std::fclose(f);
   std::printf("engine: %.3g events/s (%.3g allocs/event, %.3g B/event, "
-              "high-water %llu)\nsim:    %.3g events/s (%llu events)\n",
+              "high-water %llu)\nsim:    %.3g events/s, %.3g nodes/s "
+              "(%llu events)\n",
               report.engine_events_per_sec, report.allocs_per_event,
               report.alloc_bytes_per_event,
               static_cast<unsigned long long>(report.queue_high_water),
-              report.sim_events_per_sec,
+              report.sim_events_per_sec, report.sim_nodes_per_sec,
               static_cast<unsigned long long>(report.sim_engine_events));
   std::printf("wrote %s\n", path.c_str());
   return 0;

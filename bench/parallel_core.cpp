@@ -1,0 +1,245 @@
+/// parallel_core: sharded-simulator scaling bench — the paper at 8192 ranks
+/// on one machine (DESIGN.md §12's acceptance run).
+///
+/// Runs one paper-scale configuration (SIM2M, 8192 ranks, Reference 1/N,
+/// congestion off — the shared-global-state congestion model is the one
+/// feature sharded mode forbids) at sim_shards 1, 2, 4 and 8, reporting
+/// wall-clock, engine events/s and UTS nodes/s per shard count, and
+/// cross-checks that every shard count produced the same virtual-time run
+/// (same nodes, same engine events, merge_ambiguities == 0). One shard count
+/// additionally repeats under the full audit observer, so the committed
+/// numbers always come from a machine where the audited run passes.
+///
+/// The results merge into BENCH_core.json as a "parallel" section next to
+/// micro_core's serial baseline. Speedup is only meaningful when the host
+/// grants real cores: shard threads on a 1-core container time-slice, and
+/// the report records host_cores so readers (and the CI gate) can tell
+/// starvation from regression. `--assert-speedup=R` exits nonzero when the
+/// best sharded events/s is below R x the 1-shard rate — unless the host has
+/// fewer than 4 cores, where the gate prints SKIP and passes (the CI
+/// parallel-smoke job relies on this, plus the skip-perf label bypass).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "support/table.hpp"
+#include "uts/params.hpp"
+#include "ws/scheduler.hpp"
+
+namespace {
+
+using namespace dws;
+
+struct Point {
+  std::uint32_t shards = 1;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double nodes_per_sec = 0.0;
+  ws::RunResult result;
+};
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Point run_point(ws::RunConfig cfg, std::uint32_t shards) {
+  cfg.sim_shards = shards;
+  Point p;
+  p.shards = shards;
+  const auto t0 = std::chrono::steady_clock::now();
+  p.result = ws::run_simulation(cfg);
+  p.wall_s = wall_seconds_since(t0);
+  p.events_per_sec =
+      static_cast<double>(p.result.engine_events) / p.wall_s;
+  p.nodes_per_sec = static_cast<double>(p.result.nodes) / p.wall_s;
+  return p;
+}
+
+/// Merge the "parallel" section into an existing dws.bench.core report (or
+/// start a fresh one). The section is always the LAST key this tool writes,
+/// so replacing an old section means truncating from the comma before
+/// "parallel" and re-closing the object.
+int write_report(const std::string& path, const std::string& section) {
+  std::string content;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      content = buf.str();
+    }
+  }
+  if (content.empty()) {
+    content = "{\"schema\":\"dws.bench.core\",\"version\":2";
+  } else {
+    const auto parallel = content.find("\"parallel\":");
+    std::size_t cut = std::string::npos;
+    if (parallel != std::string::npos) {
+      cut = content.rfind(',', parallel);
+    } else {
+      cut = content.rfind('}');
+    }
+    if (cut == std::string::npos) {
+      std::fprintf(stderr, "parallel_core: %s is not a JSON object\n",
+                   path.c_str());
+      return 1;
+    }
+    content.erase(cut);
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "parallel_core: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << content << ",\n \"parallel\":" << section << "}\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool audit_pass = true;
+  double assert_speedup = 0.0;
+  std::string report_path = "BENCH_core.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--no-audit") {
+      audit_pass = false;
+    } else if (arg == "--no-report") {
+      report_path.clear();
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(std::strlen("--report="));
+    } else if (arg.rfind("--assert-speedup=", 0) == 0) {
+      assert_speedup = std::atof(arg.c_str() + std::strlen("--assert-speedup="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: parallel_core [--quick] [--no-audit] [--no-report]"
+                   " [--report=PATH] [--assert-speedup=R]\n");
+      return 2;
+    }
+  }
+
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name(quick ? "SIM200K" : "SIM2M");
+  cfg.num_ranks = quick ? 512 : 8192;
+  cfg.ws.chunk_size = 4;
+  cfg.ws.victim_policy = ws::VictimPolicy::kRoundRobin;
+  cfg.ws.steal_amount = ws::StealAmount::kOneChunk;
+  cfg.placement = topo::Placement::kOnePerNode;
+  // Sharded mode rejects the congestion model (shared global state); run
+  // every shard count, including 1, without it so the points compare.
+  cfg.congestion = sim::CongestionParams{};
+  cfg.congestion_scale = 0.0;
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("parallel_core: %s, %u ranks, host cores %u%s\n",
+              cfg.tree.name.c_str(), cfg.num_ranks, cores,
+              quick ? " (quick)" : "");
+
+  const std::vector<std::uint32_t> shard_counts{1, 2, 4, 8};
+  std::vector<Point> points;
+  support::Table table({"shards", "wall s", "events/s", "nodes/s", "speedup",
+                        "ambiguities"});
+  for (const std::uint32_t s : shard_counts) {
+    const Point p = run_point(cfg, s);
+    const double speedup =
+        points.empty() ? 1.0 : p.events_per_sec / points[0].events_per_sec;
+    table.add_row({support::fmt(std::uint64_t{s}), support::fmt(p.wall_s, 2),
+                   support::fmt(p.events_per_sec, 0),
+                   support::fmt(p.nodes_per_sec, 0), support::fmt(speedup, 2),
+                   support::fmt(p.result.merge_ambiguities)});
+    points.push_back(p);
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Differential cross-check: the shard count is an execution strategy, so
+  // every point must be the same virtual run.
+  bool identical = true;
+  for (const Point& p : points) {
+    identical = identical && p.result.nodes == points[0].result.nodes &&
+                p.result.engine_events == points[0].result.engine_events &&
+                p.result.runtime == points[0].result.runtime &&
+                p.result.merge_ambiguities == 0;
+  }
+  std::printf("cross-check: %s\n",
+              identical ? "all shard counts identical (virtual time, events,"
+                          " nodes; 0 ambiguities)"
+                        : "DIVERGENCE between shard counts");
+
+  bool audit_ok = true;
+  const std::uint32_t audit_shards = quick ? 4 : 8;
+  if (audit_pass) {
+    ws::RunConfig audited_cfg = cfg;
+    audited_cfg.sim_shards = audit_shards;
+    const audit::AuditedResult audited = audit::audited_run(audited_cfg);
+    audit_ok = audited.report.ok() &&
+               audited.result.nodes == points[0].result.nodes &&
+               audited.result.merge_ambiguities == 0;
+    std::printf("audited run (%u shards): %s\n", audit_shards,
+                audit_ok ? "OK" : "FAIL");
+    if (!audited.report.ok()) {
+      std::fprintf(stderr, "%s\n", audited.report.summary().c_str());
+    }
+  }
+
+  if (!report_path.empty()) {
+    std::ostringstream section;
+    section << "{\"tree\":\"" << cfg.tree.name << "\",\"ranks\":"
+            << cfg.num_ranks << ",\"host_cores\":" << cores
+            << ",\"quick\":" << (quick ? "true" : "false") << ",\n  \"points\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n   {\"shards\":%u,\"wall_s\":%.4g,"
+                    "\"events_per_sec\":%.6g,\"nodes_per_sec\":%.6g}",
+                    i ? "," : "", p.shards, p.wall_s, p.events_per_sec,
+                    p.nodes_per_sec);
+      section << buf;
+    }
+    section << "],\n  \"engine_events\":" << points[0].result.engine_events
+            << ",\"nodes\":" << points[0].result.nodes
+            << ",\"identical_across_shards\":" << (identical ? "true" : "false")
+            << ",\"audit_shards\":" << (audit_pass ? audit_shards : 0)
+            << ",\"audit_ok\":" << (audit_ok ? "true" : "false") << "}";
+    if (write_report(report_path, section.str()) != 0) return 1;
+    std::printf("merged \"parallel\" section into %s\n", report_path.c_str());
+  }
+
+  if (!identical || !audit_ok) {
+    std::printf("RESULT: FAIL\n");
+    return 1;
+  }
+  if (assert_speedup > 0.0) {
+    if (cores < 4) {
+      std::printf("RESULT: SKIP (speedup gate needs >= 4 host cores, have %u;"
+                  " shard threads would time-slice)\n", cores);
+      return 0;
+    }
+    double at4 = 0.0;
+    for (const Point& p : points) {
+      if (p.shards == 4) at4 = p.events_per_sec;
+    }
+    const double ratio = at4 / points[0].events_per_sec;
+    if (ratio < assert_speedup) {
+      std::printf("RESULT: FAIL (4-shard speedup %.2fx < required %.2fx)\n",
+                  ratio, assert_speedup);
+      return 1;
+    }
+    std::printf("RESULT: OK (4-shard speedup %.2fx >= %.2fx)\n", ratio,
+                assert_speedup);
+    return 0;
+  }
+  std::printf("RESULT: OK\n");
+  return 0;
+}

@@ -18,13 +18,16 @@
 /// fewer cores than threads the native runs time-slice, so large deviations
 /// at high thread counts measure oversubscription, not the model — the table
 /// prints the core count and flags those rows instead of failing.
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "audit/audit.hpp"
 #include "exp/figures.hpp"
+#include "metrics/trace.hpp"
 #include "rt/runtime.hpp"
+#include "support/histogram.hpp"
 #include "support/table.hpp"
 #include "uts/params.hpp"
 
@@ -64,6 +67,50 @@ struct Measured {
   bool audit_ok = false;
   ws::RunResult result;
 };
+
+/// Per-steal RTT samples: the durations of the trace's idle intervals. A
+/// rank is idle exactly while it searches for work, so each idle→active
+/// interval is one completed search — the round-trip(s) of the steal
+/// request(s) it took to land a chunk, the quantity the simulator's latency
+/// model must reproduce (and ROADMAP item 1 calibrates against). Returned in
+/// nanoseconds; the trailing idle tail at termination carries no steal and
+/// is skipped.
+std::vector<double> steal_rtt_samples(const metrics::JobTrace& trace) {
+  std::vector<double> out;
+  for (const auto& rank_trace : trace.ranks) {
+    bool idle = false;
+    support::SimTime idle_since = 0;
+    for (const auto& ev : rank_trace.events()) {
+      if (ev.phase == metrics::Phase::kIdle) {
+        idle = true;
+        idle_since = ev.time;
+      } else if (idle) {
+        out.push_back(static_cast<double>(ev.time - idle_since));
+        idle = false;
+      }
+    }
+  }
+  return out;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Render one backend's RTT distribution into a fixed [0, hi) window so the
+/// sim and rt histograms of a row are bucket-aligned and comparable.
+void print_rtt_histogram(const char* label, const std::vector<double>& xs,
+                         double hi_ns) {
+  support::Histogram h(0.0, hi_ns, 12);
+  for (const double x : xs) h.add(x);
+  std::printf("  %s: %zu search intervals, mean %.1f us, overflow %llu\n%s",
+              label, xs.size(), mean_of(xs) / 1e3,
+              static_cast<unsigned long long>(h.overflow()),
+              h.render().c_str());
+}
 
 Measured run_once(ws::RunConfig cfg, ws::Backend backend) {
   cfg.backend = backend;
@@ -143,6 +190,12 @@ int main(int argc, char** argv) {
 
   support::Table table({"threads", "sim eff", "rt eff", "deviation", "sim steals",
                         "rt steals", "audits", "note"});
+  struct RttRow {
+    topo::Rank threads;
+    std::vector<double> sim;
+    std::vector<double> rt;
+  };
+  std::vector<RttRow> rtt_rows;
   bool audits_ok = true;
   bool within_band = true;
   for (const topo::Rank n : thread_counts) {
@@ -150,6 +203,8 @@ int main(int argc, char** argv) {
     cfg.num_ranks = n;
     const Measured sim = run_once(cfg, ws::Backend::kSim);
     const Measured native = run_native_avg(cfg, reps);
+    rtt_rows.push_back({n, steal_rtt_samples(sim.result.trace),
+                        steal_rtt_samples(native.result.trace)});
     audits_ok = audits_ok && sim.audit_ok && native.audit_ok;
 
     const double dev = native.efficiency > 0
@@ -168,6 +223,26 @@ int main(int argc, char** argv) {
       "Deviation = (sim - rt) / rt efficiency after calibration. Rows with\n"
       "threads > cores time-slice one core; their deviation measures host\n"
       "oversubscription, not the latency model, and is reported, not judged.\n");
+
+  // Per-steal RTT distributions, not just the mean the calibration pass
+  // uses: a uniform latency model can match the mean while missing the tail
+  // (failed-attempt pile-ups), and the histogram pair makes that visible.
+  // The rt side shows the LAST repetition (one representative host run).
+  std::printf("\nper-steal RTT histograms (search-interval durations, ns):\n");
+  for (const RttRow& row : rtt_rows) {
+    double hi = 0.0;
+    for (const double x : row.sim) hi = std::max(hi, x);
+    for (const double x : row.rt) hi = std::max(hi, x);
+    // Cap the window at 8x the larger mean so one straggler interval cannot
+    // flatten every bucket; what it cuts off lands in the overflow count.
+    const double cap =
+        8.0 * std::max({mean_of(row.sim), mean_of(row.rt), 1.0});
+    hi = std::max(std::min(hi, cap), 1.0);
+    std::printf("threads=%u (bucket width %.1f us):\n",
+                static_cast<unsigned>(row.threads), hi / 12.0 / 1e3);
+    print_rtt_histogram("sim", row.sim, hi);
+    print_rtt_histogram("rt ", row.rt, hi);
+  }
   if (!audits_ok) {
     std::printf("RESULT: FAIL (work-conservation audit violated)\n");
     return 1;

@@ -112,6 +112,10 @@ int main(int argc, char** argv) {
            &sim_cfg.procs_per_node)
       .u32("--origin-cube", "", "allocation origin cube (sim), default 0",
            &sim_cfg.origin_cube)
+      .u32("--sim-shards", "",
+           "parallel simulator shards (sim), default 1; results are "
+           "shard-count invariant",
+           &sim_cfg.sim_shards)
       .option("--idle", "", "I",
               std::string("idle policy (sim): ") + exp::idle_flag_values(),
               [&](std::string_view v) -> support::Status {

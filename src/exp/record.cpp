@@ -200,7 +200,7 @@ void RecordWriter::write_header() {
            "efficiency,nodes,leaves,steal_attempts,failed_steals,"
            "successful_steals,sessions,mean_session_ms,mean_search_ms,"
            "mean_steal_distance,net_messages,net_bytes,engine_events";
-  if (options_.schema_version >= 2) {
+  if (options_.schema_version >= 2 && options_.schema_version < 5) {
     *out_ << ",engine_peak_pending,net_peak_channels";
   }
   if (options_.schema_version >= 3) {
@@ -257,7 +257,7 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
           << ",\"net_messages\":" << r.network.messages  //
           << ",\"net_bytes\":" << r.network.bytes        //
           << ",\"engine_events\":" << r.engine_events;
-    if (options_.schema_version >= 2) {
+    if (options_.schema_version >= 2 && options_.schema_version < 5) {
       *out_ << ",\"engine_peak_pending\":" << r.engine_peak_pending
             << ",\"net_peak_channels\":" << r.network.peak_channels;
     }
@@ -295,7 +295,7 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
         << fmt_metric(r.stats.mean_steal_distance) << ','
         << r.network.messages << ',' << r.network.bytes << ','
         << r.engine_events;
-  if (options_.schema_version >= 2) {
+  if (options_.schema_version >= 2 && options_.schema_version < 5) {
     *out_ << ',' << r.engine_peak_pending << ',' << r.network.peak_channels;
   }
   if (options_.schema_version >= 3) {

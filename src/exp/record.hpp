@@ -37,10 +37,17 @@ namespace dws::exp {
 ///       anchored to — the configured model cost on the simulator, the
 ///       *measured* wall-clock mean on the native runtime). For rt points,
 ///       runtime_ms/wall_s are real measured time.
+///   5 — drops `engine_peak_pending` and `net_peak_channels`. Both measured
+///       implementation occupancy, not simulation results, and with the
+///       sharded engine they depend on how many shard engines the run was
+///       split across — keeping them would break the invariant that records
+///       are a pure function of the simulated configuration (sim_shards is
+///       an execution strategy, deliberately absent from records and from
+///       canonical_config, so any shard count must emit identical bytes).
 /// RecordReader accepts all of them; RecordOptions::schema_version lets a
 /// writer emit an older version byte-for-byte (the golden-file tests pin a
 /// v1 stream, the compat tests a v2 stream).
-inline constexpr int kRecordSchemaVersion = 4;
+inline constexpr int kRecordSchemaVersion = 5;
 inline constexpr int kRecordMinSchemaVersion = 1;
 
 enum class RecordFormat { kJsonl, kCsv };

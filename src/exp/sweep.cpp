@@ -86,6 +86,16 @@ Axis local_tries_axis(const std::vector<std::uint32_t>& tries) {
   return axis;
 }
 
+Axis sim_shards_axis(const std::vector<std::uint32_t>& shards) {
+  Axis axis{"sim_shards", {}};
+  for (const std::uint32_t s : shards) {
+    axis.points.push_back({std::to_string(s), [s](ws::RunConfig& cfg) {
+                             cfg.sim_shards = s;
+                           }});
+  }
+  return axis;
+}
+
 Axis congestion_axis(const std::vector<double>& scales) {
   Axis axis{"congestion", {}};
   for (const double scale : scales) {

@@ -46,6 +46,11 @@ Axis seed_axis(std::uint64_t first, std::uint64_t count);
 Axis congestion_axis(const std::vector<double>& scales);
 /// kHierarchical local picks per remote pick (ws.hierarchical_local_tries).
 Axis local_tries_axis(const std::vector<std::uint32_t>& tries);
+/// Parallel-simulator shard counts (RunConfig::sim_shards). An execution
+/// strategy, not a simulation parameter: every point must produce identical
+/// records, which is exactly what sweeping it checks (and what the
+/// parallel-smoke CI job times).
+Axis sim_shards_axis(const std::vector<std::uint32_t>& shards);
 /// Placement + procs_per_node pairs (the paper's 1/N, 8RR, 8G allocations).
 Axis placement_axis(
     const std::vector<std::pair<topo::Placement, std::uint32_t>>& allocs);

@@ -1,0 +1,232 @@
+#include "proto/replay.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <tuple>
+
+namespace dws::proto {
+
+void BufferedObserver::on_root(topo::Rank rank, const uts::TreeNode& root) {
+  HookRecord& r = append(Kind::kRoot);
+  r.a = rank;
+  r.node = root;
+}
+
+void BufferedObserver::on_node_expanded(topo::Rank rank,
+                                        const uts::TreeNode& node,
+                                        std::uint32_t children) {
+  HookRecord& r = append(Kind::kNodeExpanded);
+  r.a = rank;
+  r.node = node;
+  r.w = children;
+}
+
+void BufferedObserver::on_steal_request_sent(topo::Rank thief,
+                                             topo::Rank victim,
+                                             std::uint32_t bytes) {
+  HookRecord& r = append(Kind::kStealRequestSent);
+  r.a = thief;
+  r.b = victim;
+  r.w = bytes;
+}
+
+void BufferedObserver::on_steal_response_sent(topo::Rank victim,
+                                              topo::Rank thief,
+                                              std::uint64_t chunks,
+                                              std::uint64_t nodes,
+                                              std::uint32_t bytes) {
+  HookRecord& r = append(Kind::kStealResponseSent);
+  r.a = victim;
+  r.b = thief;
+  r.u = chunks;
+  r.v = nodes;
+  r.w = bytes;
+}
+
+void BufferedObserver::on_steal_response_received(topo::Rank thief,
+                                                  topo::Rank victim,
+                                                  std::uint64_t chunks,
+                                                  std::uint64_t nodes) {
+  HookRecord& r = append(Kind::kStealResponseReceived);
+  r.a = thief;
+  r.b = victim;
+  r.u = chunks;
+  r.v = nodes;
+}
+
+void BufferedObserver::on_lifeline_register_sent(topo::Rank rank,
+                                                 topo::Rank target,
+                                                 std::uint32_t bytes) {
+  HookRecord& r = append(Kind::kLifelineRegisterSent);
+  r.a = rank;
+  r.b = target;
+  r.w = bytes;
+}
+
+void BufferedObserver::on_lifeline_push_sent(topo::Rank from, topo::Rank to,
+                                             std::uint64_t chunks,
+                                             std::uint64_t nodes,
+                                             std::uint32_t bytes) {
+  HookRecord& r = append(Kind::kLifelinePushSent);
+  r.a = from;
+  r.b = to;
+  r.u = chunks;
+  r.v = nodes;
+  r.w = bytes;
+}
+
+void BufferedObserver::on_lifeline_push_received(topo::Rank rank,
+                                                 std::uint64_t chunks,
+                                                 std::uint64_t nodes) {
+  HookRecord& r = append(Kind::kLifelinePushReceived);
+  r.a = rank;
+  r.u = chunks;
+  r.v = nodes;
+}
+
+void BufferedObserver::on_steal_timeout(topo::Rank thief, topo::Rank victim,
+                                        std::uint32_t attempt) {
+  HookRecord& r = append(Kind::kStealTimeout);
+  r.a = thief;
+  r.b = victim;
+  r.w = attempt;
+}
+
+void BufferedObserver::on_duplicate_response(topo::Rank thief,
+                                             std::uint64_t chunks,
+                                             std::uint64_t nodes) {
+  HookRecord& r = append(Kind::kDuplicateResponse);
+  r.a = thief;
+  r.u = chunks;
+  r.v = nodes;
+}
+
+void BufferedObserver::on_token_sent(topo::Rank from, topo::Rank to,
+                                     const Token& t) {
+  HookRecord& r = append(Kind::kTokenSent);
+  r.a = from;
+  r.b = to;
+  r.token = t;
+}
+
+void BufferedObserver::on_token_accepted(topo::Rank rank, const Token& t) {
+  HookRecord& r = append(Kind::kTokenAccepted);
+  r.a = rank;
+  r.token = t;
+}
+
+void BufferedObserver::on_token_regenerated(topo::Rank rank,
+                                            std::uint32_t generation) {
+  HookRecord& r = append(Kind::kTokenRegenerated);
+  r.a = rank;
+  r.w = generation;
+}
+
+void BufferedObserver::on_phase(topo::Rank rank, support::SimTime t,
+                                metrics::Phase p) {
+  HookRecord& r = append(Kind::kPhase);
+  r.a = rank;
+  r.t = t;
+  r.phase = p;
+}
+
+void BufferedObserver::on_termination(support::SimTime t) {
+  HookRecord& r = append(Kind::kTermination);
+  r.t = t;
+}
+
+void BufferedObserver::on_finish(topo::Rank rank, support::SimTime t) {
+  HookRecord& r = append(Kind::kFinish);
+  r.a = rank;
+  r.t = t;
+}
+
+namespace {
+
+void dispatch(const BufferedObserver::HookRecord& r, RunObserver& obs) {
+  using Kind = BufferedObserver::Kind;
+  switch (r.kind) {
+    case Kind::kRoot:
+      obs.on_root(r.a, r.node);
+      break;
+    case Kind::kNodeExpanded:
+      obs.on_node_expanded(r.a, r.node, r.w);
+      break;
+    case Kind::kStealRequestSent:
+      obs.on_steal_request_sent(r.a, r.b, r.w);
+      break;
+    case Kind::kStealResponseSent:
+      obs.on_steal_response_sent(r.a, r.b, r.u, r.v, r.w);
+      break;
+    case Kind::kStealResponseReceived:
+      obs.on_steal_response_received(r.a, r.b, r.u, r.v);
+      break;
+    case Kind::kLifelineRegisterSent:
+      obs.on_lifeline_register_sent(r.a, r.b, r.w);
+      break;
+    case Kind::kLifelinePushSent:
+      obs.on_lifeline_push_sent(r.a, r.b, r.u, r.v, r.w);
+      break;
+    case Kind::kLifelinePushReceived:
+      obs.on_lifeline_push_received(r.a, r.u, r.v);
+      break;
+    case Kind::kStealTimeout:
+      obs.on_steal_timeout(r.a, r.b, r.w);
+      break;
+    case Kind::kDuplicateResponse:
+      obs.on_duplicate_response(r.a, r.u, r.v);
+      break;
+    case Kind::kTokenSent:
+      obs.on_token_sent(r.a, r.b, r.token);
+      break;
+    case Kind::kTokenAccepted:
+      obs.on_token_accepted(r.a, r.token);
+      break;
+    case Kind::kTokenRegenerated:
+      obs.on_token_regenerated(r.a, r.w);
+      break;
+    case Kind::kPhase:
+      obs.on_phase(r.a, r.t, r.phase);
+      break;
+    case Kind::kTermination:
+      obs.on_termination(r.t);
+      break;
+    case Kind::kFinish:
+      obs.on_finish(r.a, r.t);
+      break;
+  }
+}
+
+}  // namespace
+
+void BufferedObserver::replay_merged(
+    const std::vector<BufferedObserver*>& shards, RunObserver& downstream) {
+  // (when, shard, index) keys; each shard's buffer is already nondecreasing
+  // in `when`, so this sort is a k-way merge with a deterministic shard
+  // tie-break.
+  struct Key {
+    support::SimTime when;
+    std::uint32_t shard;
+    std::uint32_t index;
+  };
+  std::vector<Key> keys;
+  std::size_t total = 0;
+  for (const BufferedObserver* s : shards) total += s->records_.size();
+  keys.reserve(total);
+  for (std::uint32_t s = 0; s < shards.size(); ++s) {
+    const auto& recs = shards[s]->records_;
+    for (std::uint32_t i = 0; i < recs.size(); ++i) {
+      keys.push_back(Key{recs[i].when, s, i});
+    }
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    return std::tie(a.when, a.shard, a.index) <
+           std::tie(b.when, b.shard, b.index);
+  });
+  for (const Key& k : keys) {
+    dispatch(shards[k.shard]->records_[k.index], downstream);
+  }
+  for (BufferedObserver* s : shards) s->records_.clear();
+}
+
+}  // namespace dws::proto

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "metrics/trace.hpp"
+#include "proto/message.hpp"
+#include "proto/observer.hpp"
+#include "support/sim_time.hpp"
+#include "topo/allocation.hpp"
+#include "uts/node.hpp"
+
+namespace dws::proto {
+
+/// Deterministic observer fan-in for the sharded simulator core
+/// (DESIGN.md §12).
+///
+/// Each shard thread gets its own BufferedObserver: every hook call is
+/// flattened into a POD HookRecord stamped with the shard engine's current
+/// virtual time (hook signatures mostly carry no timestamp, so the buffer
+/// asks the `clock` callback). At each window barrier, a single thread calls
+/// replay_merged, which interleaves all shards' records by
+/// (time, shard, buffer index) and re-invokes the hooks on the downstream
+/// observer — so the auditor (or any user observer) sees one globally
+/// time-ordered, run-to-run deterministic call stream no matter how the
+/// shard threads raced in wall-clock time.
+///
+/// Within a shard the buffer is naturally time-ordered (hooks fire during
+/// event execution and virtual time is nondecreasing), so replay_merged is a
+/// k-way merge implemented as a sort keyed (when, shard, index).
+class BufferedObserver final : public RunObserver {
+ public:
+  /// Everything a hook received, flattened. Field use per kind mirrors the
+  /// RunObserver signature: ranks in a/b, wide counters in u/v, narrow
+  /// values (bytes, attempt, children, generation) in w.
+  enum class Kind : std::uint8_t {
+    kRoot,
+    kNodeExpanded,
+    kStealRequestSent,
+    kStealResponseSent,
+    kStealResponseReceived,
+    kLifelineRegisterSent,
+    kLifelinePushSent,
+    kLifelinePushReceived,
+    kStealTimeout,
+    kDuplicateResponse,
+    kTokenSent,
+    kTokenAccepted,
+    kTokenRegenerated,
+    kPhase,
+    kTermination,
+    kFinish,
+  };
+  struct HookRecord {
+    support::SimTime when = 0;  ///< shard virtual time of the call
+    support::SimTime t = 0;     ///< explicit time argument, where the hook has one
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    uts::TreeNode node;
+    Token token;
+    topo::Rank a = 0;
+    topo::Rank b = 0;
+    std::uint32_t w = 0;
+    Kind kind = Kind::kRoot;
+    metrics::Phase phase = metrics::Phase::kIdle;
+  };
+
+  using Clock = std::function<support::SimTime()>;
+
+  /// `clock` must return the owning shard engine's current virtual time; it
+  /// is called once per hook invocation.
+  explicit BufferedObserver(Clock clock) : clock_(std::move(clock)) {}
+
+  const std::vector<HookRecord>& records() const noexcept { return records_; }
+
+  /// Replay every buffered record from `shards` (indexed by shard id) into
+  /// `downstream` in (when, shard, index) order, then clear the buffers.
+  /// Must be called while no shard thread is executing (a barrier phase).
+  static void replay_merged(const std::vector<BufferedObserver*>& shards,
+                            RunObserver& downstream);
+
+  // RunObserver — each hook appends one record.
+  void on_root(topo::Rank rank, const uts::TreeNode& root) override;
+  void on_node_expanded(topo::Rank rank, const uts::TreeNode& node,
+                        std::uint32_t children) override;
+  void on_steal_request_sent(topo::Rank thief, topo::Rank victim,
+                             std::uint32_t bytes) override;
+  void on_steal_response_sent(topo::Rank victim, topo::Rank thief,
+                              std::uint64_t chunks, std::uint64_t nodes,
+                              std::uint32_t bytes) override;
+  void on_steal_response_received(topo::Rank thief, topo::Rank victim,
+                                  std::uint64_t chunks,
+                                  std::uint64_t nodes) override;
+  void on_lifeline_register_sent(topo::Rank rank, topo::Rank target,
+                                 std::uint32_t bytes) override;
+  void on_lifeline_push_sent(topo::Rank from, topo::Rank to,
+                             std::uint64_t chunks, std::uint64_t nodes,
+                             std::uint32_t bytes) override;
+  void on_lifeline_push_received(topo::Rank rank, std::uint64_t chunks,
+                                 std::uint64_t nodes) override;
+  void on_steal_timeout(topo::Rank thief, topo::Rank victim,
+                        std::uint32_t attempt) override;
+  void on_duplicate_response(topo::Rank thief, std::uint64_t chunks,
+                             std::uint64_t nodes) override;
+  void on_token_sent(topo::Rank from, topo::Rank to, const Token& t) override;
+  void on_token_accepted(topo::Rank rank, const Token& t) override;
+  void on_token_regenerated(topo::Rank rank, std::uint32_t generation) override;
+  void on_phase(topo::Rank rank, support::SimTime t, metrics::Phase p) override;
+  void on_termination(support::SimTime t) override;
+  void on_finish(topo::Rank rank, support::SimTime t) override;
+
+ private:
+  HookRecord& append(Kind kind) {
+    HookRecord& rec = records_.emplace_back();
+    rec.when = clock_();
+    rec.kind = kind;
+    return rec;
+  }
+
+  Clock clock_;
+  std::vector<HookRecord> records_;
+};
+
+}  // namespace dws::proto

@@ -16,11 +16,19 @@ namespace dws::sim {
 ///
 /// This is the substrate that replaces the K Computer in our reproduction:
 /// all simulated MPI ranks live in one address space and advance a shared
-/// virtual clock. Events fire in (time, insertion sequence) order, so two
-/// events at the same instant run in the order they were scheduled — runs
-/// are bit-reproducible, which the whole test suite leans on.
+/// virtual clock. Events fire in the (time, t_sched, kind, rank, src, seq)
+/// total order of sim/event.hpp — deterministic, bit-reproducible, and (the
+/// point of the structural key fields) independent of how the ranks are
+/// sharded across engines, which the whole test suite leans on.
 ///
-/// Two scheduling flavours share one queue and one (time, seq) order:
+/// Sharded parallel runs (DESIGN.md §12) build one Engine per shard
+/// (`shard_id` names it) and feed cross-shard deliveries in through
+/// inject(), which preserves the *sender's* schedule time, rank and shard in
+/// the ordering key instead of stamping the local clock. run_until()
+/// executes exactly the events that fall inside one conservative
+/// synchronization window.
+///
+/// Two scheduling flavours share one queue and one total order:
 ///
 ///  - typed events (the hot path): a fixed-size POD record dispatched with
 ///    a single indirect call to the scheduling EventSink — no per-event
@@ -33,29 +41,54 @@ class Engine {
  public:
   using Action = std::function<void()>;
 
+  explicit Engine(std::uint32_t shard_id = 0) : shard_id_(shard_id) {}
+
   support::SimTime now() const noexcept { return now_; }
+  std::uint32_t shard_id() const noexcept { return shard_id_; }
 
   /// Schedule a typed event for `sink` at absolute virtual time `t` (>= now).
   /// `rank` and `payload` travel in the event record, interpreted per kind.
+  /// `src` is the ordering-refinement field of sim/event.hpp: the sending
+  /// rank for kNetworkDeliver events, 0 (the default) for everything else.
   void schedule_at(support::SimTime t, EventSink& sink, EventKind kind,
-                   std::uint32_t rank = 0, std::uint32_t payload = 0) {
+                   std::uint32_t rank = 0, std::uint32_t payload = 0,
+                   std::uint32_t src = 0) {
     DWS_CHECK(t >= now_);
-    queue_.push(Event{t, next_seq_++, &sink, kind, rank, payload});
+    queue_.push(Event{t, now_, next_seq_++, &sink, kind, rank, shard_id_,
+                      payload, src});
   }
 
   /// Typed event `delay` ns after the current virtual time.
   void schedule_after(support::SimTime delay, EventSink& sink, EventKind kind,
-                      std::uint32_t rank = 0, std::uint32_t payload = 0) {
+                      std::uint32_t rank = 0, std::uint32_t payload = 0,
+                      std::uint32_t src = 0) {
     check_delay(delay);
-    schedule_at(now_ + delay, sink, kind, rank, payload);
+    schedule_at(now_ + delay, sink, kind, rank, payload, src);
   }
 
   /// Schedule `action` at absolute virtual time `t` (>= now).
   void schedule_at(support::SimTime t, Action action) {
     DWS_CHECK(t >= now_);
     const std::uint32_t handle = actions_.acquire(std::move(action));
-    queue_.push(
-        Event{t, next_seq_++, nullptr, EventKind::kGeneric, 0, handle});
+    queue_.push(Event{t, now_, next_seq_++, nullptr, EventKind::kGeneric, 0,
+                      shard_id_, handle});
+  }
+
+  /// Cross-shard injection (the mailbox drain path of the sharded core):
+  /// schedules a typed event whose ordering key carries the *sender's*
+  /// schedule time `t_sched` and rank `src` — exactly the key the event
+  /// would have had in an unsharded run — while the seq is assigned locally
+  /// in deterministic drain order. `origin` (the sending shard) rides along
+  /// for ambiguity accounting. Injection is only legal at a window boundary,
+  /// when `t` is at or past the window end and therefore >= now.
+  void inject(support::SimTime t, support::SimTime t_sched,
+              std::uint32_t origin, std::uint32_t src, EventSink& sink,
+              EventKind kind, std::uint32_t rank = 0,
+              std::uint32_t payload = 0) {
+    DWS_CHECK(t >= now_);
+    DWS_CHECK(t_sched <= t);
+    queue_.push(Event{t, t_sched, next_seq_++, &sink, kind, rank, origin,
+                      payload, src});
   }
 
   /// Schedule `action` `delay` ns after the current virtual time. Negative
@@ -74,6 +107,16 @@ class Engine {
   /// Returns the number of events executed by this call.
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
+  /// Execute every pending event with time < `limit` (one conservative
+  /// synchronization window), leaving later events queued. Returns the
+  /// number of events executed.
+  std::uint64_t run_until(support::SimTime limit);
+
+  /// Time of the earliest pending event; `horizon` when the queue is empty.
+  support::SimTime next_event_time(support::SimTime horizon) {
+    return queue_.empty() ? horizon : queue_.peek_time();
+  }
+
   /// Halt run() after the current event; pending events stay queued.
   void stop() noexcept { stopped_ = true; }
   bool stopped() const noexcept { return stopped_; }
@@ -84,18 +127,43 @@ class Engine {
   /// calendar queue got (reported through ws::RunResult and the exp schema).
   std::size_t max_pending() const noexcept { return queue_.max_size(); }
 
+  /// Consecutive executed events that tied on the full structural key
+  /// (time, t_sched, kind, rank, src) while coming from different shards.
+  /// Such a pair would fall through to the local-seq tiebreak, whose order a
+  /// serial run need not share — but for the ws sharded core it is
+  /// structurally impossible (only kNetworkDeliver crosses shards, and equal
+  /// (rank, src) means equal sending shard; see sim/event.hpp). A nonzero
+  /// count therefore flags a protocol bug, and the differential suite
+  /// asserts it stays zero.
+  std::uint64_t merge_ambiguities() const noexcept {
+    return merge_ambiguities_;
+  }
+
  private:
   void check_delay(support::SimTime delay) const {
     DWS_CHECK(delay >= 0);
     DWS_CHECK(delay <= std::numeric_limits<support::SimTime>::max() - now_);
   }
 
+  void execute(const Event& ev);
+
   CalendarQueue queue_;
   SlabPool<Action> actions_;  // kGeneric closures, recycled by handle
   support::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint32_t shard_id_ = 0;
   bool stopped_ = false;
+  // Ambiguity detection: the previous executed event's structural key.
+  // Equal-key runs pop contiguously, so an adjacent comparison catches every
+  // mixed-origin tie group.
+  support::SimTime prev_time_ = -1;
+  support::SimTime prev_t_sched_ = -1;
+  EventKind prev_kind_ = EventKind::kGeneric;
+  std::uint32_t prev_rank_ = 0;
+  std::uint32_t prev_src_ = 0;
+  std::uint32_t prev_origin_ = 0;
+  std::uint64_t merge_ambiguities_ = 0;
 };
 
 }  // namespace dws::sim

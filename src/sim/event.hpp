@@ -28,18 +28,44 @@ enum class EventKind : std::uint32_t {
 };
 
 /// One scheduled event: a fixed-size POD record. The hot path never
-/// allocates — a typed event is 40 bytes copied into the calendar queue, and
+/// allocates — a typed event is 56 bytes copied into the calendar queue, and
 /// dispatch is a single indirect call through `sink`. Payload data larger
 /// than the inline `payload` handle lives in a SlabPool owned by whoever
 /// scheduled the event (the network's in-flight messages, the worker's
 /// packaged responses, the engine's generic actions).
+///
+/// Ordering (DESIGN.md §12): events fire in
+///     (time, t_sched, kind, rank, src, seq)
+/// order, in serial and sharded runs alike. `seq` is the local insertion
+/// order, so events whose structural key ties fire FIFO.
+///
+/// Why this key and not plain (time, seq): the sharded core merges each
+/// shard's local stream with deliveries injected from other shards, and a
+/// cross-shard delivery's serial `seq` — its global insertion rank — is
+/// unknowable without serializing the run. The structural fields close that
+/// gap by making every cross-shard tie resolvable without seq:
+///
+///  - the only event kind that crosses shards is kNetworkDeliver, so `kind`
+///    separates deliveries from everything else;
+///  - two deliveries that still tie share (rank = destination, src =
+///    sender); same sender means same sending shard, and same-shard events
+///    keep their sender-side order through the FIFO mailbox drain.
+///
+/// Hence `seq` only ever breaks ties between events from the *same* shard,
+/// where local insertion order equals serial insertion order — the merged
+/// stream is a deterministic total order independent of the shard count.
+/// Engine::merge_ambiguities() counts (structurally impossible) violations.
 struct Event {
   support::SimTime time = 0;
-  std::uint64_t seq = 0;           ///< insertion order; ties fire FIFO
+  support::SimTime t_sched = 0;    ///< virtual time the schedule call ran at
+  std::uint64_t seq = 0;           ///< local insertion order; final tiebreak
   EventSink* sink = nullptr;       ///< null => engine-owned kGeneric action
   EventKind kind = EventKind::kGeneric;
   std::uint32_t rank = 0;          ///< kind-defined (usually the target rank)
+  std::uint32_t origin = 0;        ///< scheduling shard (0 when unsharded)
   std::uint32_t payload = 0;       ///< kind-defined pool handle / small value
+  std::uint32_t src = 0;           ///< ordering refinement: sending rank for
+                                   ///< kNetworkDeliver, 0 for every other kind
 };
 
 /// Receiver of typed events. Implemented by sim::Network, ws::Worker and

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -72,10 +74,40 @@ struct CongestionParams {
 /// delivered twice — the copy gets its own jitter draw but both obey the
 /// channel clamp — and counted twice. Latency multipliers (jitter, degraded
 /// links) scale the full congested latency of each delivery.
+///
+/// Sharded runs (DESIGN.md §12): each shard owns one Network over the same
+/// global latency model. A Router attached with set_router diverts sends to
+/// ranks outside the shard: the channel clamp still runs here (the sender's
+/// shard owns all (src, dst) ordering state — a destination rank lives in
+/// exactly one shard, so a channel is either always-local or always-remote),
+/// but instead of a local delivery event the message is posted to a shard
+/// mailbox together with its arrival time and the sender's clock. The
+/// destination shard re-materializes it with accept_remote. Because no local
+/// delivery fires for a remote send, its channel retirement is lazy: the
+/// (arrival, channel) pair waits in a min-heap until flush_retirements sees
+/// the local clock pass the arrival — at which point any future send on the
+/// channel arrives later anyway, so dropping the clamp state cannot reorder
+/// deliveries.
 template <typename Message,
           typename Deliver = std::function<void(topo::Rank, Message)>>
 class Network final : public EventSink {
  public:
+  /// Shard routing seam. `is_remote` classifies a destination rank;
+  /// `post` hands a cross-shard message (plus the precomputed arrival time,
+  /// the sender's current virtual time — the injected event's t_sched — and
+  /// the sending rank `src`, the ordering-refinement field) to the run
+  /// loop's mailbox fabric.
+  class Router {
+   public:
+    virtual bool is_remote(topo::Rank dst) const = 0;
+    virtual void post(topo::Rank dst, support::SimTime arrival,
+                      support::SimTime t_sched, topo::Rank src,
+                      Message msg) = 0;
+
+   protected:
+    ~Router() = default;
+  };
+
   Network(Engine& engine, const topo::LatencyModel& latency, Deliver deliver,
           CongestionParams congestion = {},
           fault::Injector* faults = nullptr)
@@ -114,12 +146,50 @@ class Network final : public EventSink {
 
   /// kNetworkDeliver dispatch: unparks the message, drains its congestion
   /// load, retires the channel if this was its last in-flight delivery, and
-  /// hands the message to the receiver.
+  /// hands the message to the receiver. Flights accepted from another shard
+  /// carry the sentinel channel — their ordering state lives (and retires)
+  /// on the sending shard.
   void on_event(const Event& ev) override {
     InFlight flight = in_flight_.take(ev.payload);
-    load_hops_ -= flight.hops;
-    retire_channel(flight.channel);
+    if (flight.channel != kRemoteChannel) {
+      load_hops_ -= flight.hops;
+      retire_channel(flight.channel);
+    }
     deliver_(static_cast<topo::Rank>(ev.rank), std::move(flight.msg));
+  }
+
+  /// Attach (or detach, with nullptr) the shard router. Must happen before
+  /// any send; the router must outlive the network.
+  void set_router(Router* router) noexcept { router_ = router; }
+
+  /// Destination side of a cross-shard send: parks `msg` and schedules its
+  /// delivery through Engine::inject with the *sender's* ordering key
+  /// (t_sched, src) so the merged event order matches an unsharded run. The
+  /// channel clamp already ran on the sending shard, so the flight gets the
+  /// sentinel channel and skips retirement here. Exactly one kNetworkDeliver
+  /// fires per message in sharded and unsharded runs alike, keeping engine
+  /// event counts shard-invariant.
+  void accept_remote(support::SimTime arrival, support::SimTime t_sched,
+                     std::uint32_t origin, topo::Rank src, topo::Rank dst,
+                     Message msg) {
+    const std::uint32_t handle =
+        in_flight_.acquire(InFlight{std::move(msg), kRemoteChannel, 0});
+    engine_->inject(arrival, t_sched, origin, src, *this,
+                    EventKind::kNetworkDeliver, dst, handle);
+  }
+
+  /// Retire channels whose cross-shard deliveries the local clock has
+  /// passed. Called by the sharded run loop at window boundaries. Holding an
+  /// entry longer is always safe — once now >= arrival, clamping a future
+  /// send against that arrival is a no-op — so laziness affects only the
+  /// channel map's size, never an arrival time.
+  void flush_retirements() {
+    while (!retire_heap_.empty() &&
+           retire_heap_.front().first <= engine_->now()) {
+      std::pop_heap(retire_heap_.begin(), retire_heap_.end(), RetireLater{});
+      retire_channel(retire_heap_.back().second);
+      retire_heap_.pop_back();
+    }
   }
 
   const NetworkStats& stats() const noexcept { return stats_; }
@@ -137,6 +207,20 @@ class Network final : public EventSink {
     std::int32_t hops = 0;
   };
   using ChannelMap = std::unordered_map<std::uint64_t, Channel>;
+
+  /// Channel key of a flight accepted from another shard. Real keys are
+  /// (src << 32) | dst with 32-bit ranks below UINT32_MAX, so the all-ones
+  /// key is never a live channel.
+  static constexpr std::uint64_t kRemoteChannel = ~std::uint64_t{0};
+
+  /// Min-heap order by arrival time for the lazy retirement heap.
+  struct RetireLater {
+    bool operator()(const std::pair<support::SimTime, std::uint64_t>& a,
+                    const std::pair<support::SimTime, std::uint64_t>& b)
+        const noexcept {
+      return a.first > b.first;
+    }
+  };
 
   static std::uint64_t channel_key(topo::Rank src, topo::Rank dst) noexcept {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
@@ -160,6 +244,13 @@ class Network final : public EventSink {
       latency = static_cast<support::SimTime>(
           static_cast<double>(latency) * latency_mult);
     }
+    // Guard the absolute-time arithmetic the way Engine::schedule_after
+    // guards its delay: a negative or overflowing latency (conceivable via a
+    // huge congestion or fault multiplier) would wrap the virtual clock —
+    // signed overflow is UB and the schedule corrupts silently.
+    DWS_CHECK(latency >= 0);
+    DWS_CHECK(latency <=
+              std::numeric_limits<support::SimTime>::max() - engine_->now());
     support::SimTime arrival = engine_->now() + latency;
 
     // MPI non-overtaking: a later send on the same channel may not arrive
@@ -176,10 +267,21 @@ class Network final : public EventSink {
 
     count_message(src, dst, bytes);
 
+    if (router_ != nullptr && router_->is_remote(dst)) {
+      // Cross-shard send: the clamp above ran on the owning (source) side;
+      // no local delivery event will fire, so queue the lazy retirement and
+      // hand the message to the mailbox fabric with the sender's clock.
+      DWS_DCHECK(hops == 0);  // congestion is rejected for sharded runs
+      retire_heap_.emplace_back(arrival, key);
+      std::push_heap(retire_heap_.begin(), retire_heap_.end(), RetireLater{});
+      router_->post(dst, arrival, engine_->now(), src, std::move(msg));
+      return;
+    }
+
     const std::uint32_t handle =
         in_flight_.acquire(InFlight{std::move(msg), key, hops});
     engine_->schedule_at(arrival, *this, EventKind::kNetworkDeliver, dst,
-                         handle);
+                         handle, src);
   }
 
   void count_message(topo::Rank src, topo::Rank dst, std::uint32_t bytes) {
@@ -218,10 +320,13 @@ class Network final : public EventSink {
   Deliver deliver_;
   CongestionParams congestion_;
   fault::Injector* faults_;
+  Router* router_ = nullptr;
   double load_hops_ = 0.0;  // in-flight hop-units (congestion state)
   NetworkStats stats_;
   ChannelMap channels_;
   std::vector<typename ChannelMap::node_type> spare_nodes_;
+  // (arrival, channel) of remote sends awaiting lazy retirement.
+  std::vector<std::pair<support::SimTime, std::uint64_t>> retire_heap_;
   SlabPool<InFlight> in_flight_;
 };
 

@@ -12,12 +12,14 @@
 namespace dws::sim {
 
 /// Pending-event queue: a two-tier calendar that preserves the engine's
-/// exact (time, seq) total order.
+/// exact (time, t_sched, kind, rank, src, seq) total order (see
+/// sim/event.hpp) — the shard-count-invariant order under which a sharded
+/// run's cross-shard injections merge deterministically.
 ///
 /// The near tier is a window of kBuckets buckets, each 2^width_log2_ ns
 /// wide, starting at window_start_. A bucket is an *unsorted* append-only
-/// vector until the drain cursor reaches it; at that point it is sorted by
-/// (time, seq) once and consumed front to back. Only the cursor's bucket is
+/// vector until the drain cursor reaches it; at that point it is sorted
+/// once and consumed front to back. Only the cursor's bucket is
 /// ever partially drained, so a push into it does a sorted insert while
 /// pushes anywhere else are plain push_backs. Events beyond the window go to
 /// the far tier, a single binary heap; when every near bucket has drained,
@@ -29,7 +31,7 @@ namespace dws::sim {
 /// last popped time) estimates how far ahead the pending set spreads, and
 /// every kRetunePeriod pops the width is re-chosen so the average bucket
 /// holds ~2 events. A simulated run's pending events cluster within a few
-/// microseconds of `now`, so each pop then sorts a handful of 40-byte POD
+/// microseconds of `now`, so each pop then sorts a handful of 56-byte POD
 /// records sitting in one cache line instead of sifting a heap of tens of
 /// thousands — and a retune (full O(n) rebuild) costs less than the pops it
 /// amortizes over.
@@ -84,7 +86,8 @@ class CalendarQueue {
     if (size_ > max_size_) max_size_ = size_;
   }
 
-  /// Removes the earliest (time, seq) event into `out`; false when empty.
+  /// Removes the earliest event (in the full total order) into `out`;
+  /// false when empty.
   bool pop(Event& out) {
     if (size_ == 0) return false;
     if (++pops_since_retune_ >= kRetunePeriod) maybe_retune();
@@ -95,6 +98,41 @@ class CalendarQueue {
     floor_ = out.time;
     --size_;
     return true;
+  }
+
+  /// Time of the earliest pending event without removing it. Requires a
+  /// non-empty queue.
+  ///
+  /// Deliberately non-mutating: it must NOT advance the drain cursor. The
+  /// calendar's "a push never lands behind the cursor" invariant holds
+  /// because the cursor only moves inside pop(), which immediately raises
+  /// floor_ to a time in the new cursor bucket — if a peek moved the cursor
+  /// across empty buckets without popping, a later push at a time >= floor_
+  /// but behind the new cursor would strand its event until the next window
+  /// re-anchor, silently reordering the queue (the sharded core's window
+  /// loop peeks between every window and then injects, which is exactly
+  /// that pattern).
+  support::SimTime peek_time() const {
+    DWS_DCHECK(size_ > 0);
+    const auto& cur = near_[cursor_];
+    if (current_sorted_) {
+      if (drain_pos_ < cur.size()) return cur[drain_pos_].time;
+    } else if (!cur.empty()) {
+      DWS_DCHECK(drain_pos_ == 0);
+      return unsorted_min_time(cur);
+    }
+    // Cursor bucket exhausted (or an empty bucket the cursor parked on):
+    // the minimum sits in a later near bucket or the far tier (all far
+    // events lie beyond the window, hence after every near event). Skip
+    // stale-occupied empties; a rebuild can leave bucket 0 marked occupied
+    // while empty.
+    for (std::uint32_t b = cursor_ + 1; b < kBuckets; ++b) {
+      b = next_occupied(b);
+      if (b >= kBuckets) break;
+      if (!near_[b].empty()) return unsorted_min_time(near_[b]);
+    }
+    DWS_DCHECK(!far_.empty());
+    return far_.front().time;
   }
 
   std::size_t size() const noexcept { return size_; }
@@ -108,16 +146,29 @@ class CalendarQueue {
   struct Earlier {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time < b.time;
+      if (a.t_sched != b.t_sched) return a.t_sched < b.t_sched;
+      if (a.kind != b.kind) {
+        return static_cast<std::uint32_t>(a.kind) <
+               static_cast<std::uint32_t>(b.kind);
+      }
+      if (a.rank != b.rank) return a.rank < b.rank;
+      if (a.src != b.src) return a.src < b.src;
       return a.seq < b.seq;
     }
   };
   /// Heap order for the far tier: the heap front is the earliest event.
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      return Earlier{}(b, a);
     }
   };
+
+  static support::SimTime unsorted_min_time(
+      const std::vector<Event>& bucket) noexcept {
+    support::SimTime t = bucket.front().time;
+    for (const Event& ev : bucket) t = std::min(t, ev.time);
+    return t;
+  }
 
   // `t >= window_start_` always holds for stored events, so the difference
   // is non-negative and the unsigned shift is exact — no overflow for times

@@ -1,0 +1,82 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace dws::topo {
+
+namespace {
+
+/// Blade identity: the four nodes of a cube sharing the b coordinate (see
+/// TofuMachine::same_blade). Packs the (torus-local) cube coordinates and b
+/// into one key for the split-blade scan.
+std::uint64_t blade_key(const TofuCoord& c) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y)) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.z)) << 8) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.b));
+}
+
+}  // namespace
+
+ShardPartition partition_ranks(const JobLayout& layout,
+                               const LatencyParams& params,
+                               std::uint32_t requested_shards) {
+  DWS_CHECK(requested_shards >= 1);
+  const std::uint32_t num_nodes = layout.num_nodes();
+  const Rank num_ranks = layout.num_ranks();
+  const std::uint32_t shards = std::min(requested_shards, num_nodes);
+
+  ShardPartition part;
+  part.num_shards = shards;
+  part.shard_of_rank.assign(num_ranks, 0);
+  part.shard_ranks.assign(shards, {});
+
+  // Contiguous node blocks in scheduler order: node i (0-based position in
+  // layout.nodes()) goes to shard i * shards / num_nodes, so block sizes
+  // differ by at most one node and every shard gets at least one node.
+  std::unordered_map<NodeId, std::uint32_t> shard_of_node;
+  shard_of_node.reserve(num_nodes);
+  const auto& nodes = layout.nodes();
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    shard_of_node.emplace(
+        nodes[i], static_cast<std::uint32_t>(
+                      (static_cast<std::uint64_t>(i) * shards) / num_nodes));
+  }
+  for (Rank r = 0; r < num_ranks; ++r) {
+    const std::uint32_t s = shard_of_node.at(layout.node_of(r));
+    part.shard_of_rank[r] = s;
+    part.shard_ranks[s].push_back(r);
+  }
+  for (const auto& ranks : part.shard_ranks) DWS_CHECK(!ranks.empty());
+
+  if (shards == 1) {
+    part.lookahead = 0;  // unused: no cut, no windows
+    return part;
+  }
+
+  // Lookahead: same-node pairs can't cross the cut (whole nodes per shard).
+  // A blade with nodes in two shards admits a same_blade-tier cut message;
+  // otherwise every cut pair is >= 1 hop apart and network_base is the
+  // floor (per-hop and serialization terms only add latency).
+  bool blade_split = false;
+  std::unordered_map<std::uint64_t, std::uint32_t> blade_shard;
+  blade_shard.reserve(num_nodes);
+  const auto& machine = layout.machine();
+  for (std::uint32_t i = 0; i < num_nodes && !blade_split; ++i) {
+    const std::uint64_t key = blade_key(machine.coord(nodes[i]));
+    const std::uint32_t s = shard_of_node.at(nodes[i]);
+    const auto [it, inserted] = blade_shard.emplace(key, s);
+    if (!inserted && it->second != s) blade_split = true;
+  }
+  part.lookahead = blade_split
+                       ? std::min(params.same_blade, params.network_base)
+                       : params.network_base;
+  DWS_CHECK(part.lookahead > 0);
+  return part;
+}
+
+}  // namespace dws::topo

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/sim_time.hpp"
+#include "topo/allocation.hpp"
+#include "topo/latency.hpp"
+
+namespace dws::topo {
+
+/// Rank partition for the sharded conservative-parallel simulator core
+/// (DESIGN.md §12): which shard owns each rank, and the lookahead — the
+/// conservative synchronization window width, a static lower bound on the
+/// latency of every possible cross-shard message.
+struct ShardPartition {
+  std::uint32_t num_shards = 1;
+  /// min message latency over cut (cross-shard) rank pairs; the window W.
+  support::SimTime lookahead = 0;
+  std::vector<std::uint32_t> shard_of_rank;   ///< rank -> owning shard
+  std::vector<std::vector<Rank>> shard_ranks; ///< shard -> ranks, ascending
+};
+
+/// Partition a job's ranks into (at most) `requested_shards` shards.
+///
+/// Shards are contiguous blocks of whole nodes in scheduler order, so
+/// co-located ranks always share a shard and the cut never contains a
+/// same-node pair — the cheapest latency tier can't cross shards, which is
+/// what makes the lookahead large enough to batch useful work per window.
+/// Scheduler order is also locality order (compact rectangles of cubes), so
+/// block boundaries fall on topology seams and cut traffic crosses the
+/// "network" tier in the common case.
+///
+/// The effective shard count is min(requested_shards, num_nodes); every
+/// shard is non-empty. The result is a pure function of (layout,
+/// requested_shards) — deterministic across runs and machines.
+///
+/// Lookahead derivation (conservative, O(nodes)): same-node pairs never
+/// cross the cut by construction. If some blade's nodes land in different
+/// shards the bound is min(same_blade, network_base); otherwise every cut
+/// pair is at least one hop apart and the bound is network_base (per-hop
+/// and serialization terms only add). `params` tiers must be positive for a
+/// multi-shard partition — a zero lookahead would make the window empty
+/// (ws::RunConfig::validate rejects such configs).
+ShardPartition partition_ranks(const JobLayout& layout,
+                               const LatencyParams& params,
+                               std::uint32_t requested_shards);
+
+}  // namespace dws::topo

@@ -1,9 +1,12 @@
 #include "ws/scheduler.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "sim/engine.hpp"
 #include "support/check.hpp"
+#include "topo/partition.hpp"
+#include "ws/shard.hpp"
 #include "ws/worker.hpp"
 
 namespace dws::ws {
@@ -105,6 +108,35 @@ support::Status RunConfig::validate() const {
           "at the victim's poll boundaries)");
     }
   }
+  if (sim_shards < 1) {
+    return support::Status::error("sim_shards must be >= 1");
+  }
+  if (sim_shards > 1) {
+    // The sharded core gives each shard an independent engine/network; any
+    // feature built on run-global mutable state cannot be split without
+    // changing results, so it is rejected up front rather than silently
+    // diverging from the single-engine run.
+    if (backend == Backend::kRt) {
+      return support::Status::error(
+          "sim_shards > 1 is simulator-only (backend=rt already runs one "
+          "thread per rank)");
+    }
+    if (fault.enabled()) {
+      return support::Status::error(
+          "fault injection requires sim_shards == 1 (the injector's draw "
+          "sequence is a single global order)");
+    }
+    if (congestion.enabled || congestion_scale > 0.0) {
+      return support::Status::error(
+          "congestion requires sim_shards == 1 (the fluid model tracks one "
+          "global in-flight load)");
+    }
+    if (latency.same_blade <= 0 || latency.network_base <= 0) {
+      return support::Status::error(
+          "sim_shards > 1 needs positive same_blade/network_base latencies "
+          "(the conservative lookahead window would be empty)");
+    }
+  }
   if (fault.drop_prob > 0.0) {
     // Liveness: a lost steal request/refusal is only recovered by the steal
     // timer, a lost token only by regeneration. Without them a single drop
@@ -129,6 +161,16 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
   topo::JobLayout layout(config.machine, config.num_ranks, config.placement,
                          config.procs_per_node, config.origin_cube);
   topo::LatencyModel latency(layout, config.latency);
+
+  if (config.sim_shards > 1) {
+    topo::ShardPartition part =
+        topo::partition_ranks(layout, config.latency, config.sim_shards);
+    // A one-node job degenerates to one shard; fall through to the
+    // single-engine path rather than spinning up the window machinery.
+    if (part.num_shards > 1) {
+      return run_sharded(config, layout, latency, std::move(part), observer);
+    }
+  }
 
   sim::Engine engine;
   std::vector<std::unique_ptr<Worker>> workers;
@@ -198,6 +240,8 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
   result.faults = injector.stats();
   result.engine_events = engine.events_executed();
   result.engine_peak_pending = engine.max_pending();
+  result.shards_used = 1;
+  result.merge_ambiguities = engine.merge_ambiguities();
 
   if (config.ws.record_trace) {
     result.trace.total_time = ctx.termination_time;

@@ -53,6 +53,18 @@ struct RunConfig {
   /// — callers route through exp::run_backend or audit::checked_run.
   Backend backend = Backend::kSim;
 
+  /// Shard count for the conservative-parallel simulator core (DESIGN.md
+  /// §12): 1 (the default) runs the classic single-engine path; N > 1
+  /// partitions the ranks over N engines advancing on real threads under
+  /// barrier-synchronized lookahead windows. This is execution strategy, not
+  /// simulation identity — results, records and fingerprints are invariant
+  /// in the shard count (the differential suite enforces byte-identity), so
+  /// sim_shards is excluded from exp::canonical_config. The effective count
+  /// is capped at the job's node count. validate() rejects combinations the
+  /// sharded core cannot split (fault injection, congestion, backend=rt,
+  /// zero-latency cross-node tiers).
+  std::uint32_t sim_shards = 1;
+
   /// When > 0, enable_congestion(scale) was called: run_simulation re-anchors
   /// capacity_hops to the *current* ranks/procs at run time, so a sweep axis
   /// that changes num_ranks after the call still gets the right capacity.
@@ -90,8 +102,20 @@ struct RunResult {
   /// What the fault injector actually did (all zero without faults).
   fault::FaultStats faults;
   std::uint64_t engine_events = 0;
-  /// High-water mark of the engine's pending-event queue (calendar depth).
+  /// High-water mark of the engine's pending-event queue (calendar depth;
+  /// the max over shard engines in a sharded run). Diagnostic only: unlike
+  /// every field above it this depends on the execution strategy, which is
+  /// why schema v5 dropped it from records.
   std::uint64_t engine_peak_pending = 0;
+  /// Shard count the run actually executed with (partitioning caps the
+  /// requested sim_shards at the node count).
+  std::uint32_t shards_used = 1;
+  /// Executed event pairs that tied on the full structural ordering key
+  /// (time, t_sched, kind, rank, src) across different origin shards — see
+  /// sim::Engine::merge_ambiguities. Structurally impossible by design;
+  /// always 0 for single-engine runs and asserted 0 for sharded ones by the
+  /// differential suite. Nonzero means a protocol bug.
+  std::uint64_t merge_ambiguities = 0;
 
   support::SimTime per_node_cost = 0;  ///< ws.node_cost() used by the run
 

@@ -1,0 +1,299 @@
+#include "ws/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "proto/replay.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "ws/worker.hpp"
+
+namespace dws::ws {
+
+namespace {
+
+constexpr support::SimTime kInf = std::numeric_limits<support::SimTime>::max();
+
+/// One cross-shard message parked between the sender's window and the
+/// receiver's drain: the precomputed (clamped) arrival time, the sender's
+/// virtual time at the send (the injected event's t_sched), the sending rank
+/// (the event's ordering-refinement `src` field), and the payload.
+struct MailEntry {
+  support::SimTime arrival = 0;
+  support::SimTime t_sched = 0;
+  topo::Rank src = 0;
+  topo::Rank dst = 0;
+  Message msg;
+};
+
+/// One (src shard, dst shard) mailbox. Written only by the src thread during
+/// its execution phase, read and cleared only by the dst thread during its
+/// drain phase; the window barriers separate the two, so no atomics are
+/// needed — the alignment just keeps neighbouring slots off one cache line.
+struct alignas(64) MailSlot {
+  std::vector<MailEntry> entries;
+};
+
+/// The sending side of the mailbox fabric: classifies destination ranks and
+/// appends cross-shard sends to this shard's outbound row.
+class ShardRouter final : public WsNetwork::Router {
+ public:
+  ShardRouter(const std::vector<std::uint32_t>& shard_of_rank,
+              std::uint32_t my_shard, MailSlot* row)
+      : shard_of_rank_(&shard_of_rank), my_shard_(my_shard), row_(row) {}
+
+  bool is_remote(topo::Rank dst) const override {
+    return (*shard_of_rank_)[dst] != my_shard_;
+  }
+  void post(topo::Rank dst, support::SimTime arrival, support::SimTime t_sched,
+            topo::Rank src, Message msg) override {
+    row_[(*shard_of_rank_)[dst]].entries.push_back(
+        MailEntry{arrival, t_sched, src, dst, std::move(msg)});
+  }
+
+ private:
+  const std::vector<std::uint32_t>* shard_of_rank_;
+  std::uint32_t my_shard_;
+  MailSlot* row_;  // this shard's S outbound slots
+};
+
+/// Everything one shard thread owns: its engine, network, the workers of its
+/// ranks (the vector is num_ranks wide so DeliverToWorkers can index by rank
+/// — remote slots stay null and are never touched), and the per-window
+/// published next-event time.
+struct Shard {
+  explicit Shard(std::uint32_t id) : engine(id) {}
+
+  sim::Engine engine;
+  std::unique_ptr<ShardRouter> router;
+  std::unique_ptr<WsNetwork> network;
+  std::vector<std::unique_ptr<Worker>> workers;
+  RunContext ctx;
+  std::unique_ptr<proto::BufferedObserver> buffer;
+  support::SimTime next_time = kInf;
+};
+
+}  // namespace
+
+RunResult run_sharded(const RunConfig& config, const topo::JobLayout& layout,
+                      const topo::LatencyModel& latency,
+                      topo::ShardPartition part, RunObserver* observer) {
+  const std::uint32_t num_shards = part.num_shards;
+  DWS_CHECK(num_shards > 1);
+  DWS_CHECK(part.lookahead > 0);
+  DWS_CHECK(part.shard_of_rank.size() == layout.num_ranks());
+  // Unsupported shared-global-state features are screened by validate();
+  // re-check the ones a direct caller could slip past.
+  DWS_CHECK(!config.congestion.enabled);
+  DWS_CHECK(!config.fault.enabled());
+
+  std::vector<MailSlot> mail(static_cast<std::size_t>(num_shards) *
+                             num_shards);
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(num_shards);
+  std::vector<proto::BufferedObserver*> buffers(num_shards, nullptr);
+
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>(s);
+    shard->router = std::make_unique<ShardRouter>(
+        part.shard_of_rank, s, &mail[static_cast<std::size_t>(s) * num_shards]);
+    shard->network = std::make_unique<WsNetwork>(
+        shard->engine, latency, DeliverToWorkers{&shard->workers},
+        sim::CongestionParams{}, nullptr);
+    shard->network->set_router(shard->router.get());
+    if (observer != nullptr) {
+      sim::Engine* engine = &shard->engine;
+      shard->buffer = std::make_unique<proto::BufferedObserver>(
+          [engine] { return engine->now(); });
+      buffers[s] = shard->buffer.get();
+    }
+
+    RunContext& ctx = shard->ctx;
+    ctx.engine = &shard->engine;
+    ctx.network = shard->network.get();
+    ctx.config = &config.ws;
+    ctx.tree = &config.tree;
+    ctx.latency = &latency;
+    ctx.num_ranks = config.num_ranks;
+    ctx.observer = shard->buffer.get();
+    ctx.faults = nullptr;
+
+    shard->workers.resize(config.num_ranks);
+    for (topo::Rank r : part.shard_ranks[s]) {
+      shard->workers[r] = std::make_unique<Worker>(r, ctx);
+    }
+    // Ascending rank order, like the single-engine bootstrap: within the
+    // shard the kWorkerStart events get the same relative seq order.
+    for (topo::Rank r : part.shard_ranks[s]) {
+      shard->engine.schedule_at(0, *shard->workers[r],
+                                sim::EventKind::kWorkerStart, r);
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  // ---- conservative window loop --------------------------------------------
+  //
+  // Per window, every shard thread:
+  //   1. (thread 0 only) replays the previous window's buffered observer
+  //      hooks, merged time-ordered, into the downstream observer;
+  //   2. drains its inbound mailboxes into its engine (Engine::inject with
+  //      the sender's ordering key), in ascending source-shard order — the
+  //      deterministic global merge rule;
+  //   3. publishes its next event time and arrives at the sync barrier,
+  //      whose completion computes the window end
+  //      w_end = min(next times) + lookahead (or declares the run done);
+  //   4. executes every local event with time < w_end and flushes lazily
+  //      retired channels;
+  //   5. arrives at the exec barrier, which makes this window's mailbox
+  //      writes visible to the next drain.
+  //
+  // Any message sent during a window arrives at or after w_end (the
+  // lookahead is a static lower bound on cut latency), so drains at window
+  // granularity can never deliver into a shard's past — the conservative
+  // property that replaces null messages (DESIGN.md §12).
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto record_error = [&]() {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!error) error = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  };
+
+  support::SimTime w_end = 0;
+  bool done = false;
+  std::barrier sync(num_shards, [&]() noexcept {
+    support::SimTime t_min = kInf;
+    for (const auto& s : shards) t_min = std::min(t_min, s->next_time);
+    if (t_min == kInf || failed.load(std::memory_order_acquire)) {
+      done = true;
+      return;
+    }
+    w_end = t_min > kInf - part.lookahead ? kInf : t_min + part.lookahead;
+  });
+  std::barrier exec_done(num_shards);
+
+  auto shard_main = [&](std::uint32_t me) {
+    Shard& sh = *shards[me];
+    while (true) {
+      try {
+        if (!failed.load(std::memory_order_acquire)) {
+          // Single-threaded observer fan-in. Runs concurrently with the
+          // other shards' drains, which is safe: replay touches only hook
+          // buffers (written during execution phases), drains touch only
+          // mailboxes and engines. The sync barrier below keeps the next
+          // execution phase from starting until the replay is finished.
+          if (me == 0 && observer != nullptr) {
+            proto::BufferedObserver::replay_merged(buffers, *observer);
+          }
+          for (std::uint32_t src = 0; src < num_shards; ++src) {
+            if (src == me) continue;
+            auto& slot =
+                mail[static_cast<std::size_t>(src) * num_shards + me];
+            for (MailEntry& entry : slot.entries) {
+              sh.network->accept_remote(entry.arrival, entry.t_sched, src,
+                                        entry.src, entry.dst,
+                                        std::move(entry.msg));
+            }
+            slot.entries.clear();
+          }
+          sh.next_time = sh.engine.next_event_time(kInf);
+        } else {
+          sh.next_time = kInf;
+        }
+      } catch (...) {
+        record_error();
+        sh.next_time = kInf;
+      }
+      sync.arrive_and_wait();
+      if (done) break;
+      try {
+        sh.engine.run_until(w_end);
+        sh.network->flush_retirements();
+      } catch (...) {
+        record_error();
+      }
+      exec_done.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    threads.emplace_back(shard_main, s);
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+
+  // Post-run invariants, as in the single-engine path. Rank 0 (always shard
+  // 0 — partitions are contiguous in rank order) owns the termination flag.
+  DWS_CHECK(shards[0]->ctx.terminated);
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t chunks_received = 0;
+  for (const auto& sh : shards) {
+    for (topo::Rank r : part.shard_ranks[sh->engine.shard_id()]) {
+      const Worker& w = *sh->workers[r];
+      DWS_CHECK(w.done());
+      DWS_CHECK(w.stack_size() == 0);
+      chunks_sent += w.stats().chunks_sent;
+      chunks_received += w.stats().chunks_received;
+    }
+  }
+  DWS_CHECK(chunks_sent == chunks_received);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    for (std::uint32_t d = 0; d < num_shards; ++d) {
+      DWS_CHECK(mail[static_cast<std::size_t>(s) * num_shards + d]
+                    .entries.empty());
+    }
+  }
+
+  RunResult result;
+  result.runtime = shards[0]->ctx.termination_time;
+  result.num_ranks = config.num_ranks;
+  result.per_node_cost = config.ws.node_cost();
+  result.shards_used = num_shards;
+  result.per_rank.reserve(config.num_ranks);
+  // Per-rank data in global rank order, so records and aggregates are
+  // byte-identical to the single-engine run.
+  for (topo::Rank r = 0; r < config.num_ranks; ++r) {
+    const Worker& w = *shards[part.shard_of_rank[r]]->workers[r];
+    result.nodes += w.stats().nodes_processed;
+    result.leaves += w.stats().leaves_seen;
+    result.per_rank.push_back(w.stats());
+  }
+  result.stats = metrics::aggregate(result.per_rank);
+  for (const auto& sh : shards) {
+    const sim::NetworkStats& ns = sh->network->stats();
+    result.network.messages += ns.messages;
+    result.network.bytes += ns.bytes;
+    result.network.intra_node_messages += ns.intra_node_messages;
+    result.network.max_load_hops =
+        std::max(result.network.max_load_hops, ns.max_load_hops);
+    result.network.peak_channels += ns.peak_channels;
+    result.engine_events += sh->engine.events_executed();
+    result.engine_peak_pending =
+        std::max<std::uint64_t>(result.engine_peak_pending,
+                                sh->engine.max_pending());
+    result.merge_ambiguities += sh->engine.merge_ambiguities();
+  }
+
+  if (config.ws.record_trace) {
+    result.trace.total_time = result.runtime;
+    result.trace.ranks.reserve(config.num_ranks);
+    for (topo::Rank r = 0; r < config.num_ranks; ++r) {
+      result.trace.ranks.push_back(
+          shards[part.shard_of_rank[r]]->workers[r]->trace());
+    }
+  }
+  return result;
+}
+
+}  // namespace dws::ws

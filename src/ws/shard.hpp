@@ -1,0 +1,25 @@
+#pragma once
+
+#include "topo/partition.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws::ws {
+
+/// Sharded conservative-parallel execution of one RunConfig (DESIGN.md §12).
+///
+/// Called by run_simulation when the effective shard count is > 1. Builds
+/// one sim::Engine + WsNetwork + worker set per shard of `part`, runs the
+/// shards on real threads under barrier-synchronized conservative windows of
+/// width part.lookahead, and routes cross-shard messages through per-shard-
+/// pair mailboxes drained at window boundaries. For every configuration
+/// validate() admits, the RunResult (and hence any exp record cut from it)
+/// is byte-identical to the single-engine path — the differential suite in
+/// tests/ws enforces this at shard counts {1, 2, 4, 8}.
+///
+/// `layout` and `latency` are the run's shared immutable geometry; shard
+/// threads only read them.
+RunResult run_sharded(const RunConfig& config, const topo::JobLayout& layout,
+                      const topo::LatencyModel& latency,
+                      topo::ShardPartition part, RunObserver* observer);
+
+}  // namespace dws::ws

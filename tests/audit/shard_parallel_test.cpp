@@ -1,0 +1,189 @@
+/// Parallel-vs-serial differential suite for the sharded simulator core
+/// (DESIGN.md §12): the shard count is an execution strategy, so every
+/// supported configuration must produce BYTE-IDENTICAL schema-v5 records at
+/// sim_shards 1, 2, 4 and 8 — same events, same order, same metrics — and
+/// the structural ordering key must never have fallen through to a
+/// cross-shard seq comparison (merge_ambiguities == 0). A fig06-quick-style
+/// point additionally runs
+/// under the full audit observer at 4 shards, pinning that the buffered
+/// replay fan-in preserves the audited hook stream.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/audit.hpp"
+#include "exp/record.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "topo/allocation.hpp"
+#include "uts/params.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws::audit {
+namespace {
+
+/// One sweep over sim_shards for `base`, rendered as wall-clock-free
+/// schema-v5 JSONL — four records that must be pairwise identical except
+/// for the axis coordinate label.
+std::vector<std::string> records_per_shard_count(const ws::RunConfig& base,
+                                                 bool audited) {
+  exp::SweepSpec spec(base);
+  spec.axis(exp::sim_shards_axis({1, 2, 4, 8}));
+  const auto expanded = spec.expand();
+  EXPECT_TRUE(expanded);
+  exp::RunnerOptions options;
+  options.threads = 1;
+  options.progress = false;
+  if (audited) {
+    options.run = [](const ws::RunConfig& cfg) { return checked_run(cfg); };
+  } else {
+    options.run = [](const ws::RunConfig& cfg) {
+      return ws::run_simulation(cfg);
+    };
+  }
+  const exp::SweepReport report =
+      exp::SweepRunner(options).run(expanded.value());
+  EXPECT_TRUE(report.all_ok());
+
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < expanded.value().size(); ++i) {
+    std::ostringstream out;
+    exp::RecordWriter writer(out, exp::RecordOptions{exp::RecordFormat::kJsonl,
+                                                     /*wall_clock=*/false});
+    writer.write(expanded.value()[i], report.points[i]);
+    std::string line = out.str();
+    // Strip the sweep bookkeeping ("index":N,"coords":{...},) — the only
+    // part allowed to differ between the points of a sim_shards sweep.
+    const auto start = line.find("\"index\":");
+    const auto end = line.find('}', line.find("\"coords\":{"));
+    EXPECT_NE(start, std::string::npos);
+    EXPECT_NE(end, std::string::npos);
+    line.erase(start, end + 2 - start);
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+void expect_shard_invariant(const ws::RunConfig& base, bool audited) {
+  const std::vector<std::string> lines =
+      records_per_shard_count(base, audited);
+  ASSERT_EQ(lines.size(), 4u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[0], lines[i])
+        << "records diverge between sim_shards=1 and the " << i
+        << "th shard count";
+  }
+  // The local-seq tiebreak must be provably irrelevant: no executed pair
+  // ever tied on the full structural key across shards.
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    ws::RunConfig cfg = base;
+    cfg.sim_shards = shards;
+    const ws::RunResult result = ws::run_simulation(cfg);
+    EXPECT_EQ(result.merge_ambiguities, 0u) << "sim_shards=" << shards;
+    EXPECT_GT(result.shards_used, 1u);
+  }
+}
+
+ws::RunConfig base_config() {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name("TEST_BIN_SMALL");
+  cfg.num_ranks = 64;
+  cfg.ws.chunk_size = 4;
+  // Sharded mode forbids the shared-global-state congestion model; these
+  // configs run it off, like the paper-scale benches.
+  cfg.congestion = sim::CongestionParams{};
+  cfg.congestion_scale = 0.0;
+  return cfg;
+}
+
+TEST(ShardParallel, ReferenceRoundRobinIsShardCountInvariant) {
+  expect_shard_invariant(base_config(), /*audited=*/false);
+}
+
+TEST(ShardParallel, SkewedSelectionGroupedPlacementIsShardCountInvariant) {
+  ws::RunConfig cfg = base_config();
+  cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
+  cfg.ws.steal_amount = ws::StealAmount::kHalf;
+  cfg.placement = topo::Placement::kGrouped;
+  cfg.procs_per_node = 8;
+  cfg.ws.seed = 99;
+  expect_shard_invariant(cfg, /*audited=*/false);
+}
+
+TEST(ShardParallel, RandomVictimsOddRankCountIsShardCountInvariant) {
+  ws::RunConfig cfg = base_config();
+  cfg.tree = uts::tree_by_name("TEST_BIN_TINY");
+  cfg.num_ranks = 96;  // not a power of two: uneven shard blocks
+  cfg.ws.victim_policy = ws::VictimPolicy::kRandom;
+  cfg.ws.chunk_size = 2;
+  cfg.ws.seed = 7;
+  expect_shard_invariant(cfg, /*audited=*/false);
+}
+
+TEST(ShardParallel, AuditedFigureStylePointIsShardCountInvariant) {
+  // The fig06-quick shape (SIM200K, 128 ranks, Reference 1/N) minus the
+  // congestion model, run under the full audit observer: the replay fan-in
+  // must deliver the exact hook stream the audit invariants need, at every
+  // shard count.
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name("SIM200K");
+  cfg.num_ranks = 128;
+  cfg.ws.chunk_size = 4;
+  cfg.ws.victim_policy = ws::VictimPolicy::kRoundRobin;
+  cfg.ws.steal_amount = ws::StealAmount::kOneChunk;
+  cfg.placement = topo::Placement::kOnePerNode;
+  cfg.procs_per_node = 1;
+  expect_shard_invariant(cfg, /*audited=*/true);
+
+  cfg.sim_shards = 4;
+  const AuditedResult audited = audited_run(cfg, AuditConfig::all());
+  EXPECT_TRUE(audited.report.ok()) << audited.report.summary();
+  EXPECT_EQ(audited.result.shards_used, 4u);
+  EXPECT_EQ(audited.result.merge_ambiguities, 0u);
+}
+
+TEST(ShardParallel, ValidateRejectsTheSharedGlobalStateFeatures) {
+  // Congestion clamps and fault injection keep state no shard owns; the
+  // native runtime does not shard. validate() names each incompatibility.
+  ws::RunConfig cfg = base_config();
+  cfg.sim_shards = 4;
+  EXPECT_TRUE(static_cast<bool>(cfg.validate()));
+  {
+    ws::RunConfig bad = cfg;
+    bad.enable_congestion(1.0);
+    EXPECT_FALSE(static_cast<bool>(bad.validate()));
+  }
+  {
+    ws::RunConfig bad = cfg;
+    bad.fault.drop_prob = 0.01;
+    bad.ws.steal_timeout = 1'000'000;
+    bad.ws.token_timeout = 1'000'000;
+    EXPECT_FALSE(static_cast<bool>(bad.validate()));
+  }
+  {
+    ws::RunConfig bad = cfg;
+    bad.backend = ws::Backend::kRt;
+    EXPECT_FALSE(static_cast<bool>(bad.validate()));
+  }
+  {
+    ws::RunConfig bad = cfg;
+    bad.sim_shards = 0;
+    EXPECT_FALSE(static_cast<bool>(bad.validate()));
+  }
+}
+
+TEST(ShardParallel, ShardCountIsAbsentFromTheCanonicalConfig) {
+  // sim_shards is an execution strategy: two configs differing only in it
+  // must fingerprint identically, or sweep dedup and record joins break.
+  ws::RunConfig one = base_config();
+  ws::RunConfig eight = base_config();
+  eight.sim_shards = 8;
+  EXPECT_EQ(exp::canonical_config(one), exp::canonical_config(eight));
+  EXPECT_EQ(exp::config_fingerprint(one), exp::config_fingerprint(eight));
+}
+
+}  // namespace
+}  // namespace dws::audit

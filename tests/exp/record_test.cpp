@@ -147,7 +147,7 @@ TEST(RecordWriter, JsonlSchemaHeaderAndOneLinePerPoint) {
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
   EXPECT_NE(text.find("\"schema\":\"dws.exp.sweep\""), std::string::npos);
-  EXPECT_NE(text.find("\"version\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"version\":5"), std::string::npos);
   EXPECT_NE(text.find("\"coords\":{\"ranks\":\"4\"}"), std::string::npos);
   EXPECT_EQ(text.find("wall_s"), std::string::npos);  // wall_clock=false
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
@@ -170,7 +170,7 @@ TEST(RecordWriter, CsvHasSchemaCommentHeaderAndRows) {
   RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
-  EXPECT_NE(text.find("# schema=dws.exp.sweep version=4"), std::string::npos);
+  EXPECT_NE(text.find("# schema=dws.exp.sweep version=5"), std::string::npos);
   EXPECT_NE(text.find("index,"), std::string::npos);
   // comment + header + 2 rows
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
@@ -226,6 +226,38 @@ TEST(RecordSchema, V3EmissionOmitsTheV4FieldsAndStaysReadable) {
   EXPECT_TRUE(file.value().records.front().backend.empty());
 }
 
+TEST(RecordSchema, V4EmissionStillCarriesThePeakColumns) {
+  // Pinning v4 must reproduce the historical byte stream, occupancy columns
+  // included — v5 only changes the default, not what older versions emit.
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordOptions options{RecordFormat::kJsonl, false};
+  options.schema_version = 4;
+  RecordWriter writer(out, options);
+  writer.write_report(points, fake_report(points));
+  EXPECT_NE(out.str().find("\"engine_peak_pending\":77"), std::string::npos);
+  EXPECT_NE(out.str().find("\"net_peak_channels\":13"), std::string::npos);
+
+  std::istringstream in(out.str());
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  EXPECT_EQ(file.value().version, 4);
+  ASSERT_EQ(file.value().records.size(), 1u);
+  EXPECT_EQ(file.value().records[0].engine_peak_pending, 77u);
+  EXPECT_EQ(file.value().records[0].net_peak_channels, 13u);
+}
+
+TEST(RecordSchema, V5EmissionOmitsThePeakColumns) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
+  writer.write_report(points, fake_report(points));
+  EXPECT_EQ(out.str().find("engine_peak_pending"), std::string::npos);
+  EXPECT_EQ(out.str().find("net_peak_channels"), std::string::npos);
+}
+
 TEST(RecordWriter, SchemaVersion1OmitsTheV2Fields) {
   SweepSpec spec(base_config());
   const auto points = spec.expand().value();
@@ -260,8 +292,9 @@ TEST(RecordReader, RoundTripsJsonlCurrent) {
   EXPECT_TRUE(rec.ok);
   EXPECT_EQ(rec.nodes, 100u);
   EXPECT_EQ(rec.engine_events, 4321u);
-  EXPECT_EQ(rec.engine_peak_pending, 77u);
-  EXPECT_EQ(rec.net_peak_channels, 13u);
+  // v5 dropped the occupancy columns (they vary with sim_shards).
+  EXPECT_EQ(rec.engine_peak_pending, 0u);
+  EXPECT_EQ(rec.net_peak_channels, 0u);
   EXPECT_EQ(rec.steal_timeouts, 5u);
   EXPECT_EQ(rec.steal_retries, 4u);
   EXPECT_EQ(rec.token_regens, 2u);
@@ -291,8 +324,8 @@ TEST(RecordReader, RoundTripsCsvCurrent) {
   const SweepRecord& rec = file.value().records[0];
   EXPECT_EQ(rec.ranks, 2u);
   EXPECT_TRUE(rec.ok);
-  EXPECT_EQ(rec.engine_peak_pending, 77u);
-  EXPECT_EQ(rec.net_peak_channels, 13u);
+  EXPECT_EQ(rec.engine_peak_pending, 0u);  // absent since v5
+  EXPECT_EQ(rec.net_peak_channels, 0u);
   EXPECT_EQ(rec.steal_timeouts, 5u);
   EXPECT_EQ(rec.net_dups, 3u);
   EXPECT_TRUE(rec.has_wall_s);

@@ -36,6 +36,7 @@ class ReferenceQueue {
     heap_.pop();
     return true;
   }
+  support::SimTime peek_time() const { return heap_.top().time; }
   std::size_t size() const { return heap_.size(); }
 
  private:
@@ -55,9 +56,17 @@ void run_differential(std::uint64_t seed, int ops, double push_bias,
   std::uint64_t seq = 0;
 
   auto push_one = [&] {
-    const Event ev{now + delay_fn(rng), seq++, nullptr, EventKind::kGeneric,
-                   static_cast<std::uint32_t>(seq & 0xffff),
-                   static_cast<std::uint32_t>(seq >> 16)};
+    // t_sched = now, exactly as Engine::schedule_at stamps it, with the
+    // structural fields (kind, rank, src) held constant so the full
+    // (time, t_sched, kind, rank, src, seq) key reduces to (time, t_sched,
+    // seq). The reference heap orders by (time, seq) alone — equivalent
+    // here, because among equal-time events t_sched (= push-time now) and
+    // seq are both monotone in push order — so every passing run checks the
+    // calendar against that reduction. The event's identity travels in
+    // payload, which the comparator ignores.
+    const Event ev{now + delay_fn(rng), now, seq++, nullptr,
+                   EventKind::kGeneric, 0, 0,
+                   static_cast<std::uint32_t>(seq)};
     calendar.push(ev);
     reference.push(ev);
   };
@@ -155,6 +164,53 @@ TEST(QueueDifferential, NearlyEmptyAndBurstyQueues) {
   }
 }
 
+TEST(QueueDifferential, PeekTimeIsExactAndReadOnly) {
+  // Regression: peek_time must NOT advance the drain cursor. The sharded
+  // window loop peeks once per window and then keeps pushing into the queue;
+  // a peek that retires cursor buckets (without raising the floor the way
+  // pop does) strands later pushes in buckets the cursor already passed, and
+  // those events sit unexecuted until an unrelated window re-anchor — they
+  // then fire LATE, emitting sends at stale virtual times. Interleaving a
+  // peek before every operation reproduces exactly that footgun: any
+  // cursor movement during peek makes a subsequent pop or a later peek
+  // disagree with the reference heap.
+  auto delay = [](support::Xoshiro256StarStar& rng) -> support::SimTime {
+    const double roll = rng.next_double();
+    if (roll < 0.1) {  // far tier, forces occupied-bucket scans in peek
+      return 1'000'000 + static_cast<support::SimTime>(rng.next_below(1u << 30));
+    }
+    if (roll < 0.4) return 0;  // lands in the partially drained cursor bucket
+    return static_cast<support::SimTime>(rng.next_below(4000));
+  };
+  for (std::uint64_t seed = 51; seed <= 54; ++seed) {
+    support::Xoshiro256StarStar rng(seed);
+    CalendarQueue calendar;
+    ReferenceQueue reference;
+    support::SimTime now = 0;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 50000; ++i) {
+      if (reference.size() > 0) {
+        ASSERT_EQ(calendar.peek_time(), reference.peek_time()) << "op " << i;
+        // A second peek must see the same thing — peeking is idempotent.
+        ASSERT_EQ(calendar.peek_time(), reference.peek_time()) << "op " << i;
+      }
+      if (reference.size() == 0 || rng.next_double() < 0.5) {
+        const Event ev{now + delay(rng), now, seq++, nullptr,
+                       EventKind::kGeneric, 0, 0, 0};
+        calendar.push(ev);
+        reference.push(ev);
+      } else {
+        Event got{}, want{};
+        ASSERT_TRUE(calendar.pop(got));
+        ASSERT_TRUE(reference.pop(want));
+        ASSERT_EQ(got.time, want.time) << "op " << i;
+        ASSERT_EQ(got.seq, want.seq) << "op " << i;
+        now = got.time;
+      }
+    }
+  }
+}
+
 TEST(QueueDifferential, MaxTimeEventsDoNotOverflow) {
   // Events at SimTime max must neither overflow the window arithmetic nor
   // disturb the order.
@@ -166,7 +222,7 @@ TEST(QueueDifferential, MaxTimeEventsDoNotOverflow) {
   for (const support::SimTime t :
        {support::SimTime{0}, kMax, support::SimTime{5}, kMax - 1, kMax,
         support::SimTime{5}}) {
-    const Event ev{t, seq++, nullptr, EventKind::kGeneric, 0, 0};
+    const Event ev{t, 0, seq++, nullptr, EventKind::kGeneric, 0, 0, 0};
     calendar.push(ev);
     reference.push(ev);
   }
@@ -184,8 +240,8 @@ TEST(CalendarQueue, TracksSizeAndHighWater) {
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.max_size(), 0u);
   for (std::uint64_t i = 0; i < 100; ++i) {
-    q.push(Event{static_cast<support::SimTime>(i * 7), i, nullptr,
-                 EventKind::kGeneric, 0, 0});
+    q.push(Event{static_cast<support::SimTime>(i * 7), 0, i, nullptr,
+                 EventKind::kGeneric, 0, 0, 0});
   }
   EXPECT_EQ(q.size(), 100u);
   EXPECT_EQ(q.max_size(), 100u);

@@ -1,0 +1,152 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "topo/allocation.hpp"
+#include "topo/latency.hpp"
+#include "topo/tofu.hpp"
+
+namespace dws::topo {
+namespace {
+
+/// Brute-force check of every structural invariant partition_ranks
+/// promises, for one (layout, requested) pair.
+void check_partition(const JobLayout& layout, const LatencyParams& params,
+                     std::uint32_t requested) {
+  const ShardPartition part = partition_ranks(layout, params, requested);
+
+  // Effective shard count: capped at the node count, never zero.
+  EXPECT_EQ(part.num_shards, std::min(requested, layout.num_nodes()));
+  ASSERT_EQ(part.shard_of_rank.size(), layout.num_ranks());
+  ASSERT_EQ(part.shard_ranks.size(), part.num_shards);
+
+  // Every shard non-empty; shard_ranks ascending and consistent with
+  // shard_of_rank; every rank appears exactly once.
+  std::uint32_t total = 0;
+  for (std::uint32_t s = 0; s < part.num_shards; ++s) {
+    EXPECT_FALSE(part.shard_ranks[s].empty()) << "shard " << s;
+    EXPECT_TRUE(std::is_sorted(part.shard_ranks[s].begin(),
+                               part.shard_ranks[s].end()));
+    for (const Rank r : part.shard_ranks[s]) {
+      EXPECT_EQ(part.shard_of_rank[r], s);
+    }
+    total += static_cast<std::uint32_t>(part.shard_ranks[s].size());
+  }
+  EXPECT_EQ(total, layout.num_ranks());
+
+  // Whole nodes: co-located ranks never split across shards.
+  for (Rank a = 0; a < layout.num_ranks(); ++a) {
+    for (Rank b = a + 1; b < layout.num_ranks(); ++b) {
+      if (layout.same_node(a, b)) {
+        EXPECT_EQ(part.shard_of_rank[a], part.shard_of_rank[b])
+            << "node-sharing ranks " << a << "/" << b << " split";
+      }
+    }
+  }
+
+  {
+    // Contiguity in scheduler order: map node -> shard (well-defined by the
+    // whole-node property), then check monotonicity over the scheduler's
+    // node order. (Rank order is not node order under kRoundRobin, so the
+    // check has to go through the node index.)
+    std::vector<std::uint32_t> node_shard(layout.num_nodes(),
+                                          std::numeric_limits<std::uint32_t>::max());
+    for (Rank r = 0; r < layout.num_ranks(); ++r) {
+      // node_of returns a machine NodeId; recover the job-local index from
+      // the allocation order.
+      const auto& nodes = layout.nodes();
+      const auto it =
+          std::find(nodes.begin(), nodes.end(), layout.node_of(r));
+      ASSERT_NE(it, nodes.end());
+      const auto idx = static_cast<std::size_t>(it - nodes.begin());
+      if (node_shard[idx] == std::numeric_limits<std::uint32_t>::max()) {
+        node_shard[idx] = part.shard_of_rank[r];
+      } else {
+        EXPECT_EQ(node_shard[idx], part.shard_of_rank[r]);
+      }
+    }
+    EXPECT_TRUE(std::is_sorted(node_shard.begin(), node_shard.end()));
+  }
+
+  if (part.num_shards < 2) {
+    EXPECT_EQ(part.lookahead, 0);
+    return;
+  }
+
+  // The lookahead must lower-bound the latency of EVERY cut pair — the
+  // conservative property the whole window protocol rests on. Zero-byte
+  // messages minimize the serialization term.
+  const LatencyModel model(layout, params);
+  support::SimTime min_cut = std::numeric_limits<support::SimTime>::max();
+  for (Rank a = 0; a < layout.num_ranks(); ++a) {
+    for (Rank b = 0; b < layout.num_ranks(); ++b) {
+      if (a == b || part.shard_of_rank[a] == part.shard_of_rank[b]) continue;
+      min_cut = std::min(min_cut, model.message_latency(a, b, 0));
+    }
+  }
+  EXPECT_GT(part.lookahead, 0);
+  EXPECT_LE(part.lookahead, min_cut)
+      << "lookahead overshoots the actual minimum cut latency";
+}
+
+TEST(Partition, InvariantsAcrossPlacementsAndShardCounts) {
+  const TofuMachine machine;
+  const LatencyParams params;
+  for (const Placement p :
+       {Placement::kOnePerNode, Placement::kRoundRobin, Placement::kGrouped}) {
+    const std::uint32_t procs = p == Placement::kOnePerNode ? 1 : 8;
+    const JobLayout layout(machine, 96, p, procs);
+    for (const std::uint32_t shards : {1u, 2u, 3u, 4u, 8u}) {
+      check_partition(layout, params, shards);
+    }
+  }
+}
+
+TEST(Partition, RequestBeyondNodeCountIsCapped) {
+  const TofuMachine machine;
+  const JobLayout layout(machine, 4, Placement::kOnePerNode);
+  check_partition(layout, LatencyParams{}, 64);  // only 4 nodes exist
+}
+
+TEST(Partition, SingleShardHasZeroLookaheadAndOwnsEverything) {
+  const TofuMachine machine;
+  const JobLayout layout(machine, 32, Placement::kOnePerNode);
+  const ShardPartition part = partition_ranks(layout, LatencyParams{}, 1);
+  EXPECT_EQ(part.num_shards, 1u);
+  EXPECT_EQ(part.lookahead, 0);
+  for (Rank r = 0; r < 32; ++r) EXPECT_EQ(part.shard_of_rank[r], 0u);
+}
+
+TEST(Partition, BladeSplitLowersTheLookahead) {
+  const TofuMachine machine;
+  const LatencyParams params;
+  // 128 ranks 1/N: cutting into many shards must split at least one blade
+  // (4 nodes each, 32 blades), so the bound drops to the blade tier.
+  const JobLayout fine(machine, 128, Placement::kOnePerNode);
+  const ShardPartition split = partition_ranks(fine, params, 64);
+  EXPECT_EQ(split.lookahead,
+            std::min(params.same_blade, params.network_base));
+  // 2 shards over 24 ranks: the block boundary falls on a cube seam
+  // (12 nodes per cube), no blade is split, so the full network tier holds.
+  const JobLayout coarse(machine, 24, Placement::kOnePerNode);
+  const ShardPartition whole = partition_ranks(coarse, params, 2);
+  EXPECT_EQ(whole.lookahead, params.network_base);
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const TofuMachine machine;
+  const LatencyParams params;
+  const JobLayout layout(machine, 256, Placement::kGrouped, 8);
+  const ShardPartition a = partition_ranks(layout, params, 8);
+  const ShardPartition b = partition_ranks(layout, params, 8);
+  EXPECT_EQ(a.shard_of_rank, b.shard_of_rank);
+  EXPECT_EQ(a.lookahead, b.lookahead);
+}
+
+}  // namespace
+}  // namespace dws::topo
