@@ -2,13 +2,16 @@
 /// on one machine (DESIGN.md §12's acceptance run).
 ///
 /// Runs one paper-scale configuration (SIM2M, 8192 ranks, Reference 1/N,
-/// congestion off — the shared-global-state congestion model is the one
-/// feature sharded mode forbids) at sim_shards 1, 2, 4 and 8, reporting
-/// wall-clock, engine events/s and UTS nodes/s per shard count, and
-/// cross-checks that every shard count produced the same virtual-time run
-/// (same nodes, same engine events, merge_ambiguities == 0). One shard count
-/// additionally repeats under the full audit observer, so the committed
-/// numbers always come from a machine where the audited run passes.
+/// windowed congestion on — the model the real figures use, shardable since
+/// its state moved into the barrier-drained ledger) at sim_shards 1, 2, 4
+/// and 8, reporting wall-clock, engine events/s and UTS nodes/s per shard
+/// count, and cross-checks that every shard count produced the same
+/// virtual-time run (same nodes, same engine events, merge_ambiguities ==
+/// 0). One shard count additionally repeats under the full audit observer,
+/// so the committed numbers always come from a machine where the audited run
+/// passes. A closing fig09/11-style comparison then runs the paper-scale
+/// point for the two headline series (Reference 1/N vs Tofu Half 8G) under
+/// --sim-shards 4 — the congestion sweep the sharded core existed to unlock.
 ///
 /// The results merge into BENCH_core.json as a "parallel" section next to
 /// micro_core's serial baseline. Speedup is only meaningful when the host
@@ -136,10 +139,10 @@ int main(int argc, char** argv) {
   cfg.ws.victim_policy = ws::VictimPolicy::kRoundRobin;
   cfg.ws.steal_amount = ws::StealAmount::kOneChunk;
   cfg.placement = topo::Placement::kOnePerNode;
-  // Sharded mode rejects the congestion model (shared global state); run
-  // every shard count, including 1, without it so the points compare.
-  cfg.congestion = sim::CongestionParams{};
-  cfg.congestion_scale = 0.0;
+  // Windowed congestion, as the figure harness runs it: the ledger is
+  // shard-deterministic, so every shard count (including 1) runs the same
+  // congested virtual time and the points stay comparable.
+  cfg.enable_congestion(1.0);
 
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("parallel_core: %s, %u ranks, host cores %u%s\n",
@@ -192,11 +195,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fig09/11-style paper point: the two headline series of the congestion
+  // figures, both at 4 shards. The distance-skewed policy's advantage under
+  // fabric load is the effect the paper measures; printing it here proves
+  // the full congested comparison now runs at paper scale under sharding.
+  std::printf("\nfig09/11-style congested comparison (%u ranks, 4 shards):\n",
+              cfg.num_ranks);
+  const Point ref4 = run_point(cfg, 4);
+  ws::RunConfig tofu_cfg = cfg;
+  tofu_cfg.ws.victim_policy = ws::VictimPolicy::kTofuSkewed;
+  tofu_cfg.ws.steal_amount = ws::StealAmount::kHalf;
+  tofu_cfg.placement = topo::Placement::kGrouped;
+  tofu_cfg.procs_per_node = 8;
+  tofu_cfg.enable_congestion(1.0);  // re-anchor capacity to the 8G allocation
+  const Point tofu4 = run_point(tofu_cfg, 4);
+  const double tofu_speedup = static_cast<double>(ref4.result.runtime) /
+                              static_cast<double>(tofu4.result.runtime);
+  support::Table paper({"series", "virtual ms", "wall s", "max load hops",
+                        "vs Reference"});
+  paper.add_row({"Reference 1/N",
+                 support::fmt(static_cast<double>(ref4.result.runtime) / 1e6, 1),
+                 support::fmt(ref4.wall_s, 2),
+                 support::fmt(ref4.result.network.max_load_hops, 0), "1.00"});
+  paper.add_row({"Tofu Half 8G",
+                 support::fmt(static_cast<double>(tofu4.result.runtime) / 1e6, 1),
+                 support::fmt(tofu4.wall_s, 2),
+                 support::fmt(tofu4.result.network.max_load_hops, 0),
+                 support::fmt(tofu_speedup, 2)});
+  std::printf("%s", paper.render().c_str());
+
   if (!report_path.empty()) {
     std::ostringstream section;
     section << "{\"tree\":\"" << cfg.tree.name << "\",\"ranks\":"
             << cfg.num_ranks << ",\"host_cores\":" << cores
-            << ",\"quick\":" << (quick ? "true" : "false") << ",\n  \"points\":[";
+            << ",\"quick\":" << (quick ? "true" : "false")
+            << ",\"congestion\":true,\n  \"points\":[";
     for (std::size_t i = 0; i < points.size(); ++i) {
       const Point& p = points[i];
       char buf[160];
@@ -207,11 +240,19 @@ int main(int argc, char** argv) {
                     p.nodes_per_sec);
       section << buf;
     }
+    char paper_buf[200];
+    std::snprintf(paper_buf, sizeof(paper_buf),
+                  ",\n  \"paper_point\":{\"reference_runtime_ns\":%llu,"
+                  "\"tofu_half_8g_runtime_ns\":%llu,\"tofu_speedup\":%.4g}",
+                  static_cast<unsigned long long>(ref4.result.runtime),
+                  static_cast<unsigned long long>(tofu4.result.runtime),
+                  tofu_speedup);
     section << "],\n  \"engine_events\":" << points[0].result.engine_events
             << ",\"nodes\":" << points[0].result.nodes
             << ",\"identical_across_shards\":" << (identical ? "true" : "false")
             << ",\"audit_shards\":" << (audit_pass ? audit_shards : 0)
-            << ",\"audit_ok\":" << (audit_ok ? "true" : "false") << "}";
+            << ",\"audit_ok\":" << (audit_ok ? "true" : "false") << paper_buf
+            << "}";
     if (write_report(report_path, section.str()) != 0) return 1;
     std::printf("merged \"parallel\" section into %s\n", report_path.c_str());
   }

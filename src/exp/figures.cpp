@@ -29,6 +29,7 @@ FigureOptions options_from_env() {
   opts.quick = quick != nullptr && quick[0] == '1';
   opts.seeds = env_u32("DWS_BENCH_SEEDS", opts.seeds);
   opts.threads = env_u32("DWS_BENCH_THREADS", opts.threads);
+  opts.sim_shards = env_u32("DWS_BENCH_SHARDS", opts.sim_shards);
   return opts;
 }
 
@@ -41,6 +42,7 @@ ws::RunConfig base_config(const char* tree) {
   // ranks/placement after this.
   cfg.ws.chunk_size = 4;
   cfg.enable_congestion(1.0);
+  cfg.sim_shards = figure_options().sim_shards;
   return cfg;
 }
 
@@ -96,6 +98,8 @@ void figure_init(int argc, char** argv, const char* figure,
       .u32("--seeds", "", "seeds averaged per point (default 3)", &opts.seeds)
       .u32("--threads", "", "sweep worker threads (default: all cores)",
            &opts.threads)
+      .u32("--sim-shards", "", "engine shards per run (default 1)",
+           &opts.sim_shards)
       .str("--out", "-o", "write one record per run to this file", &opts.out)
       .str("--format", "", "record format: jsonl|csv", &format);
   if (const auto status = spec.parse(argc, argv); !status) {

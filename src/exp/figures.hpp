@@ -83,12 +83,19 @@ Axis series_axis(const std::vector<Series>& series);
 ///   --quick          trim sweeps for iteration   (DWS_BENCH_QUICK=1)
 ///   --seeds N        seed-average over N seeds   (DWS_BENCH_SEEDS)
 ///   --threads N      sweep worker threads        (DWS_BENCH_THREADS, 0=cores)
+///   --sim-shards N   engine shards per run       (DWS_BENCH_SHARDS)
 ///   --out FILE       also write one record per run (record.hpp)
 ///   --format F       record format: jsonl|csv
 struct FigureOptions {
   bool quick = false;
   std::uint32_t seeds = 3;
   std::uint32_t threads = 0;
+  /// Conservative-parallel engine shards per run (DESIGN.md §12). Execution
+  /// strategy only — records are shard-invariant — so every figure can be
+  /// regenerated sharded (`DWS_BENCH_SHARDS=4 ./fig09_tofu_speedup`) with no
+  /// effect on the output beyond wall-clock. Interacts with --threads:
+  /// sweep-level parallelism and shard-level parallelism multiply.
+  std::uint32_t sim_shards = 1;
   std::string out;
   RecordFormat format = RecordFormat::kJsonl;
 };

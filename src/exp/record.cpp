@@ -110,6 +110,15 @@ std::string canonical_config(const ws::RunConfig& c) {
   kvu("congestion.enabled", c.congestion.enabled ? 1 : 0);
   kvd("congestion.capacity_hops", c.congestion.capacity_hops);
   kvd("congestion.scale", c.congestion_scale);
+  if (c.congestion.enabled) {
+    // The *resolved* window (the 0 default means one network_base), emitted
+    // only when the model is on: the windowed-congestion semantics change
+    // re-fingerprints congested configs exactly once, and a config whose
+    // explicit window equals the derived one is honestly identical.
+    kvu("congestion.window",
+        static_cast<std::uint64_t>(
+            sim::congestion_window(c.congestion, c.latency)));
+  }
 
   kvu("ws.chunk_size", c.ws.chunk_size);
   kv("ws.victim_policy", ws::to_string(c.ws.victim_policy));
@@ -169,6 +178,10 @@ std::string canonical_config(const ws::RunConfig& c) {
     kvu("fault.pause_window",
         static_cast<std::uint64_t>(c.fault.pause_window));
     kvu("fault.seed", c.fault.seed);
+    // Draw-keying generation: per-channel send counters replaced the global
+    // counter (a semantics change — same seed, different draw sequence), so
+    // faulted configs re-fingerprint exactly once.
+    kv("fault.keying", "per-channel");
   }
   return s;
 }

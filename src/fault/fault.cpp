@@ -75,11 +75,14 @@ double Injector::unit_draw(std::uint64_t salt, std::uint64_t key) const {
 SendPlan Injector::plan_send(std::uint64_t channel_key, MsgClass cls,
                              std::uint32_t bytes) {
   SendPlan plan;
-  // One fresh stream per send: hash of (seed, channel, global send counter).
-  // Four draws in fixed order keep the decisions decorrelated and make the
-  // sequence a pure function of engine event order.
+  // One fresh stream per send: hash of (seed, channel, the channel's own
+  // send counter). Four draws in fixed order keep the decisions decorrelated;
+  // keying on the per-channel counter makes the plan independent of how
+  // other channels' sends interleave with this one — the property that lets
+  // each simulator shard own a private Injector (DESIGN.md §12).
+  ChannelFaultState& ch = channels_[channel_key];
   support::SplitMix64 sm(cfg_.seed ^ (channel_key * kSendSalt) ^
-                         (++seq_ * kPauseSalt));
+                         (++ch.sends * kPauseSalt));
   const double u_drop = to_unit(sm.next());
   const double u_dup = to_unit(sm.next());
   const double u_jitter = to_unit(sm.next());
@@ -87,12 +90,14 @@ SendPlan Injector::plan_send(std::uint64_t channel_key, MsgClass cls,
 
   if (cls == MsgClass::kDroppable && u_drop < cfg_.drop_prob) {
     plan.drop = true;
+    ++ch.dropped_messages;
     ++stats_.dropped_messages;
     stats_.dropped_bytes += bytes;
     return plan;
   }
   if (cls != MsgClass::kReliable && u_dup < cfg_.dup_prob) {
     plan.duplicate = true;
+    ++ch.duplicated_messages;
     ++stats_.duplicated_messages;
     stats_.duplicated_bytes += bytes;
   }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -18,10 +19,13 @@
 /// FaultConfig::seed — never from the schedulers' RNGs — so enabling faults
 /// perturbs the run but a faulted run with a fixed seed replays
 /// byte-identically, and the fault axes of a sweep are decorrelated from the
-/// victim-selection axes. Per-message decisions are counter-based (a hash of
-/// seed, channel and a global send sequence number), which costs no
-/// per-channel generator state and is reproducible because the engine's
-/// event order is.
+/// victim-selection axes. Per-message decisions are counter-based: a hash of
+/// (seed, channel, the channel's own send sequence number). Keying on the
+/// per-channel counter — not a global one — makes every draw a pure function
+/// of the channel's send history, which is what lets the sharded simulator
+/// core (DESIGN.md §12) give each shard its own Injector: a channel's sends
+/// are totally ordered inside the sending rank's shard, so the draw sequence
+/// is identical at every shard count.
 namespace dws::fault {
 
 /// Loss semantics of one message, declared by the protocol layer at the send
@@ -86,6 +90,17 @@ struct FaultStats {
   std::uint64_t duplicated_bytes = 0;
 };
 
+/// One channel's slice of the injector state: the send counter that keys the
+/// draws, plus what the injector did on this channel. Summing the per-channel
+/// drop/dup counts over channels() reproduces the global FaultStats — the
+/// conservation property the sharded merge (one injector per shard, disjoint
+/// channel sets) relies on and the tests pin.
+struct ChannelFaultState {
+  std::uint64_t sends = 0;  ///< per-channel send sequence (the draw key)
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t duplicated_messages = 0;
+};
+
 /// Per-send verdict: drop, duplicate, and the latency multipliers (jitter x
 /// degraded link) for the original and — when duplicated — the copy.
 struct SendPlan {
@@ -95,10 +110,14 @@ struct SendPlan {
   double dup_latency_mult = 1.0;
 };
 
-/// The deterministic fault injector: one per run, shared by sim::Network
-/// (message faults) and ws::Worker (stragglers and pauses). plan_send
-/// advances the global send sequence, so call order — which the engine makes
-/// deterministic — is part of the replayed state.
+/// The deterministic fault injector: one per run (or one per shard — see
+/// below), shared by sim::Network (message faults) and ws::Worker
+/// (stragglers and pauses). plan_send advances only the *channel's* send
+/// sequence, so a plan depends on nothing but (seed, channel, how many
+/// sends that channel has seen) — the interleaving of different channels
+/// is irrelevant. Straggler and pause assignments are pure functions of
+/// (seed, num_ranks), so shard-local Injector copies constructed from the
+/// same config agree on them.
 class Injector {
  public:
   Injector(const FaultConfig& config, std::uint32_t num_ranks);
@@ -106,6 +125,14 @@ class Injector {
   const FaultConfig& config() const noexcept { return cfg_; }
   bool enabled() const noexcept { return cfg_.enabled(); }
   const FaultStats& stats() const noexcept { return stats_; }
+
+  /// Per-channel send counters and drop/dup tallies, keyed by the network's
+  /// (src<<32)|dst channel key. Only channels that saw at least one
+  /// plan_send appear.
+  const std::unordered_map<std::uint64_t, ChannelFaultState>& channels()
+      const noexcept {
+    return channels_;
+  }
 
   /// One decision per network send on channel `channel_key` (the network's
   /// (src<<32)|dst key). Mutates the send counter and the fault stats.
@@ -131,7 +158,9 @@ class Injector {
 
   FaultConfig cfg_;
   FaultStats stats_;
-  std::uint64_t seq_ = 0;  ///< global send counter (the replayed dimension)
+  /// Per-channel state (the replayed dimension). A channel's draws are a
+  /// pure function of its own send count, never of other channels' traffic.
+  std::unordered_map<std::uint64_t, ChannelFaultState> channels_;
   std::vector<std::uint8_t> straggler_;     // per rank
   std::vector<support::SimTime> pause_at_;  // per rank; <0 = no pause
 };

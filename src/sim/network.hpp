@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -20,29 +21,92 @@ struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t intra_node_messages = 0;
-  double max_load_hops = 0.0;  ///< peak in-flight hop-units (congestion)
+  /// Peak per-window congestion load: max over window boundaries of the
+  /// hop-units of flights crossing that boundary (see CongestionLedger).
+  double max_load_hops = 0.0;
   /// Peak number of (src, dst) channels with a delivery in flight. Channel
   /// ordering state is retired as soon as its last delivery fires, so this
   /// bounds the non-overtaking map instead of the all-pairs worst case.
   std::uint64_t peak_channels = 0;
 };
 
-/// Fluid-approximation congestion model. Every in-flight inter-node message
-/// occupies `hops` link-units; the network-portion of a new message's
-/// latency is scaled by (1 + load / capacity_hops). This captures the effect
-/// the paper attributes to the physical scale of the K Computer: uniform
-/// random steal traffic crosses many links and saturates the fabric, while
-/// distance-skewed traffic stays local and cheap. Intra-node messages are
-/// unaffected. Disabled by default (tests exercise raw latencies); the bench
-/// harness enables it with a capacity derived from the allocation's link
-/// count (see ws::RunConfig::enable_congestion and bench/common.hpp).
+/// Fluid-approximation congestion model, windowed for determinism. Time is
+/// cut into fixed windows of length `window` (ns). Every inter-node flight
+/// contributes its `hops` link-units to each window *boundary* j·window that
+/// falls strictly after its send and at-or-before its arrival; a send in
+/// window k reads the load folded at boundary k — i.e. the hop-units of
+/// flights that were in the air as window k opened — and scales the
+/// network-portion of its latency by (1 + load / capacity_hops). This
+/// captures the effect the paper attributes to the physical scale of the
+/// K Computer: uniform random steal traffic crosses many links and
+/// saturates the fabric, while distance-skewed traffic stays local and
+/// cheap. Intra-node messages are unaffected.
+///
+/// The one-window lag is what makes the model shard-deterministic: a send at
+/// time t only ever reads boundary loads at or before t - window, and the
+/// sharded run loop clamps its conservative lookahead to the window, so
+/// every contribution a send can observe was folded at a past barrier —
+/// identical at any shard count (DESIGN.md §12). Loads are integer hop sums
+/// accumulated in doubles, so folding order cannot perturb them.
+///
+/// Disabled by default (tests exercise raw latencies); the bench harness
+/// enables it with a capacity derived from the allocation's link count (see
+/// ws::RunConfig::enable_congestion).
 struct CongestionParams {
   bool enabled = false;
-  /// In-flight hop-units at which the network latency doubles. A reasonable
+  /// Boundary hop-units at which the network latency doubles. A reasonable
   /// physical anchor is the number of links inside the job's allocation
   /// (~6 links/node in a 6D torus).
   double capacity_hops = 1.0;
+  /// Window length in ns; 0 (the default) resolves to the latency model's
+  /// network_base — the natural "one network traversal" granularity, and
+  /// never below the sharded lookahead, so the default costs sharded runs
+  /// no window shrinkage. See congestion_window().
+  support::SimTime window = 0;
 };
+
+/// The per-boundary congestion ledger: load[j] is the hop-units of flights
+/// crossing window boundary j·window. Serial runs fold into a private
+/// ledger as they send; sharded runs fold each shard's flights into one
+/// shared ledger at the barrier (deterministic ascending-shard order), and
+/// shards read it without locks — reads target boundaries at least one full
+/// window old, which the barrier has already sealed.
+class CongestionLedger {
+ public:
+  explicit CongestionLedger(support::SimTime window) : window_(window) {
+    DWS_CHECK(window_ > 0);
+  }
+
+  support::SimTime window() const noexcept { return window_; }
+
+  /// Adds `hops` to boundary j (time j·window_).
+  void add(std::uint64_t boundary, double hops) {
+    if (boundary >= load_.size()) load_.resize(boundary + 1, 0.0);
+    load_[boundary] += hops;
+    max_load_ = std::max(max_load_, load_[boundary]);
+  }
+
+  /// Load folded at boundary j; 0 for boundaries no flight has reached.
+  double boundary_load(std::uint64_t boundary) const noexcept {
+    return boundary < load_.size() ? load_[boundary] : 0.0;
+  }
+
+  /// Max over boundaries of boundary_load — the run's max_load_hops.
+  double max_boundary_load() const noexcept { return max_load_; }
+
+ private:
+  support::SimTime window_;
+  std::vector<double> load_;
+  double max_load_ = 0.0;
+};
+
+/// Resolves the effective congestion window: an explicit positive window
+/// wins; the 0 default means one network_base. Single source of truth for
+/// the serial Network and the sharded run loop, which must agree on it.
+inline support::SimTime congestion_window(const CongestionParams& congestion,
+                                          const topo::LatencyParams& latency) {
+  return congestion.window > 0 ? congestion.window : latency.network_base;
+}
 
 /// Point-to-point message transport between simulated ranks.
 ///
@@ -88,6 +152,15 @@ struct CongestionParams {
 /// the local clock pass the arrival — at which point any future send on the
 /// channel arrives later anyway, so dropping the clamp state cannot reorder
 /// deliveries.
+///
+/// Congestion under sharding: each shard's Network reads boundary loads from
+/// one *shared* CongestionLedger (set_shared_ledger) and defers its own
+/// flights' contributions to pending_loads; the run loop drains every
+/// shard's pending loads into the ledger inside the barrier, in ascending
+/// shard order, before computing the next window. A send at time t reads
+/// only boundaries at or before t - window <= t - lookahead, all sealed by
+/// past barriers, so the loads it sees — and hence every latency — are
+/// identical to the serial run's.
 template <typename Message,
           typename Deliver = std::function<void(topo::Rank, Message)>>
 class Network final : public EventSink {
@@ -117,6 +190,35 @@ class Network final : public EventSink {
         congestion_(congestion),
         faults_(faults) {
     DWS_CHECK(!congestion_.enabled || congestion_.capacity_hops > 0.0);
+    if (congestion_.enabled) {
+      window_ = congestion_window(congestion_, latency_->params());
+      // Immediate mode: this network owns the ledger and folds flights as
+      // they are sent. A sharded run swaps in the shared ledger below.
+      own_ledger_ = std::make_unique<CongestionLedger>(window_);
+      read_ledger_ = own_ledger_.get();
+    }
+  }
+
+  /// Sharded-run congestion wiring: read boundary loads from `ledger`
+  /// (owned by the run loop, shared by all shards) and defer this shard's
+  /// own contributions until drain_pending_loads. Must happen before any
+  /// send; the ledger must outlive the network.
+  void set_shared_ledger(const CongestionLedger* ledger) {
+    DWS_CHECK(congestion_.enabled);
+    DWS_CHECK(ledger != nullptr && ledger->window() == window_);
+    own_ledger_.reset();
+    read_ledger_ = ledger;
+    deferred_loads_ = true;
+  }
+
+  /// Folds this shard's pending flight contributions into the shared
+  /// ledger. Called inside the window barrier in ascending shard order, so
+  /// the fold sequence — and every double sum — is deterministic.
+  void drain_pending_loads(CongestionLedger& ledger) {
+    for (const auto& [boundary, hops] : pending_loads_) {
+      ledger.add(boundary, hops);
+    }
+    pending_loads_.clear();
   }
 
   /// Send `msg` of `bytes` payload bytes from `src` to `dst` (src != dst).
@@ -144,15 +246,15 @@ class Network final : public EventSink {
     enqueue(src, dst, std::move(msg), bytes, 1.0);
   }
 
-  /// kNetworkDeliver dispatch: unparks the message, drains its congestion
-  /// load, retires the channel if this was its last in-flight delivery, and
-  /// hands the message to the receiver. Flights accepted from another shard
-  /// carry the sentinel channel — their ordering state lives (and retires)
-  /// on the sending shard.
+  /// kNetworkDeliver dispatch: unparks the message, retires the channel if
+  /// this was its last in-flight delivery, and hands the message to the
+  /// receiver. Flights accepted from another shard carry the sentinel
+  /// channel — their ordering state lives (and retires) on the sending
+  /// shard. Congestion needs no work here: a flight's boundary
+  /// contributions were recorded at send time.
   void on_event(const Event& ev) override {
     InFlight flight = in_flight_.take(ev.payload);
     if (flight.channel != kRemoteChannel) {
-      load_hops_ -= flight.hops;
       retire_channel(flight.channel);
     }
     deliver_(static_cast<topo::Rank>(ev.rank), std::move(flight.msg));
@@ -173,7 +275,7 @@ class Network final : public EventSink {
                      std::uint32_t origin, topo::Rank src, topo::Rank dst,
                      Message msg) {
     const std::uint32_t handle =
-        in_flight_.acquire(InFlight{std::move(msg), kRemoteChannel, 0});
+        in_flight_.acquire(InFlight{std::move(msg), kRemoteChannel});
     engine_->inject(arrival, t_sched, origin, src, *this,
                     EventKind::kNetworkDeliver, dst, handle);
   }
@@ -204,7 +306,6 @@ class Network final : public EventSink {
   struct InFlight {
     Message msg;
     std::uint64_t channel = 0;
-    std::int32_t hops = 0;
   };
   using ChannelMap = std::unordered_map<std::uint64_t, Channel>;
 
@@ -212,6 +313,12 @@ class Network final : public EventSink {
   /// (src << 32) | dst with 32-bit ranks below UINT32_MAX, so the all-ones
   /// key is never a live channel.
   static constexpr std::uint64_t kRemoteChannel = ~std::uint64_t{0};
+
+  /// Most window boundaries one flight may load. A saturated (clamped)
+  /// latency spans ~4e18 ns; without a cap that single flight would fold
+  /// into ~1e12 boundaries. 4096 windows ≈ 4 µs of sustained load at the
+  /// default window — far past any real flight's influence.
+  static constexpr std::uint64_t kMaxEpochsPerFlight = 4096;
 
   /// Min-heap order by arrival time for the lazy retirement heap.
   struct RetireLater {
@@ -226,28 +333,68 @@ class Network final : public EventSink {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
+  /// Converts a scaled latency from the double domain back to SimTime,
+  /// saturating far below the wrap point: a huge congestion or fault
+  /// multiplier clamps to max/2 instead of overflowing the double→int cast
+  /// (UB) or tripping the absolute-time guard. max/2 stays safely under the
+  /// sharded run loop's kInf window sentinel.
+  static support::SimTime scale_to_sim_time(double scaled) {
+    constexpr double kCap = static_cast<double>(
+        std::numeric_limits<support::SimTime>::max() / 2);
+    if (!(scaled < kCap)) return std::numeric_limits<support::SimTime>::max() / 2;
+    return static_cast<support::SimTime>(scaled);
+  }
+
+  /// Folds one inter-node flight [send, arrival] into the congestion
+  /// ledger: `hops` units at every boundary j·window in (send, arrival],
+  /// capped at kMaxEpochsPerFlight boundaries so a saturated latency cannot
+  /// make a single flight unboundedly expensive (the cap applies identically
+  /// in serial and sharded runs, preserving their identity).
+  void record_flight(support::SimTime send, support::SimTime arrival,
+                     double hops) {
+    const auto w = static_cast<std::uint64_t>(window_);
+    const std::uint64_t first = static_cast<std::uint64_t>(send) / w + 1;
+    std::uint64_t last = static_cast<std::uint64_t>(arrival) / w;
+    if (last >= first + kMaxEpochsPerFlight) {
+      last = first + kMaxEpochsPerFlight - 1;
+    }
+    if (deferred_loads_) {
+      for (std::uint64_t j = first; j <= last; ++j) {
+        pending_loads_.emplace_back(j, hops);
+      }
+      return;
+    }
+    for (std::uint64_t j = first; j <= last; ++j) own_ledger_->add(j, hops);
+    stats_.max_load_hops = own_ledger_->max_boundary_load();
+  }
+
   /// One actual delivery: congested latency, fault latency multiplier,
   /// channel clamp, stats, and the kNetworkDeliver event.
   void enqueue(topo::Rank src, topo::Rank dst, Message msg,
                std::uint32_t bytes, double latency_mult) {
     support::SimTime latency = latency_->message_latency(src, dst, bytes);
-    std::int32_t hops = 0;
-    if (congestion_.enabled && !latency_->layout().same_node(src, dst)) {
-      hops = latency_->hops(src, dst);
-      const double multiplier = 1.0 + load_hops_ / congestion_.capacity_hops;
-      latency = static_cast<support::SimTime>(
-          static_cast<double>(latency) * multiplier);
-      load_hops_ += hops;
-      stats_.max_load_hops = std::max(stats_.max_load_hops, load_hops_);
-    }
-    if (latency_mult != 1.0) {
-      latency = static_cast<support::SimTime>(
-          static_cast<double>(latency) * latency_mult);
+    const bool congested =
+        congestion_.enabled && !latency_->layout().same_node(src, dst);
+    if (congested || latency_mult != 1.0) {
+      double scaled = static_cast<double>(latency);
+      if (congested) {
+        // The send reads the load folded at its own window's opening
+        // boundary — flights in the air as the window began. Window 0 has
+        // no prior boundary and runs at raw latency.
+        const auto epoch = static_cast<std::uint64_t>(engine_->now()) /
+                           static_cast<std::uint64_t>(window_);
+        const double load =
+            epoch == 0 ? 0.0 : read_ledger_->boundary_load(epoch - 1);
+        scaled *= 1.0 + load / congestion_.capacity_hops;
+      }
+      scaled *= latency_mult;
+      latency = scale_to_sim_time(scaled);
     }
     // Guard the absolute-time arithmetic the way Engine::schedule_after
-    // guards its delay: a negative or overflowing latency (conceivable via a
-    // huge congestion or fault multiplier) would wrap the virtual clock —
-    // signed overflow is UB and the schedule corrupts silently.
+    // guards its delay: a negative or overflowing latency would wrap the
+    // virtual clock — signed overflow is UB and the schedule corrupts
+    // silently. scale_to_sim_time saturates at max/2, so the only way to
+    // trip this is a clock already past max/2.
     DWS_CHECK(latency >= 0);
     DWS_CHECK(latency <=
               std::numeric_limits<support::SimTime>::max() - engine_->now());
@@ -266,12 +413,17 @@ class Network final : public EventSink {
     }
 
     count_message(src, dst, bytes);
+    if (congested) {
+      // Record against the clamped arrival: the flight occupies links until
+      // it actually lands.
+      record_flight(engine_->now(), arrival,
+                    static_cast<double>(latency_->hops(src, dst)));
+    }
 
     if (router_ != nullptr && router_->is_remote(dst)) {
       // Cross-shard send: the clamp above ran on the owning (source) side;
       // no local delivery event will fire, so queue the lazy retirement and
       // hand the message to the mailbox fabric with the sender's clock.
-      DWS_DCHECK(hops == 0);  // congestion is rejected for sharded runs
       retire_heap_.emplace_back(arrival, key);
       std::push_heap(retire_heap_.begin(), retire_heap_.end(), RetireLater{});
       router_->post(dst, arrival, engine_->now(), src, std::move(msg));
@@ -279,7 +431,7 @@ class Network final : public EventSink {
     }
 
     const std::uint32_t handle =
-        in_flight_.acquire(InFlight{std::move(msg), key, hops});
+        in_flight_.acquire(InFlight{std::move(msg), key});
     engine_->schedule_at(arrival, *this, EventKind::kNetworkDeliver, dst,
                          handle, src);
   }
@@ -321,7 +473,14 @@ class Network final : public EventSink {
   CongestionParams congestion_;
   fault::Injector* faults_;
   Router* router_ = nullptr;
-  double load_hops_ = 0.0;  // in-flight hop-units (congestion state)
+  /// Resolved congestion window (congestion_window()); 0 when disabled.
+  support::SimTime window_ = 0;
+  /// Immediate mode owns its ledger; sharded mode reads the shared one and
+  /// parks contributions in pending_loads_ until the barrier drains them.
+  std::unique_ptr<CongestionLedger> own_ledger_;
+  const CongestionLedger* read_ledger_ = nullptr;
+  bool deferred_loads_ = false;
+  std::vector<std::pair<std::uint64_t, double>> pending_loads_;
   NetworkStats stats_;
   ChannelMap channels_;
   std::vector<typename ChannelMap::node_type> spare_nodes_;

@@ -111,25 +111,31 @@ support::Status RunConfig::validate() const {
   if (sim_shards < 1) {
     return support::Status::error("sim_shards must be >= 1");
   }
+  if (congestion_scale > 0.0 && !congestion.enabled) {
+    // Re-anchoring (run_simulation) only applies the scale when the model is
+    // on; a scale without the model would be silently ignored.
+    return support::Status::error(
+        "congestion_scale > 0 requires congestion.enabled (use "
+        "enable_congestion(); a bare scale is silently dead)");
+  }
+  if (congestion.window < 0) {
+    return support::Status::error("congestion.window must be >= 0");
+  }
+  if (congestion.enabled && congestion.window == 0 &&
+      latency.network_base <= 0) {
+    return support::Status::error(
+        "congestion with the default window needs network_base > 0 (the "
+        "window resolves to one network_base)");
+  }
   if (sim_shards > 1) {
-    // The sharded core gives each shard an independent engine/network; any
-    // feature built on run-global mutable state cannot be split without
-    // changing results, so it is rejected up front rather than silently
-    // diverging from the single-engine run.
+    // Faults and congestion compose with sharding since their state was
+    // de-globalized (per-channel fault keying, windowed congestion ledger —
+    // DESIGN.md §12); the native backend stays out because it already runs
+    // one real thread per rank.
     if (backend == Backend::kRt) {
       return support::Status::error(
           "sim_shards > 1 is simulator-only (backend=rt already runs one "
           "thread per rank)");
-    }
-    if (fault.enabled()) {
-      return support::Status::error(
-          "fault injection requires sim_shards == 1 (the injector's draw "
-          "sequence is a single global order)");
-    }
-    if (congestion.enabled || congestion_scale > 0.0) {
-      return support::Status::error(
-          "congestion requires sim_shards == 1 (the fluid model tracks one "
-          "global in-flight load)");
     }
     if (latency.same_blade <= 0 || latency.network_base <= 0) {
       return support::Status::error(
@@ -162,28 +168,31 @@ RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
                          config.procs_per_node, config.origin_cube);
   topo::LatencyModel latency(layout, config.latency);
 
-  if (config.sim_shards > 1) {
-    topo::ShardPartition part =
-        topo::partition_ranks(layout, config.latency, config.sim_shards);
-    // A one-node job degenerates to one shard; fall through to the
-    // single-engine path rather than spinning up the window machinery.
-    if (part.num_shards > 1) {
-      return run_sharded(config, layout, latency, std::move(part), observer);
-    }
-  }
-
-  sim::Engine engine;
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(config.num_ranks);
-
   // Re-anchor the congestion capacity when it was requested as a scale of
   // the allocation size and the ranks changed since (sweep axes do this).
+  // Resolved before the shard dispatch so the serial and sharded paths run
+  // the same model.
   sim::CongestionParams congestion = config.congestion;
   if (congestion.enabled && config.congestion_scale > 0.0) {
     congestion.capacity_hops =
         config.congestion_scale * 5.0 *
         static_cast<double>(config.num_ranks / config.procs_per_node);
   }
+
+  if (config.sim_shards > 1) {
+    topo::ShardPartition part =
+        topo::partition_ranks(layout, config.latency, config.sim_shards);
+    // A one-node job degenerates to one shard; fall through to the
+    // single-engine path rather than spinning up the window machinery.
+    if (part.num_shards > 1) {
+      return run_sharded(config, layout, latency, congestion, std::move(part),
+                         observer);
+    }
+  }
+
+  sim::Engine engine;
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(config.num_ranks);
 
   // The injector lives for the whole run; network and workers share it. A
   // null pointer (no faults) keeps the hot paths on their zero-cost branch.

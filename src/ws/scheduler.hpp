@@ -60,9 +60,10 @@ struct RunConfig {
   /// simulation identity — results, records and fingerprints are invariant
   /// in the shard count (the differential suite enforces byte-identity), so
   /// sim_shards is excluded from exp::canonical_config. The effective count
-  /// is capped at the job's node count. validate() rejects combinations the
-  /// sharded core cannot split (fault injection, congestion, backend=rt,
-  /// zero-latency cross-node tiers).
+  /// is capped at the job's node count. Fault injection (per-channel draw
+  /// keying) and congestion (windowed shared ledger) compose with sharding;
+  /// validate() rejects the combinations the sharded core cannot split
+  /// (backend=rt, zero-latency cross-node tiers).
   std::uint32_t sim_shards = 1;
 
   /// When > 0, enable_congestion(scale) was called: run_simulation re-anchors

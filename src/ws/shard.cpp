@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "proto/replay.hpp"
 #include "sim/engine.hpp"
 #include "support/check.hpp"
@@ -75,6 +76,12 @@ struct Shard {
   sim::Engine engine;
   std::unique_ptr<ShardRouter> router;
   std::unique_ptr<WsNetwork> network;
+  /// Shard-private injector. Message draws are keyed per channel and a
+  /// channel's sends all happen on the sending rank's shard, so S private
+  /// injectors make exactly the serial injector's decisions; straggler and
+  /// pause assignments are pure functions of (seed, num_ranks) every copy
+  /// agrees on.
+  std::unique_ptr<fault::Injector> injector;
   std::vector<std::unique_ptr<Worker>> workers;
   RunContext ctx;
   std::unique_ptr<proto::BufferedObserver> buffer;
@@ -85,15 +92,27 @@ struct Shard {
 
 RunResult run_sharded(const RunConfig& config, const topo::JobLayout& layout,
                       const topo::LatencyModel& latency,
+                      sim::CongestionParams congestion,
                       topo::ShardPartition part, RunObserver* observer) {
   const std::uint32_t num_shards = part.num_shards;
   DWS_CHECK(num_shards > 1);
   DWS_CHECK(part.lookahead > 0);
   DWS_CHECK(part.shard_of_rank.size() == layout.num_ranks());
-  // Unsupported shared-global-state features are screened by validate();
-  // re-check the ones a direct caller could slip past.
-  DWS_CHECK(!config.congestion.enabled);
-  DWS_CHECK(!config.fault.enabled());
+
+  // Shared congestion ledger: one per run, read lock-free by every shard
+  // (reads target boundaries at least one window old) and written only
+  // inside the sync barrier. Clamping the lookahead to the window is what
+  // guarantees that staleness bound — with the default window (one
+  // network_base) the clamp is a no-op, since every partition's lookahead
+  // is a min over cut latencies that include network_base.
+  std::unique_ptr<sim::CongestionLedger> ledger;
+  if (congestion.enabled) {
+    const support::SimTime window =
+        sim::congestion_window(congestion, latency.params());
+    ledger = std::make_unique<sim::CongestionLedger>(window);
+    part.lookahead = std::min(part.lookahead, window);
+    DWS_CHECK(part.lookahead > 0);
+  }
 
   std::vector<MailSlot> mail(static_cast<std::size_t>(num_shards) *
                              num_shards);
@@ -105,10 +124,15 @@ RunResult run_sharded(const RunConfig& config, const topo::JobLayout& layout,
     auto shard = std::make_unique<Shard>(s);
     shard->router = std::make_unique<ShardRouter>(
         part.shard_of_rank, s, &mail[static_cast<std::size_t>(s) * num_shards]);
+    shard->injector =
+        std::make_unique<fault::Injector>(config.fault, config.num_ranks);
+    fault::Injector* faults =
+        shard->injector->enabled() ? shard->injector.get() : nullptr;
     shard->network = std::make_unique<WsNetwork>(
-        shard->engine, latency, DeliverToWorkers{&shard->workers},
-        sim::CongestionParams{}, nullptr);
+        shard->engine, latency, DeliverToWorkers{&shard->workers}, congestion,
+        faults);
     shard->network->set_router(shard->router.get());
+    if (ledger) shard->network->set_shared_ledger(ledger.get());
     if (observer != nullptr) {
       sim::Engine* engine = &shard->engine;
       shard->buffer = std::make_unique<proto::BufferedObserver>(
@@ -124,7 +148,7 @@ RunResult run_sharded(const RunConfig& config, const topo::JobLayout& layout,
     ctx.latency = &latency;
     ctx.num_ranks = config.num_ranks;
     ctx.observer = shard->buffer.get();
-    ctx.faults = nullptr;
+    ctx.faults = faults;
 
     shard->workers.resize(config.num_ranks);
     for (topo::Rank r : part.shard_ranks[s]) {
@@ -171,6 +195,13 @@ RunResult run_sharded(const RunConfig& config, const topo::JobLayout& layout,
   support::SimTime w_end = 0;
   bool done = false;
   std::barrier sync(num_shards, [&]() noexcept {
+    // Fold every shard's congestion flight loads into the shared ledger
+    // first — in ascending shard order, so the double sums are folded in one
+    // deterministic sequence — and before the done check, so the final
+    // window's flights still reach max_boundary_load.
+    if (ledger) {
+      for (const auto& s : shards) s->network->drain_pending_loads(*ledger);
+    }
     support::SimTime t_min = kInf;
     for (const auto& s : shards) t_min = std::min(t_min, s->next_time);
     if (t_min == kInf || failed.load(std::memory_order_acquire)) {
@@ -278,11 +309,23 @@ RunResult run_sharded(const RunConfig& config, const topo::JobLayout& layout,
     result.network.max_load_hops =
         std::max(result.network.max_load_hops, ns.max_load_hops);
     result.network.peak_channels += ns.peak_channels;
+    // Channels are sender-owned and disjoint across shards, so summing the
+    // per-shard injectors reproduces the serial injector's totals exactly.
+    const fault::FaultStats& fs = sh->injector->stats();
+    result.faults.dropped_messages += fs.dropped_messages;
+    result.faults.dropped_bytes += fs.dropped_bytes;
+    result.faults.duplicated_messages += fs.duplicated_messages;
+    result.faults.duplicated_bytes += fs.duplicated_bytes;
     result.engine_events += sh->engine.events_executed();
     result.engine_peak_pending =
         std::max<std::uint64_t>(result.engine_peak_pending,
                                 sh->engine.max_pending());
     result.merge_ambiguities += sh->engine.merge_ambiguities();
+  }
+  if (ledger) {
+    // Deferred mode leaves per-shard NetworkStats::max_load_hops at 0; the
+    // run-wide peak lives in the shared ledger.
+    result.network.max_load_hops = ledger->max_boundary_load();
   }
 
   if (config.ws.record_trace) {

@@ -8,18 +8,26 @@ namespace dws::ws {
 /// Sharded conservative-parallel execution of one RunConfig (DESIGN.md §12).
 ///
 /// Called by run_simulation when the effective shard count is > 1. Builds
-/// one sim::Engine + WsNetwork + worker set per shard of `part`, runs the
+/// one sim::Engine + WsNetwork + worker set per shard of `part` (each with
+/// its own fault::Injector — per-channel draw keying makes the shard-local
+/// injectors collectively byte-equivalent to the serial one), runs the
 /// shards on real threads under barrier-synchronized conservative windows of
 /// width part.lookahead, and routes cross-shard messages through per-shard-
-/// pair mailboxes drained at window boundaries. For every configuration
-/// validate() admits, the RunResult (and hence any exp record cut from it)
-/// is byte-identical to the single-engine path — the differential suite in
-/// tests/ws enforces this at shard counts {1, 2, 4, 8}.
+/// pair mailboxes drained at window boundaries. With congestion enabled, all
+/// shards share one CongestionLedger: flight loads are drained into it at
+/// the sync barrier in ascending shard order, and the lookahead is clamped
+/// to the congestion window so reads only ever hit sealed boundaries. For
+/// every configuration validate() admits, the RunResult (and hence any exp
+/// record cut from it) is byte-identical to the single-engine path — the
+/// differential suite in tests/audit enforces this at shard counts
+/// {1, 2, 4, 8}, including fault- and congestion-enabled configs.
 ///
-/// `layout` and `latency` are the run's shared immutable geometry; shard
+/// `layout` and `latency` are the run's shared immutable geometry, and
+/// `congestion` the caller-resolved (re-anchored) congestion model; shard
 /// threads only read them.
 RunResult run_sharded(const RunConfig& config, const topo::JobLayout& layout,
                       const topo::LatencyModel& latency,
+                      sim::CongestionParams congestion,
                       topo::ShardPartition part, RunObserver* observer);
 
 }  // namespace dws::ws

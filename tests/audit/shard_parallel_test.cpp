@@ -3,10 +3,12 @@
 /// supported configuration must produce BYTE-IDENTICAL schema-v5 records at
 /// sim_shards 1, 2, 4 and 8 — same events, same order, same metrics — and
 /// the structural ordering key must never have fallen through to a
-/// cross-shard seq comparison (merge_ambiguities == 0). A fig06-quick-style
-/// point additionally runs
-/// under the full audit observer at 4 shards, pinning that the buffered
-/// replay fan-in preserves the audited hook stream.
+/// cross-shard seq comparison (merge_ambiguities == 0). Coverage includes
+/// fault-injected and congestion-enabled configs (per-channel draw keying
+/// and the windowed ledger are exactly what makes them shard-invariant), a
+/// fig06-quick-style point under the full audit observer at 4 shards
+/// (pinning that the buffered replay fan-in preserves the audited hook
+/// stream), and the one-node degenerate-shard fallthrough.
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -18,6 +20,7 @@
 #include "exp/record.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "proto/observer.hpp"
 #include "topo/allocation.hpp"
 #include "uts/params.hpp"
 #include "ws/scheduler.hpp"
@@ -26,12 +29,13 @@ namespace dws::audit {
 namespace {
 
 /// One sweep over sim_shards for `base`, rendered as wall-clock-free
-/// schema-v5 JSONL — four records that must be pairwise identical except
-/// for the axis coordinate label.
-std::vector<std::string> records_per_shard_count(const ws::RunConfig& base,
-                                                 bool audited) {
+/// schema-v5 JSONL — one record per shard count in `counts` that must be
+/// pairwise identical except for the axis coordinate label.
+std::vector<std::string> records_per_shard_count(
+    const ws::RunConfig& base, bool audited,
+    const std::vector<std::uint32_t>& counts = {1, 2, 4, 8}) {
   exp::SweepSpec spec(base);
-  spec.axis(exp::sim_shards_axis({1, 2, 4, 8}));
+  spec.axis(exp::sim_shards_axis(counts));
   const auto expanded = spec.expand();
   EXPECT_TRUE(expanded);
   exp::RunnerOptions options;
@@ -92,10 +96,24 @@ ws::RunConfig base_config() {
   cfg.tree = uts::tree_by_name("TEST_BIN_SMALL");
   cfg.num_ranks = 64;
   cfg.ws.chunk_size = 4;
-  // Sharded mode forbids the shared-global-state congestion model; these
-  // configs run it off, like the paper-scale benches.
-  cfg.congestion = sim::CongestionParams{};
-  cfg.congestion_scale = 0.0;
+  return cfg;
+}
+
+/// The full fault model at stress settings, with the recovery knobs a lossy
+/// network requires.
+ws::RunConfig faulted_config() {
+  ws::RunConfig cfg = base_config();
+  cfg.fault.drop_prob = 0.02;
+  cfg.fault.dup_prob = 0.02;
+  cfg.fault.jitter_frac = 0.3;
+  cfg.fault.degraded_frac = 0.25;
+  cfg.fault.straggler_ranks = 2;
+  cfg.fault.pause_ranks = 2;
+  cfg.fault.pause_duration = 50'000;
+  cfg.fault.pause_window = 200'000;
+  cfg.fault.seed = 5;
+  cfg.ws.steal_timeout = 50'000;
+  cfg.ws.token_timeout = 2'000'000;
   return cfg;
 }
 
@@ -145,23 +163,45 @@ TEST(ShardParallel, AuditedFigureStylePointIsShardCountInvariant) {
   EXPECT_EQ(audited.result.merge_ambiguities, 0u);
 }
 
-TEST(ShardParallel, ValidateRejectsTheSharedGlobalStateFeatures) {
-  // Congestion clamps and fault injection keep state no shard owns; the
-  // native runtime does not shard. validate() names each incompatibility.
+TEST(ShardParallel, FaultInjectionIsShardCountInvariant) {
+  // The tentpole property for faults: per-channel draw keying makes the
+  // shard-local injectors byte-equivalent to the serial one, so a fully
+  // perturbed run (loss, duplication, jitter, degraded links, stragglers,
+  // pauses) produces identical audited records at every shard count.
+  expect_shard_invariant(faulted_config(), /*audited=*/true);
+}
+
+TEST(ShardParallel, WindowedCongestionIsShardCountInvariant) {
+  // The tentpole property for congestion: the windowed ledger reads only
+  // barrier-sealed boundaries, so congested latencies — and the records cut
+  // from them — are identical at every shard count.
+  ws::RunConfig cfg = base_config();
+  cfg.enable_congestion(1.0);
+  expect_shard_invariant(cfg, /*audited=*/true);
+}
+
+TEST(ShardParallel, FaultsAndCongestionComposeShardCountInvariant) {
+  ws::RunConfig cfg = faulted_config();
+  cfg.enable_congestion(1.0);
+  expect_shard_invariant(cfg, /*audited=*/true);
+}
+
+TEST(ShardParallel, ValidateScreensShardIncompatibleConfigs) {
+  // Faults and congestion compose with sharding since PR 7 de-globalized
+  // their state; the rejections that remain are the native backend and the
+  // degenerate shard counts.
   ws::RunConfig cfg = base_config();
   cfg.sim_shards = 4;
   EXPECT_TRUE(static_cast<bool>(cfg.validate()));
   {
-    ws::RunConfig bad = cfg;
-    bad.enable_congestion(1.0);
-    EXPECT_FALSE(static_cast<bool>(bad.validate()));
+    ws::RunConfig ok = cfg;
+    ok.enable_congestion(1.0);
+    EXPECT_TRUE(static_cast<bool>(ok.validate()));
   }
   {
-    ws::RunConfig bad = cfg;
-    bad.fault.drop_prob = 0.01;
-    bad.ws.steal_timeout = 1'000'000;
-    bad.ws.token_timeout = 1'000'000;
-    EXPECT_FALSE(static_cast<bool>(bad.validate()));
+    ws::RunConfig ok = faulted_config();
+    ok.sim_shards = 4;
+    EXPECT_TRUE(static_cast<bool>(ok.validate()));
   }
   {
     ws::RunConfig bad = cfg;
@@ -173,6 +213,119 @@ TEST(ShardParallel, ValidateRejectsTheSharedGlobalStateFeatures) {
     bad.sim_shards = 0;
     EXPECT_FALSE(static_cast<bool>(bad.validate()));
   }
+}
+
+TEST(ShardParallel, ValidateRejectsDeadCongestionScale) {
+  // A bare congestion_scale with the model off used to be silently ignored
+  // (the re-anchor requires both); it is now a named config error.
+  ws::RunConfig cfg = base_config();
+  cfg.congestion_scale = 1.0;
+  EXPECT_FALSE(static_cast<bool>(cfg.validate()));
+  cfg.congestion.enabled = true;
+  EXPECT_TRUE(static_cast<bool>(cfg.validate()));
+}
+
+/// Serializes every RunObserver hook into one text log, so two runs'
+/// complete hook streams can be compared for equality.
+class HookLogObserver final : public proto::RunObserver {
+ public:
+  std::string log;
+
+  void on_root(topo::Rank rank, const uts::TreeNode&) override {
+    add("root", rank);
+  }
+  void on_node_expanded(topo::Rank rank, const uts::TreeNode&,
+                        std::uint32_t children) override {
+    add("expand", rank, children);
+  }
+  void on_steal_request_sent(topo::Rank thief, topo::Rank victim,
+                             std::uint32_t bytes) override {
+    add("req", thief, victim, bytes);
+  }
+  void on_steal_response_sent(topo::Rank victim, topo::Rank thief,
+                              std::uint64_t chunks, std::uint64_t nodes,
+                              std::uint32_t bytes) override {
+    add("resp_sent", victim, thief, chunks, nodes, bytes);
+  }
+  void on_steal_response_received(topo::Rank thief, topo::Rank victim,
+                                  std::uint64_t chunks,
+                                  std::uint64_t nodes) override {
+    add("resp_recv", thief, victim, chunks, nodes);
+  }
+  void on_lifeline_register_sent(topo::Rank rank, topo::Rank target,
+                                 std::uint32_t bytes) override {
+    add("ll_reg", rank, target, bytes);
+  }
+  void on_lifeline_push_sent(topo::Rank from, topo::Rank to,
+                             std::uint64_t chunks, std::uint64_t nodes,
+                             std::uint32_t bytes) override {
+    add("ll_push", from, to, chunks, nodes, bytes);
+  }
+  void on_lifeline_push_received(topo::Rank rank, std::uint64_t chunks,
+                                 std::uint64_t nodes) override {
+    add("ll_recv", rank, chunks, nodes);
+  }
+  void on_steal_timeout(topo::Rank thief, topo::Rank victim,
+                        std::uint32_t attempt) override {
+    add("timeout", thief, victim, attempt);
+  }
+  void on_duplicate_response(topo::Rank thief, std::uint64_t chunks,
+                             std::uint64_t nodes) override {
+    add("dup_resp", thief, chunks, nodes);
+  }
+  void on_token_sent(topo::Rank from, topo::Rank to,
+                     const proto::Token& t) override {
+    add("tok_sent", from, to, t.black ? 1 : 0, t.sent, t.recv, t.generation);
+  }
+  void on_token_accepted(topo::Rank rank, const proto::Token& t) override {
+    add("tok_acc", rank, t.sent, t.recv, t.generation);
+  }
+  void on_token_regenerated(topo::Rank rank, std::uint32_t gen) override {
+    add("tok_regen", rank, gen);
+  }
+  void on_phase(topo::Rank rank, support::SimTime t,
+                metrics::Phase p) override {
+    add("phase", rank, t, static_cast<int>(p));
+  }
+  void on_termination(support::SimTime t) override { add("term", t); }
+  void on_finish(topo::Rank rank, support::SimTime t) override {
+    add("finish", rank, t);
+  }
+
+ private:
+  template <typename... Args>
+  void add(const char* tag, Args... args) {
+    log += tag;
+    ((log += ' ', log += std::to_string(args)), ...);
+    log += '\n';
+  }
+};
+
+TEST(ShardParallel, OneNodeJobDegeneratesToTheSerialPathExactly) {
+  // A job whose ranks all share one node partitions into a single shard;
+  // run_simulation must fall through to the single-engine path and match an
+  // explicit sim_shards=1 run byte-for-byte — records and the complete
+  // observer hook stream alike.
+  ws::RunConfig cfg = base_config();
+  cfg.num_ranks = 8;
+  cfg.placement = topo::Placement::kGrouped;
+  cfg.procs_per_node = 8;
+
+  const std::vector<std::string> lines =
+      records_per_shard_count(cfg, /*audited=*/false, {1, 8});
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], lines[1]);
+
+  cfg.sim_shards = 8;
+  HookLogObserver sharded;
+  const ws::RunResult result = ws::run_simulation(cfg, &sharded);
+  EXPECT_EQ(result.shards_used, 1u);  // degenerated, not windowed
+
+  cfg.sim_shards = 1;
+  HookLogObserver serial;
+  ws::run_simulation(cfg, &serial);
+  EXPECT_FALSE(serial.log.empty());
+  EXPECT_EQ(serial.log, sharded.log);
 }
 
 TEST(ShardParallel, ShardCountIsAbsentFromTheCanonicalConfig) {

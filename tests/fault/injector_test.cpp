@@ -174,6 +174,79 @@ TEST(Injector, LinkDegradationIsAPureFunctionOfTheChannel) {
   EXPECT_NEAR(degraded, 390, 5.0 * std::sqrt(1560 * 0.25 * 0.75));
 }
 
+TEST(Injector, ChannelInterleavingDoesNotChangePerChannelPlans) {
+  // The shard-invariance property: a channel's plan sequence is a pure
+  // function of (seed, channel, per-channel send count), so feeding the
+  // channels round-robin or channel-major — or through different injector
+  // instances entirely, as the sharded runtime does — yields the same
+  // per-channel plans and the same global tallies.
+  const std::vector<std::uint64_t> chans = {key(0, 1), key(1, 0), key(2, 7),
+                                            key(7, 2)};
+  const int per_chan = 200;
+  auto plan_eq = [](const SendPlan& a, const SendPlan& b) {
+    return a.drop == b.drop && a.duplicate == b.duplicate &&
+           a.latency_mult == b.latency_mult &&
+           a.dup_latency_mult == b.dup_latency_mult;
+  };
+
+  Injector round_robin(lossy(), 8);
+  std::vector<std::vector<SendPlan>> rr(chans.size());
+  for (int i = 0; i < per_chan; ++i) {
+    for (std::size_t c = 0; c < chans.size(); ++c) {
+      rr[c].push_back(
+          round_robin.plan_send(chans[c], MsgClass::kDroppable, 64));
+    }
+  }
+
+  Injector channel_major(lossy(), 8);
+  for (std::size_t c = 0; c < chans.size(); ++c) {
+    for (int i = 0; i < per_chan; ++i) {
+      const SendPlan p =
+          channel_major.plan_send(chans[c], MsgClass::kDroppable, 64);
+      ASSERT_TRUE(plan_eq(p, rr[c][static_cast<std::size_t>(i)]))
+          << "channel " << c << " send " << i;
+    }
+  }
+  EXPECT_EQ(round_robin.stats().dropped_messages,
+            channel_major.stats().dropped_messages);
+  EXPECT_EQ(round_robin.stats().duplicated_messages,
+            channel_major.stats().duplicated_messages);
+
+  // Sharded shape: two injectors, each owning half the channels, together
+  // reproduce the single injector's per-channel plans.
+  Injector left(lossy(), 8);
+  Injector right(lossy(), 8);
+  for (int i = 0; i < per_chan; ++i) {
+    ASSERT_TRUE(plan_eq(left.plan_send(chans[0], MsgClass::kDroppable, 64),
+                        rr[0][static_cast<std::size_t>(i)]));
+    ASSERT_TRUE(plan_eq(right.plan_send(chans[2], MsgClass::kDroppable, 64),
+                        rr[2][static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(Injector, PerChannelStatsSumToTheGlobalStats) {
+  Injector inj(lossy(), 16);
+  const int sends = 5000;
+  for (int i = 0; i < sends; ++i) {
+    inj.plan_send(key(static_cast<std::uint32_t>(i % 7),
+                      static_cast<std::uint32_t>(7 + i % 5)),
+                  MsgClass::kDroppable, 64);
+  }
+  std::uint64_t total_sends = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t dups = 0;
+  for (const auto& [chan, state] : inj.channels()) {
+    total_sends += state.sends;
+    drops += state.dropped_messages;
+    dups += state.duplicated_messages;
+  }
+  EXPECT_EQ(total_sends, static_cast<std::uint64_t>(sends));
+  EXPECT_EQ(drops, inj.stats().dropped_messages);
+  EXPECT_EQ(dups, inj.stats().duplicated_messages);
+  EXPECT_GT(drops, 0u);  // at 30% drop over 5000 sends this cannot be empty
+  EXPECT_EQ(inj.channels().size(), 35u);  // 7 sources x 5 destinations
+}
+
 TEST(Injector, StragglerCountIsExactAndDeterministic) {
   FaultConfig f;
   f.straggler_ranks = 4;

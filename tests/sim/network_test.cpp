@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -112,7 +114,7 @@ TEST(NetworkIntraNode, CountsSharedMemoryTraffic) {
   EXPECT_EQ(net.stats().intra_node_messages, 1u);
 }
 
-TEST(NetworkCongestion, LoadInflatesLatency) {
+TEST(NetworkCongestion, BoundaryLoadInflatesLaterWindows) {
   topo::TofuMachine machine;
   topo::JobLayout layout(machine, 64, topo::Placement::kOnePerNode);
   topo::LatencyModel model(layout);
@@ -121,47 +123,79 @@ TEST(NetworkCongestion, LoadInflatesLatency) {
   CongestionParams congestion;
   congestion.enabled = true;
   congestion.capacity_hops = 10.0;
+  congestion.window = 1000;
   Network<TestMsg> net(
       engine, model,
       [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now()); },
       congestion);
-  // First message sails through; an identical second one sent at the same
-  // instant sees the first one's hops as load and takes longer.
+  // A flight launched in window 0 crosses boundary 1 (t=1000) and loads it
+  // with its hops. A send two windows later reads that boundary's load and
+  // pays the inflated latency; the first send read window -1 (nothing) and
+  // sailed through raw.
+  const auto raw1 = model.message_latency(0, 63, 0);
+  ASSERT_GE(raw1, 1000);  // the flight is in the air as boundary 1 passes
   net.send(0, 63, TestMsg{1}, 0);
-  net.send(1, 62, TestMsg{2}, 0);
+  engine.schedule_at(2500, [&] { net.send(1, 62, TestMsg{2}, 0); });
   engine.run();
   ASSERT_EQ(arrivals.size(), 2u);
-  const auto raw1 = model.message_latency(0, 63, 0);
-  const auto raw2 = model.message_latency(1, 62, 0);
   EXPECT_EQ(arrivals[0], raw1);
-  EXPECT_GT(arrivals[1], raw2);
-  EXPECT_GT(net.stats().max_load_hops, 0.0);
+  const double hops1 = static_cast<double>(model.hops(0, 63));
+  const double raw2 = static_cast<double>(model.message_latency(1, 62, 0));
+  EXPECT_EQ(arrivals[1],
+            2500 + static_cast<support::SimTime>(raw2 * (1.0 + hops1 / 10.0)));
+  EXPECT_GE(net.stats().max_load_hops, hops1);
 }
 
-TEST(NetworkCongestion, LoadDrainsAfterDelivery) {
+TEST(NetworkCongestion, SameWindowSendsDoNotSeeEachOther) {
+  // Both sends land in window 0, whose read boundary predates the run:
+  // neither inflates the other. (The fluid model's same-instant coupling
+  // moved to the next window boundary when congestion became windowed.)
   topo::TofuMachine machine;
   topo::JobLayout layout(machine, 64, topo::Placement::kOnePerNode);
   topo::LatencyModel model(layout);
   Engine engine;
-  int delivered = 0;
+  std::vector<support::SimTime> arrivals;
   CongestionParams congestion;
   congestion.enabled = true;
   congestion.capacity_hops = 10.0;
-  Network<TestMsg> net(engine, model,
-                       [&](topo::Rank, TestMsg) { ++delivered; }, congestion);
-  net.send(0, 63, TestMsg{1}, 0);
-  engine.run();
-  // After the in-flight message lands, a fresh send sees an empty network.
-  std::vector<support::SimTime> arrivals;
-  const auto t0 = engine.now();
-  Network<TestMsg> net2(
+  congestion.window = 1000;
+  Network<TestMsg> net(
       engine, model,
-      [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now() - t0); },
+      [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now()); },
       congestion);
-  net2.send(0, 63, TestMsg{2}, 0);
+  net.send(0, 63, TestMsg{1}, 0);
+  net.send(1, 62, TestMsg{2}, 0);
   engine.run();
-  ASSERT_EQ(arrivals.size(), 1u);
-  EXPECT_EQ(arrivals[0], model.message_latency(0, 63, 0));
+  ASSERT_EQ(arrivals.size(), 2u);
+  std::vector<support::SimTime> raw = {model.message_latency(0, 63, 0),
+                                       model.message_latency(1, 62, 0)};
+  std::sort(raw.begin(), raw.end());
+  EXPECT_EQ(arrivals[0], raw[0]);
+  EXPECT_EQ(arrivals[1], raw[1]);
+}
+
+TEST(NetworkCongestion, LoadExpiresWithTheFlight) {
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 64, topo::Placement::kOnePerNode);
+  topo::LatencyModel model(layout);
+  Engine engine;
+  std::vector<support::SimTime> arrivals;
+  CongestionParams congestion;
+  congestion.enabled = true;
+  congestion.capacity_hops = 10.0;
+  congestion.window = 1000;
+  Network<TestMsg> net(
+      engine, model,
+      [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now()); },
+      congestion);
+  const auto raw1 = model.message_latency(0, 63, 0);
+  ASSERT_LT(raw1, 4000);  // flight 1 loads no boundary at or past t=4000
+  net.send(0, 63, TestMsg{1}, 0);
+  // A send long after the flight landed reads an empty boundary: raw latency.
+  engine.schedule_at(5500, [&] { net.send(1, 62, TestMsg{2}, 0); });
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1], 5500 + model.message_latency(1, 62, 0));
 }
 
 TEST(NetworkCongestion, SameNodeTrafficIsImmune) {
@@ -173,15 +207,54 @@ TEST(NetworkCongestion, SameNodeTrafficIsImmune) {
   CongestionParams congestion;
   congestion.enabled = true;
   congestion.capacity_hops = 1.0;  // tiny capacity: network badly congested
+  congestion.window = 800;
   Network<TestMsg> net(
       engine, model,
       [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now()); },
       congestion);
-  net.send(0, 8, TestMsg{1}, 0);  // inter-node: loads the network
-  net.send(0, 1, TestMsg{2}, 0);  // intra-node: unaffected by the load
+  ASSERT_GE(model.message_latency(0, 8, 0), 800);
+  net.send(0, 8, TestMsg{1}, 0);  // inter-node: loads boundary 1 (t=800)
+  // An intra-node send in a window whose read boundary carries that load
+  // still travels at the shared-memory latency.
+  engine.schedule_at(1700, [&] { net.send(0, 1, TestMsg{2}, 0); });
   engine.run();
   ASSERT_EQ(arrivals.size(), 2u);
-  EXPECT_EQ(arrivals[0], model.params().same_node);
+  EXPECT_EQ(arrivals[1], 1700 + model.params().same_node);
+}
+
+TEST(NetworkCongestion, WindowDefaultsToNetworkBase) {
+  topo::LatencyParams latency;
+  CongestionParams congestion;
+  EXPECT_EQ(congestion_window(congestion, latency), latency.network_base);
+  congestion.window = 250;
+  EXPECT_EQ(congestion_window(congestion, latency), 250);
+}
+
+TEST(NetworkFaults, HugeMultiplierSaturatesInsteadOfWrapping) {
+  // The wrap guard: an absurd latency multiplier (every link degraded by
+  // 1e18x) must clamp the scaled latency instead of wrapping the virtual
+  // clock through the double->int cast. The message still arrives, at the
+  // saturation point.
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 64, topo::Placement::kOnePerNode);
+  topo::LatencyModel model(layout);
+  Engine engine;
+  std::vector<support::SimTime> arrivals;
+  fault::FaultConfig fc;
+  fc.degraded_frac = 1.0;
+  fc.degraded_mult = 1e18;
+  fault::Injector injector(fc, 64);
+  Network<TestMsg> net(
+      engine, model,
+      [&](topo::Rank, TestMsg) { arrivals.push_back(engine.now()); },
+      CongestionParams{}, &injector);
+  net.send(0, 63, TestMsg{1}, 16);
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  constexpr support::SimTime kSaturated =
+      std::numeric_limits<support::SimTime>::max() / 2;
+  EXPECT_EQ(arrivals[0], kSaturated);
+  EXPECT_GT(arrivals[0], 0);
 }
 
 TEST_F(NetworkTest, RetiresChannelsWhenTheLastDeliveryFires) {
