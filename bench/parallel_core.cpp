@@ -228,16 +228,22 @@ int main(int argc, char** argv) {
     std::ostringstream section;
     section << "{\"tree\":\"" << cfg.tree.name << "\",\"ranks\":"
             << cfg.num_ranks << ",\"host_cores\":" << cores
-            << ",\"quick\":" << (quick ? "true" : "false")
+            << ",\n  \"note\":\"points with shards > host_cores time-slice"
+               " their shard threads on this host; any slowdown there"
+               " measures oversubscription, not a sharded-engine"
+               " regression\","
+            << "\n  \"quick\":" << (quick ? "true" : "false")
             << ",\"congestion\":true,\n  \"points\":[";
     for (std::size_t i = 0; i < points.size(); ++i) {
       const Point& p = points[i];
-      char buf[160];
+      char buf[224];
       std::snprintf(buf, sizeof(buf),
-                    "%s\n   {\"shards\":%u,\"wall_s\":%.4g,"
+                    "%s\n   {\"shards\":%u,\"host_cores\":%u,"
+                    "\"oversubscribed\":%s,\"wall_s\":%.4g,"
                     "\"events_per_sec\":%.6g,\"nodes_per_sec\":%.6g}",
-                    i ? "," : "", p.shards, p.wall_s, p.events_per_sec,
-                    p.nodes_per_sec);
+                    i ? "," : "", p.shards, cores,
+                    p.shards > cores ? "true" : "false", p.wall_s,
+                    p.events_per_sec, p.nodes_per_sec);
       section << buf;
     }
     char paper_buf[200];

@@ -20,7 +20,9 @@
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/occupancy.hpp"
+#include "metrics/service_stats.hpp"
 #include "sm/pool.hpp"
+#include "svc/service.hpp"
 #include "uts/params.hpp"
 #include "uts/sequential.hpp"
 #include "ws/scheduler.hpp"
@@ -46,6 +48,11 @@ int main(int argc, char** argv) {
   std::uint32_t shape = 0;
   double congestion_scale = 1.0;
   bool run_audit = false;
+  bool service = false;
+  std::uint64_t arrival_mean = 0;
+  std::string arrival_trace;
+  std::string alloc = "space";
+  std::string job_mix;
   std::uint64_t steal_timeout = 0;
   std::uint64_t token_timeout = 0;
   std::uint64_t pause_duration = 0;
@@ -181,6 +188,30 @@ int main(int argc, char** argv) {
            "pauses start uniformly in [0, window] ns (sim)", &pause_window)
       .u64("--fault-seed", "", "fault-injector RNG seed (sim), default 1",
            &sim_cfg.fault.seed)
+      .toggle("--service", "",
+              "multi-tenant service mode (sim): run a stream of jobs through "
+              "the scheduler-as-a-service layer instead of one tree",
+              &service)
+      .u32("--jobs", "", "service: number of jobs (Poisson arrivals)",
+           &sim_cfg.svc.num_jobs)
+      .u64("--svc-seed", "",
+           "service: root seed of arrivals and per-job trees, default 1",
+           &sim_cfg.svc.seed)
+      .u64("--arrival-mean", "",
+           "service: mean Poisson inter-arrival gap in ns", &arrival_mean)
+      .str("--arrival-trace", "",
+           "service: explicit arrival times in ns, comma separated "
+           "(overrides --arrival-mean/--jobs)",
+           &arrival_trace)
+      .str("--alloc", "",
+           "service allocation policy: space (default) or time", &alloc)
+      .u32("--ranks-per-job", "",
+           "service, --alloc space: exclusive block width per job",
+           &sim_cfg.svc.ranks_per_job)
+      .str("--job-mix", "",
+           "service: weighted tree mix 'name:w,name:w' (default: every job "
+           "runs the configured tree)",
+           &job_mix)
       .toggle("--audit", "",
               "run the dws::audit invariant checker (sim); exit 1 on "
               "violations (DWS_AUDIT=1 does the same)",
@@ -265,6 +296,33 @@ int main(int argc, char** argv) {
     if (congestion_scale > 0.0 && sim_cfg.backend == ws::Backend::kSim) {
       sim_cfg.enable_congestion(congestion_scale);
     }
+    if (service) {
+      sim_cfg.svc.enabled = true;
+      sim_cfg.svc.mean_interarrival =
+          static_cast<support::SimTime>(arrival_mean);
+      if (!arrival_trace.empty()) {
+        sim_cfg.svc.arrival = svc::ArrivalKind::kTrace;
+        for (const std::string& t : exp::split_list(arrival_trace)) {
+          sim_cfg.svc.trace.push_back(
+              static_cast<support::SimTime>(std::strtoll(t.c_str(), nullptr, 10)));
+        }
+      }
+      if (alloc == "time") {
+        sim_cfg.svc.alloc = svc::AllocPolicy::kTimeShare;
+      } else if (alloc != "space") {
+        std::fprintf(stderr, "--alloc must be space|time\n");
+        return 2;
+      }
+      for (const std::string& entry : exp::split_list(job_mix)) {
+        const auto colon = entry.find(':');
+        svc::JobMixEntry e;
+        e.tree = entry.substr(0, colon);
+        e.weight = colon == std::string::npos
+                       ? 1.0
+                       : std::strtod(entry.c_str() + colon + 1, nullptr);
+        sim_cfg.svc.mix.push_back(std::move(e));
+      }
+    }
     if (const auto status = sim_cfg.validate(); !status) {
       std::fprintf(stderr, "invalid simulation config: %s\n",
                    status.message().c_str());
@@ -272,7 +330,16 @@ int main(int argc, char** argv) {
     }
 
     ws::RunResult r;
-    if (run_audit || audit::env_enabled()) {
+    if (sim_cfg.svc.enabled) {
+      if (run_audit || audit::env_enabled()) {
+        r = svc::checked_service_run(sim_cfg);
+        std::printf("service audit: per-job conservation and sequential "
+                    "oracle passed (%zu jobs)\n",
+                    r.jobs.size());
+      } else {
+        r = svc::run_service(sim_cfg);
+      }
+    } else if (run_audit || audit::env_enabled()) {
       const audit::AuditedResult audited =
           audit::audited_run(sim_cfg, audit::AuditConfig::all());
       std::printf("%s\n", audited.report.summary().c_str());
@@ -281,7 +348,12 @@ int main(int argc, char** argv) {
     } else {
       r = exp::run_backend(sim_cfg);
     }
-    const metrics::OccupancyCurve occ(r.trace);
+    // Service runs never record traces (one trace per job would be the svc
+    // follow-on); occupancy is a trace-derived metric.
+    const double peak_occupancy =
+        r.trace.ranks.empty()
+            ? 0.0
+            : metrics::OccupancyCurve(r.trace).max_occupancy();
     std::printf("engine: distributed %s, %u ranks, %s/%s, chunk %u\n",
                 sim_cfg.backend == ws::Backend::kRt
                     ? "native runtime (real threads)"
@@ -296,7 +368,27 @@ int main(int argc, char** argv) {
                 support::to_millis(r.runtime), r.speedup(),
                 100.0 * r.efficiency(),
                 static_cast<unsigned long long>(r.stats.failed_steals),
-                100.0 * occ.max_occupancy());
+                100.0 * peak_occupancy);
+    if (sim_cfg.svc.enabled) {
+      const metrics::ServiceTails tails = metrics::service_tails(r.jobs);
+      std::printf("service: %zu jobs, %s/%s\n", r.jobs.size(),
+                  svc::to_string(sim_cfg.svc.arrival),
+                  svc::to_string(sim_cfg.svc.alloc));
+      std::printf("  makespan p50=%.3fms p99=%.3fms  queue_wait p50=%.3fms "
+                  "p99=%.3fms  sched_latency p50=%.3fms p99=%.3fms\n",
+                  tails.makespan.p50, tails.makespan.p99, tails.queue_wait.p50,
+                  tails.queue_wait.p99, tails.sched_latency.p50,
+                  tails.sched_latency.p99);
+      for (const metrics::JobOutcome& j : r.jobs) {
+        std::printf("  job %3u %-10s ranks[%u..%u) arrival=%.3fms "
+                    "wait=%.3fms makespan=%.3fms nodes=%llu\n",
+                    j.job_id, j.tree.c_str(), j.base, j.base + j.width,
+                    support::to_millis(j.arrival),
+                    support::to_millis(j.queue_wait()),
+                    support::to_millis(j.makespan()),
+                    static_cast<unsigned long long>(j.nodes));
+      }
+    }
     if (!out.empty()) {
       std::ofstream file(out);
       if (!file) {

@@ -8,6 +8,7 @@
 #include "audit/distribution.hpp"
 #include "rt/runtime.hpp"
 #include "support/check.hpp"
+#include "svc/service.hpp"
 #include "topo/latency.hpp"
 #include "uts/sequential.hpp"
 #include "ws/victim.hpp"
@@ -576,6 +577,10 @@ AuditedResult audited_run(const ws::RunConfig& config, AuditConfig audit,
 }
 
 ws::RunResult checked_run(const ws::RunConfig& config) {
+  // Service runs carry their own always-on conservation audit plus the
+  // per-job sequential oracle; the observer-based Auditor is a single-job
+  // instrument (one tree, one termination wave) and does not apply.
+  if (config.svc.enabled) return svc::checked_service_run(config);
   AuditedResult audited = audited_run(config);
   if (!audited.report.ok()) {
     throw std::runtime_error(audited.report.summary());

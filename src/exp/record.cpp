@@ -8,6 +8,7 @@
 #include <span>
 
 #include "crypto/sha1.hpp"
+#include "metrics/service_stats.hpp"
 #include "support/check.hpp"
 #include "support/sim_time.hpp"
 #include "ws/victim.hpp"
@@ -183,6 +184,57 @@ std::string canonical_config(const ws::RunConfig& c) {
     // faulted configs re-fingerprint exactly once.
     kv("fault.keying", "per-channel");
   }
+
+  // Service keys appear only for service configs (svc.enabled) so every
+  // single-job config keeps its established fingerprint.
+  if (c.svc.enabled) {
+    kvu("svc.seed", c.svc.seed);
+    kv("svc.arrival", svc::to_string(c.svc.arrival));
+    if (c.svc.arrival == svc::ArrivalKind::kTrace) {
+      std::string trace;
+      for (const support::SimTime t : c.svc.trace) {
+        trace += std::to_string(t);
+        trace += ',';
+      }
+      kv("svc.trace", trace);
+    } else {
+      kvu("svc.num_jobs", c.svc.num_jobs);
+      kvu("svc.mean_interarrival",
+          static_cast<std::uint64_t>(c.svc.mean_interarrival));
+    }
+    kv("svc.alloc", svc::to_string(c.svc.alloc));
+    if (c.svc.alloc == svc::AllocPolicy::kSpaceShare) {
+      kvu("svc.ranks_per_job", c.svc.ranks_per_job);
+    }
+    kv("svc.kind", svc::to_string(c.svc.kind));
+    if (!c.svc.mix.empty()) {
+      std::string mix;
+      for (const svc::JobMixEntry& e : c.svc.mix) {
+        mix += e.tree;
+        mix += ':';
+        mix += fmt_double(e.weight);
+        mix += ',';
+      }
+      kv("svc.mix", mix);
+    }
+  }
+
+  // Empirical latency-sampling keys (the measured steal-RTT backend) appear
+  // only when the backend is active — the analytic model's fingerprints are
+  // untouched.
+  if (c.latency.sampling_enabled()) {
+    kvu("latency.sample_seed", c.latency.sample_seed);
+    std::string bins;
+    for (const topo::LatencySampleBin& b : c.latency.sample_bins) {
+      bins += std::to_string(b.lo);
+      bins += ':';
+      bins += std::to_string(b.hi);
+      bins += ':';
+      bins += std::to_string(b.weight);
+      bins += ',';
+    }
+    kv("latency.sample_bins", bins);
+  }
   return s;
 }
 
@@ -221,6 +273,14 @@ void RecordWriter::write_header() {
   }
   if (options_.schema_version >= 4) {
     *out_ << ",backend,per_node_cost_ns";
+  }
+  if (options_.schema_version >= 6) {
+    *out_ << ",row,jobs,makespan_p50_ms,makespan_p99_ms,queue_wait_p50_ms,"
+             "queue_wait_p99_ms,sched_latency_p50_ms,sched_latency_p99_ms,"
+             "job_id,job_tree,job_root_seed,job_base,job_width,"
+             "job_arrival_ms,job_admit_ms,job_first_compute_ms,job_finish_ms,"
+             "job_queue_wait_ms,job_sched_latency_ms,job_makespan_ms,"
+             "job_nodes,job_leaves,job_steal_attempts,job_successful_steals";
   }
   if (options_.wall_clock) *out_ << ",wall_s";
   *out_ << "\n";
@@ -286,10 +346,61 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
             << ",\"per_node_cost_ns\":"
             << (pr.ok ? static_cast<std::uint64_t>(r.per_node_cost) : 0);
     }
+    if (options_.schema_version >= 6) {
+      const metrics::ServiceTails tails = metrics::service_tails(r.jobs);
+      *out_ << ",\"row\":\"run\""                         //
+            << ",\"jobs\":" << r.jobs.size()              //
+            << ",\"makespan_p50_ms\":" << fmt_metric(tails.makespan.p50)
+            << ",\"makespan_p99_ms\":" << fmt_metric(tails.makespan.p99)
+            << ",\"queue_wait_p50_ms\":" << fmt_metric(tails.queue_wait.p50)
+            << ",\"queue_wait_p99_ms\":" << fmt_metric(tails.queue_wait.p99)
+            << ",\"sched_latency_p50_ms\":"
+            << fmt_metric(tails.sched_latency.p50)
+            << ",\"sched_latency_p99_ms\":"
+            << fmt_metric(tails.sched_latency.p99);
+    }
     if (options_.wall_clock) {
       *out_ << ",\"wall_s\":" << fmt_metric(pr.wall_seconds);
     }
     *out_ << "}\n";
+    if (options_.schema_version >= 6 && pr.ok) {
+      std::string coord_pairs;
+      for (const auto& [axis, value] : point.coords) {
+        if (!coord_pairs.empty()) coord_pairs += ',';
+        coord_pairs +=
+            '"' + json_escape(axis) + "\":\"" + json_escape(value) + '"';
+      }
+      for (const metrics::JobOutcome& j : r.jobs) {
+        *out_ << "{\"index\":" << point.index                            //
+              << ",\"coords\":{" << coord_pairs << "}"                   //
+              << ",\"row\":\"job\""                                     //
+              << ",\"fingerprint\":\"" << config_fingerprint(c) << "\""  //
+              << ",\"job_id\":" << j.job_id                              //
+              << ",\"job_tree\":\"" << json_escape(j.tree) << "\""       //
+              << ",\"job_root_seed\":" << j.root_seed                    //
+              << ",\"job_base\":" << j.base                              //
+              << ",\"job_width\":" << j.width                            //
+              << ",\"job_arrival_ms\":"
+              << fmt_metric(support::to_millis(j.arrival))  //
+              << ",\"job_admit_ms\":"
+              << fmt_metric(support::to_millis(j.admit))  //
+              << ",\"job_first_compute_ms\":"
+              << fmt_metric(support::to_millis(j.first_compute))  //
+              << ",\"job_finish_ms\":"
+              << fmt_metric(support::to_millis(j.finish))  //
+              << ",\"job_queue_wait_ms\":"
+              << fmt_metric(support::to_millis(j.queue_wait()))  //
+              << ",\"job_sched_latency_ms\":"
+              << fmt_metric(support::to_millis(j.sched_latency()))  //
+              << ",\"job_makespan_ms\":"
+              << fmt_metric(support::to_millis(j.makespan()))        //
+              << ",\"job_nodes\":" << j.nodes                        //
+              << ",\"job_leaves\":" << j.leaves                      //
+              << ",\"job_steal_attempts\":" << j.steal_attempts      //
+              << ",\"job_successful_steals\":" << j.successful_steals
+              << "}\n";
+      }
+    }
     return;
   }
 
@@ -320,8 +431,49 @@ void RecordWriter::write(const SweepPoint& point, const PointResult& pr) {
     *out_ << ',' << ws::to_string(c.backend) << ','
           << (pr.ok ? static_cast<std::uint64_t>(r.per_node_cost) : 0);
   }
+  if (options_.schema_version >= 6) {
+    const metrics::ServiceTails tails = metrics::service_tails(r.jobs);
+    *out_ << ",run," << r.jobs.size() << ','
+          << fmt_metric(tails.makespan.p50) << ','
+          << fmt_metric(tails.makespan.p99) << ','
+          << fmt_metric(tails.queue_wait.p50) << ','
+          << fmt_metric(tails.queue_wait.p99) << ','
+          << fmt_metric(tails.sched_latency.p50) << ','
+          << fmt_metric(tails.sched_latency.p99)
+          << ",0,,0,0,0,0,0,0,0,0,0,0,0,0,0,0";
+  }
   if (options_.wall_clock) *out_ << ',' << fmt_metric(pr.wall_seconds);
   *out_ << "\n";
+  if (options_.schema_version >= 6 && pr.ok) {
+    for (const metrics::JobOutcome& j : r.jobs) {
+      // Job rows repeat the point's identity columns, zero the run metrics
+      // (28 run-metric cells between `error` and the v6 block) and carry
+      // their own job_* cells.
+      *out_ << point.index << ',' << csv_escape(point.label()) << ','
+            << config_fingerprint(c) << ',' << csv_escape(c.tree.name) << ','
+            << c.num_ranks << ',' << topo::to_string(c.placement) << ','
+            << c.procs_per_node << ',' << ws::to_string(c.ws.victim_policy)
+            << ',' << ws::to_string(c.ws.steal_amount) << ','
+            << c.ws.chunk_size << ',' << c.ws.sha_rounds << ',' << c.ws.seed
+            << ",1,,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0";
+      if (options_.schema_version >= 3) *out_ << ",0,0,0,0,0";
+      *out_ << ',' << ws::to_string(c.backend) << ",0"  //
+            << ",job,0,0,0,0,0,0,0"                      //
+            << ',' << j.job_id << ',' << csv_escape(j.tree) << ','
+            << j.root_seed << ',' << j.base << ',' << j.width << ','
+            << fmt_metric(support::to_millis(j.arrival)) << ','
+            << fmt_metric(support::to_millis(j.admit)) << ','
+            << fmt_metric(support::to_millis(j.first_compute)) << ','
+            << fmt_metric(support::to_millis(j.finish)) << ','
+            << fmt_metric(support::to_millis(j.queue_wait())) << ','
+            << fmt_metric(support::to_millis(j.sched_latency())) << ','
+            << fmt_metric(support::to_millis(j.makespan())) << ','
+            << j.nodes << ',' << j.leaves << ',' << j.steal_attempts << ','
+            << j.successful_steals;
+      if (options_.wall_clock) *out_ << ",0";
+      *out_ << "\n";
+    }
+  }
 }
 
 void RecordWriter::write_report(const std::vector<SweepPoint>& points,
@@ -385,6 +537,30 @@ void assign_field(SweepRecord& r, std::string_view key, std::string_view v) {
   else if (key == "net_dups") r.net_dups = to_u64(v);
   else if (key == "backend") r.backend = std::string(v);
   else if (key == "per_node_cost_ns") r.per_node_cost_ns = to_u64(v);
+  else if (key == "row") r.row = std::string(v);
+  else if (key == "jobs") r.jobs = to_u64(v);
+  else if (key == "makespan_p50_ms") r.makespan_p50_ms = to_f64(v);
+  else if (key == "makespan_p99_ms") r.makespan_p99_ms = to_f64(v);
+  else if (key == "queue_wait_p50_ms") r.queue_wait_p50_ms = to_f64(v);
+  else if (key == "queue_wait_p99_ms") r.queue_wait_p99_ms = to_f64(v);
+  else if (key == "sched_latency_p50_ms") r.sched_latency_p50_ms = to_f64(v);
+  else if (key == "sched_latency_p99_ms") r.sched_latency_p99_ms = to_f64(v);
+  else if (key == "job_id") r.job_id = static_cast<std::uint32_t>(to_u64(v));
+  else if (key == "job_tree") r.job_tree = std::string(v);
+  else if (key == "job_root_seed") r.job_root_seed = to_u64(v);
+  else if (key == "job_base") r.job_base = static_cast<std::uint32_t>(to_u64(v));
+  else if (key == "job_width") r.job_width = static_cast<std::uint32_t>(to_u64(v));
+  else if (key == "job_arrival_ms") r.job_arrival_ms = to_f64(v);
+  else if (key == "job_admit_ms") r.job_admit_ms = to_f64(v);
+  else if (key == "job_first_compute_ms") r.job_first_compute_ms = to_f64(v);
+  else if (key == "job_finish_ms") r.job_finish_ms = to_f64(v);
+  else if (key == "job_queue_wait_ms") r.job_queue_wait_ms = to_f64(v);
+  else if (key == "job_sched_latency_ms") r.job_sched_latency_ms = to_f64(v);
+  else if (key == "job_makespan_ms") r.job_makespan_ms = to_f64(v);
+  else if (key == "job_nodes") r.job_nodes = to_u64(v);
+  else if (key == "job_leaves") r.job_leaves = to_u64(v);
+  else if (key == "job_steal_attempts") r.job_steal_attempts = to_u64(v);
+  else if (key == "job_successful_steals") r.job_successful_steals = to_u64(v);
   else if (key == "wall_s") {
     r.has_wall_s = true;
     r.wall_s = to_f64(v);

@@ -44,10 +44,22 @@ namespace dws::exp {
 ///       are a pure function of the simulated configuration (sim_shards is
 ///       an execution strategy, deliberately absent from records and from
 ///       canonical_config, so any shard count must emit identical bytes).
+///   6 — multi-tenant service runs (svc::run_service). Every record gains a
+///       `row` discriminator ("run" — the existing per-point record — or
+///       "job"); run rows gain `jobs` (count) and the job-stream tail
+///       metrics `makespan_p50_ms`/`makespan_p99_ms`,
+///       `queue_wait_p50_ms`/`queue_wait_p99_ms`,
+///       `sched_latency_p50_ms`/`sched_latency_p99_ms` (nearest-rank
+///       percentiles over the per-job samples; all zero for single-job
+///       points). A service point additionally emits one "job" row per job,
+///       in job-id order, carrying the `job_*` columns (placement, timing
+///       and work counters of that job). Single-job points emit exactly one
+///       "run" row, so a v6 stream of a non-service sweep differs from v5
+///       only by the new columns.
 /// RecordReader accepts all of them; RecordOptions::schema_version lets a
 /// writer emit an older version byte-for-byte (the golden-file tests pin a
-/// v1 stream, the compat tests a v2 stream).
-inline constexpr int kRecordSchemaVersion = 5;
+/// v1 stream, the compat tests v2..v5 streams).
+inline constexpr int kRecordSchemaVersion = 6;
 inline constexpr int kRecordMinSchemaVersion = 1;
 
 enum class RecordFormat { kJsonl, kCsv };
@@ -129,8 +141,38 @@ struct SweepRecord {
   std::uint64_t net_dups = 0;             // v3+
   std::string backend;                    // v4+ ("sim" / "rt")
   std::uint64_t per_node_cost_ns = 0;     // v4+
+
+  // v6+ — service (multi-tenant) fields. `row` is empty when reading a
+  // pre-v6 file; such records are all run rows.
+  std::string row;                        // "run" / "job"
+  std::uint64_t jobs = 0;                 // run rows: jobs in the point
+  double makespan_p50_ms = 0.0;
+  double makespan_p99_ms = 0.0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double sched_latency_p50_ms = 0.0;
+  double sched_latency_p99_ms = 0.0;
+  std::uint32_t job_id = 0;               // job rows only
+  std::string job_tree;
+  std::uint64_t job_root_seed = 0;
+  std::uint32_t job_base = 0;
+  std::uint32_t job_width = 0;
+  double job_arrival_ms = 0.0;
+  double job_admit_ms = 0.0;
+  double job_first_compute_ms = 0.0;
+  double job_finish_ms = 0.0;
+  double job_queue_wait_ms = 0.0;
+  double job_sched_latency_ms = 0.0;
+  double job_makespan_ms = 0.0;
+  std::uint64_t job_nodes = 0;
+  std::uint64_t job_leaves = 0;
+  std::uint64_t job_steal_attempts = 0;
+  std::uint64_t job_successful_steals = 0;
+
   bool has_wall_s = false;
   double wall_s = 0.0;
+
+  bool is_job_row() const noexcept { return row == "job"; }
 };
 
 /// A fully parsed record stream: schema version, wire format, one

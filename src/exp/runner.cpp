@@ -11,6 +11,7 @@
 #include "audit/audit.hpp"
 #include "rt/runtime.hpp"
 #include "support/check.hpp"
+#include "svc/service.hpp"
 
 namespace dws::exp {
 namespace {
@@ -48,6 +49,9 @@ class ScopedCheckHandler {
 }  // namespace
 
 ws::RunResult run_backend(const ws::RunConfig& config) {
+  // Service configs run the scheduler-as-a-service layer; validate() already
+  // pinned them to the simulator backend (svc + rt is rejected).
+  if (config.svc.enabled) return svc::run_service(config);
   return config.backend == ws::Backend::kRt ? rt::run_native(config)
                                             : ws::run_simulation(config);
 }

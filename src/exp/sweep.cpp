@@ -136,6 +136,47 @@ Axis backend_axis(const std::vector<ws::Backend>& backends) {
   return axis;
 }
 
+Axis svc_arrival_axis(const std::vector<support::SimTime>& mean_gaps) {
+  Axis axis{"arrival", {}};
+  for (const support::SimTime gap : mean_gaps) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%gms", support::to_millis(gap));
+    axis.points.push_back({label, [gap](ws::RunConfig& cfg) {
+                             cfg.svc.arrival = svc::ArrivalKind::kPoisson;
+                             cfg.svc.mean_interarrival = gap;
+                           }});
+  }
+  return axis;
+}
+
+Axis svc_alloc_axis(
+    const std::vector<std::pair<svc::AllocPolicy, topo::Rank>>& policies) {
+  Axis axis{"alloc", {}};
+  for (const auto& [policy, ranks] : policies) {
+    std::string label = policy == svc::AllocPolicy::kSpaceShare
+                            ? "space" + std::to_string(ranks)
+                            : "time";
+    axis.points.push_back(
+        {std::move(label), [policy, ranks = ranks](ws::RunConfig& cfg) {
+           cfg.svc.alloc = policy;
+           cfg.svc.ranks_per_job =
+               policy == svc::AllocPolicy::kSpaceShare ? ranks : 0;
+         }});
+  }
+  return axis;
+}
+
+Axis svc_mix_axis(
+    const std::vector<std::pair<std::string, std::vector<svc::JobMixEntry>>>&
+        mixes) {
+  Axis axis{"mix", {}};
+  for (const auto& [label, mix] : mixes) {
+    axis.points.push_back(
+        {label, [mix = mix](ws::RunConfig& cfg) { cfg.svc.mix = mix; }});
+  }
+  return axis;
+}
+
 namespace {
 
 std::string percent_label(double p) {

@@ -59,6 +59,20 @@ Axis placement_axis(
 /// runs via run_backend / audit::checked_run — SweepRunner's defaults do.
 Axis backend_axis(const std::vector<ws::Backend>& backends);
 
+/// Service axes (svc::ServiceParams; base config needs svc.enabled).
+/// Mean Poisson inter-arrival gap in virtual ns — the arrival-rate axis of
+/// the tail-latency sweeps, labelled in ms.
+Axis svc_arrival_axis(const std::vector<support::SimTime>& mean_gaps);
+/// Allocation policy per point: (kSpaceShare, ranks_per_job) labelled
+/// "spaceN", or (kTimeShare, 0) labelled "time".
+Axis svc_alloc_axis(
+    const std::vector<std::pair<svc::AllocPolicy, topo::Rank>>& policies);
+/// Job-size mixes, each a labelled weighted set of catalogue trees (an empty
+/// mix means every job runs the base config's tree).
+Axis svc_mix_axis(
+    const std::vector<std::pair<std::string, std::vector<svc::JobMixEntry>>>&
+        mixes);
+
 /// Fault-injection axes (fault::FaultConfig), labelled "off" / "1%" / "2".
 /// Points with loss need ws.steal_timeout/token_timeout set on the base
 /// config — RunConfig::validate enforces the pairing.

@@ -1,0 +1,50 @@
+#include "metrics/service_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dws::metrics {
+
+TailStats tail_stats(std::vector<double> samples) {
+  TailStats t;
+  t.count = samples.size();
+  if (samples.empty()) return t;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  t.mean = sum / static_cast<double>(samples.size());
+  // Nearest-rank: the p-th percentile is sample ceil(p/100 * n), 1-indexed.
+  const auto rank = [&](double p) {
+    const auto n = static_cast<double>(samples.size());
+    auto idx = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (idx > 0) --idx;
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  t.p50 = rank(50.0);
+  t.p99 = rank(99.0);
+  t.max = samples.back();
+  return t;
+}
+
+namespace {
+constexpr double kNsPerMs = 1e6;
+}
+
+ServiceTails service_tails(const std::vector<JobOutcome>& jobs) {
+  std::vector<double> makespan, wait, sched;
+  makespan.reserve(jobs.size());
+  wait.reserve(jobs.size());
+  sched.reserve(jobs.size());
+  for (const JobOutcome& j : jobs) {
+    makespan.push_back(static_cast<double>(j.makespan()) / kNsPerMs);
+    wait.push_back(static_cast<double>(j.queue_wait()) / kNsPerMs);
+    sched.push_back(static_cast<double>(j.sched_latency()) / kNsPerMs);
+  }
+  ServiceTails tails;
+  tails.makespan = tail_stats(std::move(makespan));
+  tails.queue_wait = tail_stats(std::move(wait));
+  tails.sched_latency = tail_stats(std::move(sched));
+  return tails;
+}
+
+}  // namespace dws::metrics

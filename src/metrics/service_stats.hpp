@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/sim_time.hpp"
+
+namespace dws::metrics {
+
+/// Everything one service-layer job reports back (DESIGN.md §13). Times are
+/// virtual ns on the run's global clock. The derived accessors are the
+/// tail-latency vocabulary of the service benches: queue wait (arrival →
+/// admission), scheduling latency (arrival → first node expanded) and
+/// makespan (arrival → job termination).
+struct JobOutcome {
+  std::uint32_t job_id = 0;
+  std::string tree;               ///< uts tree name this job ran
+  std::uint64_t root_seed = 0;    ///< per-job root seed (hash(svc.seed, id))
+  std::uint32_t base = 0;         ///< first global rank of the job's block
+  std::uint32_t width = 0;        ///< ranks in the block (time-share: all)
+
+  support::SimTime arrival = 0;
+  support::SimTime admit = 0;          ///< controller granted ranks
+  support::SimTime first_compute = 0;  ///< first node expansion
+  support::SimTime finish = 0;         ///< per-job Mattern termination
+
+  std::uint64_t nodes = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t chunks_sent = 0;      ///< summed over the job's bindings
+  std::uint64_t chunks_received = 0;  ///< must equal chunks_sent (audit)
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t successful_steals = 0;
+
+  support::SimTime queue_wait() const noexcept { return admit - arrival; }
+  support::SimTime sched_latency() const noexcept {
+    return first_compute - arrival;
+  }
+  support::SimTime makespan() const noexcept { return finish - arrival; }
+};
+
+/// Order statistics of one sample set (nearest-rank percentiles, so every
+/// reported value is an actual sample — no interpolation noise in records).
+struct TailStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+TailStats tail_stats(std::vector<double> samples);
+
+/// The run-level service summary: tails over the per-job timing samples.
+struct ServiceTails {
+  TailStats makespan;      ///< ms
+  TailStats queue_wait;    ///< ms
+  TailStats sched_latency; ///< ms
+};
+
+ServiceTails service_tails(const std::vector<JobOutcome>& jobs);
+
+}  // namespace dws::metrics

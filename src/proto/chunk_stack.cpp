@@ -62,4 +62,15 @@ std::vector<Chunk> ChunkStack::steal(std::size_t n) {
   return stolen;
 }
 
+std::vector<Chunk> ChunkStack::take_all() {
+  std::vector<Chunk> all;
+  all.reserve(chunks_.size());
+  while (!chunks_.empty()) {
+    all.push_back(std::move(chunks_.front()));
+    chunks_.pop_front();
+  }
+  total_nodes_ = 0;
+  return all;
+}
+
 }  // namespace dws::proto

@@ -37,6 +37,11 @@ class ChunkStack {
   /// Remove `n` chunks from the bottom (n <= stealable_chunks()).
   std::vector<Chunk> steal(std::size_t n);
 
+  /// Drain the whole stack, private chunk included. Only a rank handing its
+  /// entire remaining work to another rank (svc lease relinquish) may bypass
+  /// the private-chunk rule — ordinary steals must go through steal().
+  std::vector<Chunk> take_all();
+
   std::size_t stealable_chunks() const noexcept {
     return chunks_.empty() ? 0 : chunks_.size() - 1;
   }

@@ -175,7 +175,7 @@ void Peer::handle_steal_response(StealResponse resp, support::SimTime now) {
       register_on_lifelines();
       return;
     }
-    try_steal(now);
+    if (!parked_) try_steal(now);
     return;
   }
 
@@ -209,7 +209,7 @@ void Peer::on_steal_timeout(std::uint32_t request_id, support::SimTime now) {
     observer_->on_steal_timeout(rank_, request_victim_, retry_attempt_);
   }
   if (state_ != State::kIdle) return;  // reactivated meanwhile: nothing to do
-  if (retry_attempt_ < config_.steal_retry_max) {
+  if (retry_attempt_ < config_.steal_retry_max && !parked_) {
     // Same victim, exponentially longer timer (send_steal_request scales by
     // steal_backoff^retry_attempt_).
     ++retry_attempt_;
@@ -223,7 +223,7 @@ void Peer::on_steal_timeout(std::uint32_t request_id, support::SimTime now) {
     register_on_lifelines();
     return;
   }
-  try_steal(now);
+  if (!parked_) try_steal(now);
 }
 
 void Peer::handle_lifeline_register(const LifelineRegister& reg) {
@@ -401,7 +401,43 @@ void Peer::on_out_of_work(support::SimTime now) {
   }
   // A steal request may still be in flight from before a lifeline push
   // reactivated us; its response restarts the steal loop when it arrives.
-  if (!waiting_response_) try_steal(now);
+  if (!waiting_response_ && !parked_) try_steal(now);
+}
+
+void Peer::set_parked(bool parked, support::SimTime now) {
+  if (parked_ == parked) return;
+  parked_ = parked;
+  if (parked || state_ != State::kIdle) return;
+  // Unparked while quiescent: nothing in flight will restart the steal loop
+  // for us (every refusal/timeout path went silent under parked_), so kick
+  // it here. A rank mid-conversation resumes through the usual paths.
+  if (!waiting_response_ && !dormant_) try_steal(now);
+}
+
+void Peer::relinquish(topo::Rank target, support::SimTime now) {
+  DWS_CHECK(parked_);
+  DWS_CHECK(target != rank_);
+  DWS_CHECK(!stack_.empty());
+  LifelinePush push;
+  push.chunks = stack_.take_all();
+  const std::size_t k = push.chunks.size();
+  std::uint32_t bytes = config_.response_header_bytes;
+  std::uint64_t nodes_sent = 0;
+  for (const auto& chunk : push.chunks) {
+    nodes_sent += chunk.size();
+    bytes += static_cast<std::uint32_t>(chunk.size()) * config_.node_bytes;
+  }
+  stats_.chunks_sent += k;
+  ++stats_.lifeline_pushes;
+  black_ = true;  // rule (1): shipping work blackens the sender
+  ++work_msgs_sent_;
+  if (observer_) {
+    observer_->on_lifeline_push_sent(rank_, target, k, nodes_sent, bytes);
+  }
+  transport_.send(target, std::move(push), bytes, fault::MsgClass::kReliable);
+  // The stack is empty now; fall back to idle. Token duties (forwarding a
+  // held token, rank 0's relaunch) still run; try_steal stays suppressed.
+  on_out_of_work(now);
 }
 
 void Peer::try_steal(support::SimTime now) {

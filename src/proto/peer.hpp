@@ -106,6 +106,24 @@ class Peer final {
   /// binding can charge steal_handling_cost each.
   std::size_t feed_lifeline_dependents(support::SimTime now);
 
+  // ---- Elastic rank leases (svc time-sharing; DESIGN.md §13) ----
+
+  /// Park / unpark this rank. A parked rank stays a full protocol citizen —
+  /// it answers steal requests (refusing like any empty victim), forwards
+  /// and launches termination tokens — but initiates no steals of its own:
+  /// try_steal and same-victim retries are suppressed until unparked.
+  /// Unparking a quiescent idle rank restarts the steal loop immediately.
+  void set_parked(bool parked, support::SimTime now);
+  bool parked() const noexcept { return parked_; }
+
+  /// Hand the ENTIRE stack (private chunk included) to `target` as a
+  /// reliable LifelinePush and fall back to idle via on_out_of_work. Called
+  /// by the binding when a parked rank acquires work (its lease was revoked,
+  /// or work landed after the revoke): the work must migrate to a rank that
+  /// still holds a lease, else the job could deadlock — the private chunk is
+  /// unreachable through ordinary steals. Requires a non-empty stack.
+  void relinquish(topo::Rank target, support::SimTime now);
+
   // ---- Introspection ----
 
   bool has_dependents() const noexcept { return !registered_dependents_.empty(); }
@@ -152,6 +170,7 @@ class Peer final {
 
   State state_ = State::kIdle;
   bool waiting_response_ = false;
+  bool parked_ = false;  // svc lease revoked: no steal initiation
 
   // Termination detection (see class comment).
   bool black_ = false;

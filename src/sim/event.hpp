@@ -25,6 +25,10 @@ enum class EventKind : std::uint32_t {
   kDagTaskComplete,   ///< dag task completion; payload = TaskId
   kStealTimeout,      ///< ws::Worker steal-request timer; payload = request id
   kTokenTimeout,      ///< ws::Worker rank-0 token timer; payload = generation
+  kSvcArrival,        ///< svc::Controller job arrival; payload = job id. Lives
+                      ///< only on the controller's shard (never crosses
+                      ///< shards) and, being the largest kind, sorts after
+                      ///< every other event at the same instant.
 };
 
 /// One scheduled event: a fixed-size POD record. The hot path never

@@ -372,7 +372,8 @@ class Network final : public EventSink {
   /// channel clamp, stats, and the kNetworkDeliver event.
   void enqueue(topo::Rank src, topo::Rank dst, Message msg,
                std::uint32_t bytes, double latency_mult) {
-    support::SimTime latency = latency_->message_latency(src, dst, bytes);
+    support::SimTime latency =
+        latency_->message_latency(src, dst, bytes, engine_->now());
     const bool congested =
         congestion_.enabled && !latency_->layout().same_node(src, dst);
     if (congested || latency_mult != 1.0) {

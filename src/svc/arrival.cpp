@@ -1,0 +1,90 @@
+#include "svc/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dws::svc {
+
+namespace {
+
+/// The per-job RNG stream root: hash of (seed, job id). SplitMix64's
+/// increment constant spaces consecutive ids a full Weyl step apart, and its
+/// output scrambling decorrelates them.
+support::SplitMix64 job_stream(std::uint64_t seed, JobId id) {
+  return support::SplitMix64(seed +
+                             0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(id) + 1));
+}
+
+uts::TreeParams resolve_tree(const ServiceParams& params,
+                             const uts::TreeParams& default_tree, JobId id) {
+  support::SplitMix64 sm = job_stream(params.seed, id);
+  uts::TreeParams tree;
+  if (params.mix.empty()) {
+    tree = default_tree;
+  } else {
+    // Weighted pick on the first draw of the job's stream.
+    double total = 0.0;
+    for (const auto& e : params.mix) total += e.weight;
+    const double u =
+        static_cast<double>(sm.next() >> 11) * 0x1.0p-53 * total;
+    double cum = 0.0;
+    const JobMixEntry* pick = &params.mix.back();
+    for (const auto& e : params.mix) {
+      cum += e.weight;
+      if (u < cum) {
+        pick = &e;
+        break;
+      }
+    }
+    const uts::TreeParams* named = uts::find_tree(pick->tree);
+    DWS_CHECK(named != nullptr && "validate() screens mix names");
+    tree = *named;
+  }
+  // The job's whole tree shape follows from this one seed (the UTS SHA-1
+  // splittable RNG is keyed on it): per-job streams, not arrival order.
+  tree.root_seed = static_cast<std::uint32_t>(sm.next());
+  return tree;
+}
+
+}  // namespace
+
+std::vector<JobSpec> generate_jobs(const ServiceParams& params,
+                                   const uts::TreeParams& default_tree) {
+  std::uint32_t num_jobs = params.num_jobs;
+  if (params.arrival == ArrivalKind::kTrace) {
+    num_jobs = static_cast<std::uint32_t>(params.trace.size());
+  }
+  DWS_CHECK(num_jobs > 0);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(num_jobs);
+
+  // Arrival times draw from their own stream so that adding/removing jobs
+  // from the mix cannot shift them (and vice versa).
+  support::Xoshiro256StarStar arrivals(params.seed ^ 0xa55a5aa55aa5a55aull);
+  support::SimTime t = 0;
+  for (JobId id = 0; id < num_jobs; ++id) {
+    JobSpec spec;
+    spec.id = id;
+    if (params.arrival == ArrivalKind::kTrace) {
+      spec.arrival = params.trace[id];
+    } else {
+      // Exponential inter-arrival, floored at 1 ns so equal-time pileups
+      // only happen when a trace asks for them.
+      const double u = arrivals.next_double();
+      const double gap = -static_cast<double>(params.mean_interarrival) *
+                         std::log1p(-u);
+      t += std::max<support::SimTime>(
+          1, static_cast<support::SimTime>(std::llround(gap)));
+      spec.arrival = t;
+    }
+    spec.tree = resolve_tree(params, default_tree, id);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+}  // namespace dws::svc

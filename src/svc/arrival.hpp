@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/sim_time.hpp"
+#include "svc/params.hpp"
+#include "uts/params.hpp"
+
+namespace dws::svc {
+
+/// One job of the service stream, fully resolved before the run starts:
+/// identity, arrival time, and the tree it will expand. Immutable — every
+/// shard reads the same plan.
+struct JobSpec {
+  JobId id = 0;
+  support::SimTime arrival = 0;
+  uts::TreeParams tree;  ///< mix pick with the per-job root seed applied
+};
+
+/// Materialize the arrival process: one JobSpec per job, in job-id order.
+///
+/// Determinism contract (the satellite-2 regression pins it): a job's tree —
+/// both the mix pick and its root seed — is a pure function of
+/// (params.seed, job id), NOT of the arrival interleaving. Reordering a
+/// trace therefore reorders *when* jobs arrive but never *what* they
+/// compute. Arrival times draw from an independent stream of params.seed.
+///
+/// `default_tree` is used when params.mix is empty (every job runs the
+/// config's own tree, reseeded per job).
+std::vector<JobSpec> generate_jobs(const ServiceParams& params,
+                                   const uts::TreeParams& default_tree);
+
+}  // namespace dws::svc

@@ -1,0 +1,208 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "svc/mux.hpp"
+#include "topo/partition.hpp"
+#include "uts/sequential.hpp"
+
+namespace dws::svc {
+
+namespace {
+
+/// Field-wise accumulation of one binding's counters into its rank's row.
+/// finish_time is a max (the rank's last job termination), everything else
+/// a sum.
+void fold_stats(metrics::RankStats& into, const metrics::RankStats& s) {
+  into.nodes_processed += s.nodes_processed;
+  into.leaves_seen += s.leaves_seen;
+  into.steal_attempts += s.steal_attempts;
+  into.failed_steals += s.failed_steals;
+  into.successful_steals += s.successful_steals;
+  into.requests_served += s.requests_served;
+  into.chunks_sent += s.chunks_sent;
+  into.chunks_received += s.chunks_received;
+  into.steal_timeouts += s.steal_timeouts;
+  into.steal_retries += s.steal_retries;
+  into.duplicate_responses += s.duplicate_responses;
+  into.token_regens += s.token_regens;
+  into.steal_distance_sum += s.steal_distance_sum;
+  into.lifeline_registrations += s.lifeline_registrations;
+  into.lifeline_pushes += s.lifeline_pushes;
+  into.sessions += s.sessions;
+  into.total_session_time += s.total_session_time;
+  into.total_search_time += s.total_search_time;
+  into.total_gather_time += s.total_gather_time;
+  into.remote_inputs += s.remote_inputs;
+  into.finish_time = std::max(into.finish_time, s.finish_time);
+}
+
+}  // namespace
+
+ws::RunResult assemble_service_result(
+    const ws::RunConfig& config, const ServicePlan& plan,
+    const std::vector<JobRuntime>& runtimes,
+    const std::vector<const MuxWorker*>& muxes) {
+  ws::RunResult result;
+  result.num_ranks = config.num_ranks;
+  result.per_node_cost = config.ws.node_cost();
+  result.per_rank.assign(config.num_ranks, metrics::RankStats{});
+  result.jobs.reserve(plan.jobs.size());
+
+  // Per-job accumulation in job-id order. Iterating job ids (not the muxes'
+  // hash maps) keeps the double sums deterministic.
+  for (const JobSpec& spec : plan.jobs) {
+    const JobRuntime& rt = runtimes[spec.id];
+    DWS_CHECK(rt.admitted());
+    DWS_CHECK(rt.finish >= rt.admit);
+
+    metrics::JobOutcome out;
+    out.job_id = spec.id;
+    out.tree = spec.tree.name;
+    out.root_seed = spec.tree.root_seed;
+    out.base = rt.base;
+    out.width = rt.width;
+    out.arrival = spec.arrival;
+    out.admit = rt.admit;
+    out.finish = rt.finish;
+
+    support::SimTime first = -1;
+    for (topo::Rank r = rt.base; r < rt.base + rt.width; ++r) {
+      const auto it = muxes[r]->bindings().find(spec.id);
+      DWS_CHECK(it != muxes[r]->bindings().end());
+      const JobBinding& b = *it->second;
+      DWS_CHECK(b.done());
+      DWS_CHECK(b.stack_size() == 0);
+      const metrics::RankStats& s = b.stats();
+      out.nodes += s.nodes_processed;
+      out.leaves += s.leaves_seen;
+      out.chunks_sent += s.chunks_sent;
+      out.chunks_received += s.chunks_received;
+      out.steal_attempts += s.steal_attempts;
+      out.successful_steals += s.successful_steals;
+      if (b.first_compute() >= 0) {
+        first = first < 0 ? b.first_compute()
+                          : std::min(first, b.first_compute());
+      }
+      fold_stats(result.per_rank[r], s);
+    }
+    // Work conservation per job: every chunk a binding shipped — steals and
+    // lease-relinquish pushes alike — landed at a binding of the same job.
+    DWS_CHECK(out.chunks_sent == out.chunks_received);
+    DWS_CHECK(out.nodes >= 1);  // at least the root was expanded
+    DWS_CHECK(first >= out.admit);
+    out.first_compute = first;
+    DWS_CHECK(out.finish >= out.first_compute);
+
+    result.nodes += out.nodes;
+    result.leaves += out.leaves;
+    result.runtime = std::max(result.runtime, out.finish);
+    result.jobs.push_back(std::move(out));
+  }
+
+  for (topo::Rank r = 0; r < config.num_ranks; ++r) {
+    DWS_CHECK(muxes[r]->pending_messages() == 0);
+  }
+  result.stats = metrics::aggregate(result.per_rank);
+  return result;
+}
+
+ws::RunResult run_service(const ws::RunConfig& config) {
+  DWS_CHECK(config.svc.enabled);
+  DWS_CHECK(config.num_ranks >= 1);
+
+  const ServicePlan plan(config);
+
+  // Congestion re-anchoring, exactly as ws::run_simulation does it.
+  sim::CongestionParams congestion = config.congestion;
+  if (congestion.enabled && config.congestion_scale > 0.0) {
+    congestion.capacity_hops =
+        config.congestion_scale * 5.0 *
+        static_cast<double>(config.num_ranks / config.procs_per_node);
+  }
+
+  std::vector<JobRuntime> runtimes(plan.jobs.size());
+
+  if (config.sim_shards > 1) {
+    topo::ShardPartition part =
+        topo::partition_ranks(plan.layout, config.latency, config.sim_shards);
+    if (part.num_shards > 1) {
+      return run_service_sharded(config, plan, runtimes, congestion,
+                                 std::move(part));
+    }
+  }
+
+  sim::Engine engine;
+  std::vector<std::unique_ptr<MuxWorker>> muxes;
+
+  fault::Injector injector(config.fault, config.num_ranks);
+  fault::Injector* faults = injector.enabled() ? &injector : nullptr;
+
+  SvcNetwork network(engine, plan.latency, DeliverToMux{&muxes}, congestion,
+                     faults);
+
+  ServiceContext ctx;
+  ctx.engine = &engine;
+  ctx.network = &network;
+  ctx.config = &config;
+  ctx.plan = &plan;
+  ctx.faults = faults;
+  ctx.muxes = &muxes;
+  ctx.runtimes = runtimes.data();
+
+  muxes.reserve(config.num_ranks);
+  for (topo::Rank r = 0; r < config.num_ranks; ++r) {
+    muxes.push_back(std::make_unique<MuxWorker>(r, ctx));
+  }
+  Controller controller(ctx);
+  ctx.controller = &controller;
+  controller.schedule_arrivals();
+
+  // No global termination flag: the engine drains naturally once every
+  // job's protocol went quiet (plus any stale timers, which no-op).
+  engine.run();
+
+  DWS_CHECK(controller.all_done());
+  DWS_CHECK(controller.queued() == 0);
+  DWS_CHECK(ctx.deferred.in_use() == 0);
+  DWS_CHECK(ctx.timers.in_use() == 0);
+
+  std::vector<const MuxWorker*> mux_ptrs;
+  mux_ptrs.reserve(config.num_ranks);
+  for (const auto& m : muxes) mux_ptrs.push_back(m.get());
+
+  ws::RunResult result =
+      assemble_service_result(config, plan, runtimes, mux_ptrs);
+  result.network = network.stats();
+  result.faults = injector.stats();
+  result.engine_events = engine.events_executed();
+  result.engine_peak_pending = engine.max_pending();
+  result.shards_used = 1;
+  result.merge_ambiguities = engine.merge_ambiguities();
+  return result;
+}
+
+ws::RunResult checked_service_run(const ws::RunConfig& config) {
+  ws::RunResult result = run_service(config);
+  // Sequential oracle, per job: the parallel multi-tenant execution must
+  // have expanded exactly the tree the job's (svc.seed, id)-derived root
+  // seed defines — no lost or duplicated work through steals, parked-rank
+  // refusals, or lease-relinquish hand-offs.
+  const std::vector<JobSpec> jobs = generate_jobs(config.svc, config.tree);
+  DWS_CHECK(jobs.size() == result.jobs.size());
+  for (const metrics::JobOutcome& out : result.jobs) {
+    const uts::TreeStats oracle =
+        uts::enumerate_sequential(jobs[out.job_id].tree, out.nodes + 1);
+    DWS_CHECK(!oracle.truncated);
+    DWS_CHECK(oracle.nodes == out.nodes);
+    DWS_CHECK(oracle.leaves == out.leaves);
+  }
+  return result;
+}
+
+}  // namespace dws::svc

@@ -1,0 +1,275 @@
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "svc/mux.hpp"
+
+namespace dws::svc {
+
+namespace {
+
+constexpr support::SimTime kInf = std::numeric_limits<support::SimTime>::max();
+
+/// One cross-shard envelope parked between the sender's window and the
+/// receiver's drain (the svc twin of ws' MailEntry — only the payload type
+/// differs; the conservative-window argument in ws/shard.cpp carries over
+/// unchanged because both fabrics move only kNetworkDeliver across shards).
+struct MailEntry {
+  support::SimTime arrival = 0;
+  support::SimTime t_sched = 0;
+  topo::Rank src = 0;
+  topo::Rank dst = 0;
+  Envelope env;
+};
+
+/// One (src shard, dst shard) mailbox; written only during the source's
+/// execution phase, drained only by the destination between windows.
+struct alignas(64) MailSlot {
+  std::vector<MailEntry> entries;
+};
+
+class ShardRouter final : public SvcNetwork::Router {
+ public:
+  ShardRouter(const std::vector<std::uint32_t>& shard_of_rank,
+              std::uint32_t my_shard, MailSlot* row)
+      : shard_of_rank_(&shard_of_rank), my_shard_(my_shard), row_(row) {}
+
+  bool is_remote(topo::Rank dst) const override {
+    return (*shard_of_rank_)[dst] != my_shard_;
+  }
+  void post(topo::Rank dst, support::SimTime arrival, support::SimTime t_sched,
+            topo::Rank src, Envelope env) override {
+    row_[(*shard_of_rank_)[dst]].entries.push_back(
+        MailEntry{arrival, t_sched, src, dst, std::move(env)});
+  }
+
+ private:
+  const std::vector<std::uint32_t>* shard_of_rank_;
+  std::uint32_t my_shard_;
+  MailSlot* row_;  // this shard's S outbound slots
+};
+
+/// Everything one shard thread owns. The mux vector is num_ranks wide so
+/// DeliverToMux indexes by global rank; remote slots stay null. The shard
+/// owning global rank 0 additionally hosts the controller — every admission
+/// decision then flows from shard-0-local event order (kSvcArrival and
+/// JobDone deliveries), which the merge rule makes shard-count invariant.
+struct SvcShard {
+  explicit SvcShard(std::uint32_t id) : engine(id) {}
+
+  sim::Engine engine;
+  std::unique_ptr<ShardRouter> router;
+  std::unique_ptr<SvcNetwork> network;
+  /// Shard-private injector: per-channel draw keying means the S copies make
+  /// exactly the serial injector's decisions (see ws/shard.cpp).
+  std::unique_ptr<fault::Injector> injector;
+  std::vector<std::unique_ptr<MuxWorker>> muxes;
+  ServiceContext ctx;
+  std::unique_ptr<Controller> controller;  ///< shard 0 only
+  support::SimTime next_time = kInf;
+};
+
+}  // namespace
+
+ws::RunResult run_service_sharded(const ws::RunConfig& config,
+                                  const ServicePlan& plan,
+                                  std::vector<JobRuntime>& runtimes,
+                                  sim::CongestionParams congestion,
+                                  topo::ShardPartition part) {
+  const std::uint32_t num_shards = part.num_shards;
+  DWS_CHECK(num_shards > 1);
+  DWS_CHECK(part.lookahead > 0);
+  DWS_CHECK(part.shard_of_rank.size() == plan.layout.num_ranks());
+  // Partitions are contiguous in rank order, so the controller's rank is
+  // always shard 0's first rank.
+  DWS_CHECK(part.shard_of_rank[0] == 0);
+
+  std::unique_ptr<sim::CongestionLedger> ledger;
+  if (congestion.enabled) {
+    const support::SimTime window =
+        sim::congestion_window(congestion, plan.latency.params());
+    ledger = std::make_unique<sim::CongestionLedger>(window);
+    part.lookahead = std::min(part.lookahead, window);
+    DWS_CHECK(part.lookahead > 0);
+  }
+
+  std::vector<MailSlot> mail(static_cast<std::size_t>(num_shards) *
+                             num_shards);
+  std::vector<std::unique_ptr<SvcShard>> shards;
+  shards.reserve(num_shards);
+
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<SvcShard>(s);
+    shard->router = std::make_unique<ShardRouter>(
+        part.shard_of_rank, s, &mail[static_cast<std::size_t>(s) * num_shards]);
+    shard->injector =
+        std::make_unique<fault::Injector>(config.fault, config.num_ranks);
+    fault::Injector* faults =
+        shard->injector->enabled() ? shard->injector.get() : nullptr;
+    shard->network = std::make_unique<SvcNetwork>(
+        shard->engine, plan.latency, DeliverToMux{&shard->muxes}, congestion,
+        faults);
+    shard->network->set_router(shard->router.get());
+    if (ledger) shard->network->set_shared_ledger(ledger.get());
+
+    ServiceContext& ctx = shard->ctx;
+    ctx.engine = &shard->engine;
+    ctx.network = shard->network.get();
+    ctx.config = &config;
+    ctx.plan = &plan;
+    ctx.faults = faults;
+    ctx.muxes = &shard->muxes;
+    ctx.runtimes = runtimes.data();
+
+    shard->muxes.resize(config.num_ranks);
+    for (topo::Rank r : part.shard_ranks[s]) {
+      shard->muxes[r] = std::make_unique<MuxWorker>(r, ctx);
+    }
+    if (s == 0) {
+      shard->controller = std::make_unique<Controller>(ctx);
+      ctx.controller = shard->controller.get();
+      // Before the loop: kSvcArrival events only ever live on this engine.
+      shard->controller->schedule_arrivals();
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  // ---- conservative window loop ---------------------------------------------
+  //
+  // Identical to ws/shard.cpp's loop (see the long comment there): drain
+  // inbound mailboxes in ascending source-shard order, publish next event
+  // times, compute w_end = min + lookahead at the sync barrier, execute,
+  // flush retirements, repeat. The service control plane adds no new
+  // cross-shard edges — admits/leases/dones are ordinary kReliable network
+  // sends and kSvcArrival never leaves shard 0 — so the conservative
+  // property is inherited as-is.
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto record_error = [&]() {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!error) error = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  };
+
+  support::SimTime w_end = 0;
+  bool done = false;
+  std::barrier sync(num_shards, [&]() noexcept {
+    if (ledger) {
+      for (const auto& s : shards) s->network->drain_pending_loads(*ledger);
+    }
+    support::SimTime t_min = kInf;
+    for (const auto& s : shards) t_min = std::min(t_min, s->next_time);
+    if (t_min == kInf || failed.load(std::memory_order_acquire)) {
+      done = true;
+      return;
+    }
+    w_end = t_min > kInf - part.lookahead ? kInf : t_min + part.lookahead;
+  });
+  std::barrier exec_done(num_shards);
+
+  auto shard_main = [&](std::uint32_t me) {
+    SvcShard& sh = *shards[me];
+    while (true) {
+      try {
+        if (!failed.load(std::memory_order_acquire)) {
+          for (std::uint32_t src = 0; src < num_shards; ++src) {
+            if (src == me) continue;
+            auto& slot =
+                mail[static_cast<std::size_t>(src) * num_shards + me];
+            for (MailEntry& entry : slot.entries) {
+              sh.network->accept_remote(entry.arrival, entry.t_sched, src,
+                                        entry.src, entry.dst,
+                                        std::move(entry.env));
+            }
+            slot.entries.clear();
+          }
+          sh.next_time = sh.engine.next_event_time(kInf);
+        } else {
+          sh.next_time = kInf;
+        }
+      } catch (...) {
+        record_error();
+        sh.next_time = kInf;
+      }
+      sync.arrive_and_wait();
+      if (done) break;
+      try {
+        sh.engine.run_until(w_end);
+        sh.network->flush_retirements();
+      } catch (...) {
+        record_error();
+      }
+      exec_done.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    threads.emplace_back(shard_main, s);
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+
+  // Post-run invariants: every job admitted and retired, no envelope or
+  // timer payload leaked, every mailbox drained.
+  DWS_CHECK(shards[0]->controller->all_done());
+  DWS_CHECK(shards[0]->controller->queued() == 0);
+  for (const auto& sh : shards) {
+    DWS_CHECK(sh->ctx.deferred.in_use() == 0);
+    DWS_CHECK(sh->ctx.timers.in_use() == 0);
+  }
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    for (std::uint32_t d = 0; d < num_shards; ++d) {
+      DWS_CHECK(mail[static_cast<std::size_t>(s) * num_shards + d]
+                    .entries.empty());
+    }
+  }
+
+  // Stitch the muxes back into global rank order and assemble exactly as the
+  // serial path does — byte-identical per-rank and per-job results.
+  std::vector<const MuxWorker*> mux_ptrs;
+  mux_ptrs.reserve(config.num_ranks);
+  for (topo::Rank r = 0; r < config.num_ranks; ++r) {
+    mux_ptrs.push_back(shards[part.shard_of_rank[r]]->muxes[r].get());
+  }
+  ws::RunResult result =
+      assemble_service_result(config, plan, runtimes, mux_ptrs);
+  result.shards_used = num_shards;
+  for (const auto& sh : shards) {
+    const sim::NetworkStats& ns = sh->network->stats();
+    result.network.messages += ns.messages;
+    result.network.bytes += ns.bytes;
+    result.network.intra_node_messages += ns.intra_node_messages;
+    result.network.max_load_hops =
+        std::max(result.network.max_load_hops, ns.max_load_hops);
+    result.network.peak_channels += ns.peak_channels;
+    const fault::FaultStats& fs = sh->injector->stats();
+    result.faults.dropped_messages += fs.dropped_messages;
+    result.faults.dropped_bytes += fs.dropped_bytes;
+    result.faults.duplicated_messages += fs.duplicated_messages;
+    result.faults.duplicated_bytes += fs.duplicated_bytes;
+    result.engine_events += sh->engine.events_executed();
+    result.engine_peak_pending = std::max<std::uint64_t>(
+        result.engine_peak_pending, sh->engine.max_pending());
+    result.merge_ambiguities += sh->engine.merge_ambiguities();
+  }
+  if (ledger) {
+    result.network.max_load_hops = ledger->max_boundary_load();
+  }
+  return result;
+}
+
+}  // namespace dws::svc

@@ -110,6 +110,28 @@ JobLayout::JobLayout(const TofuMachine& machine, Rank num_ranks,
   }
 }
 
+JobLayout JobLayout::slice(const JobLayout& parent, Rank base, Rank width) {
+  DWS_CHECK(width > 0);
+  DWS_CHECK(base + width <= parent.num_ranks());
+  JobLayout out;
+  out.machine_ = parent.machine_;
+  out.placement_ = parent.placement_;
+  out.procs_per_node_ = parent.procs_per_node_;
+  out.rank_to_node_.reserve(width);
+  out.rank_coord_.reserve(width);
+  for (Rank r = 0; r < width; ++r) {
+    const NodeId node = parent.node_of(base + r);
+    out.rank_to_node_.push_back(node);
+    out.rank_coord_.push_back(parent.coord_of(base + r));
+    if (std::find(out.nodes_.begin(), out.nodes_.end(), node) ==
+        out.nodes_.end()) {
+      out.nodes_.push_back(node);
+    }
+  }
+  for (int axis = 0; axis < 3; ++axis) out.ext_[axis] = parent.ext_[axis];
+  return out;
+}
+
 NodeId JobLayout::node_of(Rank r) const {
   DWS_CHECK(r < rank_to_node_.size());
   return rank_to_node_[r];

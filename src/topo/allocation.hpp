@@ -34,6 +34,13 @@ class JobLayout {
   JobLayout(const TofuMachine& machine, Rank num_ranks, Placement placement,
             std::uint32_t procs_per_node = 1, std::uint32_t origin_cube = 0);
 
+  /// Slice `width` job-local ranks out of a parent layout, starting at
+  /// parent rank `base` (svc space-sharing: each job sees ranks 0..width-1
+  /// mapped onto its partition's physical nodes). Coordinates are copied
+  /// from the parent, so distances and latencies inside the slice are
+  /// exactly the parent's — nothing is re-placed.
+  static JobLayout slice(const JobLayout& parent, Rank base, Rank width);
+
   const TofuMachine& machine() const noexcept { return *machine_; }
   Rank num_ranks() const noexcept { return static_cast<Rank>(rank_to_node_.size()); }
   std::uint32_t num_nodes() const noexcept { return static_cast<std::uint32_t>(nodes_.size()); }
@@ -52,9 +59,11 @@ class JobLayout {
   std::int32_t extent_z() const noexcept { return ext_[2]; }
 
  private:
-  const TofuMachine* machine_;
-  Placement placement_;
-  std::uint32_t procs_per_node_;
+  JobLayout() = default;  // slice() assembles the fields directly
+
+  const TofuMachine* machine_ = nullptr;
+  Placement placement_ = Placement::kOnePerNode;
+  std::uint32_t procs_per_node_ = 1;
   std::vector<NodeId> nodes_;          // job's compute nodes, scheduler order
   std::vector<NodeId> rank_to_node_;   // rank -> node id
   std::vector<TofuCoord> rank_coord_;  // cached coordinates per rank

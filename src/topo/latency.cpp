@@ -1,17 +1,64 @@
 #include "topo/latency.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "support/check.hpp"
+#include "support/histogram.hpp"
 
 namespace dws::topo {
 
+std::vector<LatencySampleBin> sample_bins_from_histogram(
+    const support::Histogram& h) {
+  std::vector<LatencySampleBin> bins;
+  if (h.total() == 0) return bins;
+  const auto ns = [](double x) {
+    return static_cast<support::SimTime>(std::max(0.0, x));
+  };
+  if (h.underflow() > 0) {
+    bins.push_back({0, ns(h.bin_lo(0)), h.underflow()});
+  }
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    if (h.bin_count(i) == 0) continue;
+    bins.push_back({ns(h.bin_lo(i)), ns(h.bin_hi(i)), h.bin_count(i)});
+  }
+  if (h.overflow() > 0) {
+    // The window cut the tail off; approximate it by one trailing bin-width
+    // past the upper edge rather than dropping the mass.
+    const double hi = h.bin_hi(h.bins() - 1);
+    const double width = hi - h.bin_lo(h.bins() - 1);
+    bins.push_back({ns(hi), ns(hi + width), h.overflow()});
+  }
+  return bins;
+}
+
 LatencyModel::LatencyModel(const JobLayout& layout, LatencyParams params)
-    : layout_(&layout), params_(params) {
+    : layout_(&layout), params_(std::move(params)) {
   DWS_CHECK(params_.same_node >= 0);
   DWS_CHECK(params_.same_blade >= params_.same_node);
   DWS_CHECK(params_.network_base >= 0);
   DWS_CHECK(params_.per_hop >= 0);
   DWS_CHECK(params_.bytes_per_ns > 0.0);
+  std::uint64_t total = 0;
+  for (const auto& bin : params_.sample_bins) {
+    DWS_CHECK(bin.lo >= 0 && bin.hi >= bin.lo);
+    total += bin.weight;
+  }
+  DWS_CHECK(params_.sample_bins.empty() || total > 0);
 }
+
+namespace {
+
+/// SplitMix64 finalizer used as a mixing step for the sampling draw: the
+/// draw must be a pure function of its inputs (replayable, shard-invariant),
+/// so no generator state is kept anywhere.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 support::SimTime LatencyModel::message_latency(Rank src, Rank dst,
                                                std::uint32_t bytes) const {
@@ -28,6 +75,44 @@ support::SimTime LatencyModel::message_latency(Rank src, Rank dst,
   }
   const std::int32_t h = machine.hops(pc, qc);
   return params_.network_base + params_.per_hop * (h - 1) + serialization;
+}
+
+support::SimTime LatencyModel::message_latency(Rank src, Rank dst,
+                                               std::uint32_t bytes,
+                                               support::SimTime now) const {
+  if (!params_.sampling_enabled() || layout_->same_node(src, dst)) {
+    return message_latency(src, dst, bytes);
+  }
+  const auto& machine = layout_->machine();
+  if (machine.same_blade(layout_->coord_of(src), layout_->coord_of(dst))) {
+    return message_latency(src, dst, bytes);
+  }
+  // Network tier with the empirical backend on: replace the distance term by
+  // an inverse-CDF draw over the measured bins. Two mix rounds decorrelate
+  // the structured inputs (seed, channel, time, size).
+  const auto serialization =
+      static_cast<support::SimTime>(static_cast<double>(bytes) / params_.bytes_per_ns);
+  std::uint64_t h = params_.sample_seed;
+  h = mix64(h ^ (static_cast<std::uint64_t>(src) << 32 | dst));
+  h = mix64(h ^ static_cast<std::uint64_t>(now));
+  h = mix64(h ^ bytes);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  std::uint64_t total = 0;
+  for (const auto& bin : params_.sample_bins) total += bin.weight;
+  const double target = u * static_cast<double>(total);
+  double cum = 0.0;
+  for (const auto& bin : params_.sample_bins) {
+    const double w = static_cast<double>(bin.weight);
+    if (target < cum + w || &bin == &params_.sample_bins.back()) {
+      const double frac = w > 0.0 ? (target - cum) / w : 0.0;
+      const double span = static_cast<double>(bin.hi - bin.lo);
+      const double draw = static_cast<double>(bin.lo) +
+                          std::clamp(frac, 0.0, 1.0) * span;
+      return static_cast<support::SimTime>(draw) + serialization;
+    }
+    cum += w;
+  }
+  return message_latency(src, dst, bytes);  // unreachable: back bin matched
 }
 
 std::int32_t LatencyModel::hops(Rank r1, Rank r2) const {

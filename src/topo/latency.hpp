@@ -1,11 +1,25 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "support/sim_time.hpp"
 #include "topo/allocation.hpp"
 
+namespace dws::support {
+class Histogram;
+}
+
 namespace dws::topo {
+
+/// One bin of an empirical latency distribution (a bench/sim_vs_rt steal-RTT
+/// histogram bin): draws land uniformly inside [lo, hi) with probability
+/// weight/Σweights.
+struct LatencySampleBin {
+  support::SimTime lo = 0;
+  support::SimTime hi = 0;
+  std::uint64_t weight = 0;
+};
 
 /// Tunable latency constants for rank-to-rank messages. Defaults are
 /// calibrated against published K Computer / Tofu numbers (~1.5 us MPI
@@ -18,7 +32,28 @@ struct LatencyParams {
   support::SimTime network_base = 1300;  ///< ns, injection + first link
   support::SimTime per_hop = 100;      ///< ns per additional hop
   double bytes_per_ns = 5.0;           ///< link bandwidth (~5 GB/s)
+
+  /// Optional empirical sampling backend (ROADMAP item 1 follow-on): when
+  /// non-empty, the network-tier distance term (network_base + per_hop *
+  /// (h-1)) is replaced by an inverse-CDF draw from these bins — typically a
+  /// measured steal-RTT histogram from bench/sim_vs_rt. Serialization and
+  /// the same_node/same_blade tiers are untouched. Draws are a pure hash of
+  /// (sample_seed, src, dst, bytes, send time), so they are deterministic
+  /// and shard-invariant; a fingerprint key is emitted only when enabled.
+  std::vector<LatencySampleBin> sample_bins;
+  std::uint64_t sample_seed = 0;
+
+  bool sampling_enabled() const noexcept { return !sample_bins.empty(); }
 };
+
+/// Convert a measured distribution (a support::Histogram filled with
+/// latencies in ns — e.g. bench/sim_vs_rt's per-steal RTT samples, halved to
+/// one-way) into sampling bins. Empty bins are dropped; underflow folds into
+/// a [0, lo) bin and overflow into one trailing bin-width past the window,
+/// so total probability mass is preserved. Returns an empty vector (sampling
+/// disabled) when the histogram holds no samples.
+std::vector<LatencySampleBin> sample_bins_from_histogram(
+    const support::Histogram& h);
 
 /// Computes message latency and victim-selection distances between ranks of
 /// one job. Stateless beyond cached coordinates: O(1) memory per query, no
@@ -31,6 +66,13 @@ class LatencyModel {
   /// rank dst. Two ranks on the same node never touch the network.
   support::SimTime message_latency(Rank src, Rank dst,
                                    std::uint32_t bytes) const;
+
+  /// Time-aware overload used by sim::Network: identical to the 3-arg form
+  /// unless the empirical sampling backend is enabled, in which case `now`
+  /// (the virtual send time) salts the per-message draw. Keeping the 3-arg
+  /// form bit-unchanged keeps every existing golden stable.
+  support::SimTime message_latency(Rank src, Rank dst, std::uint32_t bytes,
+                                   support::SimTime now) const;
 
   /// Hop count between the ranks' nodes (0 when co-located).
   std::int32_t hops(Rank r1, Rank r2) const;

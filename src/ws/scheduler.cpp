@@ -143,6 +143,67 @@ support::Status RunConfig::validate() const {
           "(the conservative lookahead window would be empty)");
     }
   }
+  if (svc.enabled) {
+    if (backend == Backend::kRt) {
+      return support::Status::error(
+          "the service layer is simulator-only (backend=rt runs one job)");
+    }
+    if (ws.one_sided_steals) {
+      return support::Status::error(
+          "svc rejects one_sided_steals (the job mux delivers everything "
+          "through per-binding inboxes; there is no rank-level bypass)");
+    }
+    if (ws.idle_policy == IdlePolicy::kLifeline) {
+      return support::Status::error(
+          "svc rejects IdlePolicy::kLifeline (lifeline pushes are reserved "
+          "for lease relinquish hand-offs)");
+    }
+    if (svc.kind == svc::JobKind::kDag) {
+      return support::Status::error(
+          "svc.kind=dag is a declared extension seam, not implemented yet");
+    }
+    if (svc.arrival == svc::ArrivalKind::kPoisson) {
+      if (svc.num_jobs < 1) {
+        return support::Status::error("svc poisson arrivals need num_jobs >= 1");
+      }
+      if (svc.mean_interarrival <= 0) {
+        return support::Status::error(
+            "svc poisson arrivals need mean_interarrival > 0");
+      }
+    } else {
+      if (svc.trace.empty()) {
+        return support::Status::error("svc trace arrivals need a non-empty trace");
+      }
+      for (const auto t : svc.trace) {
+        if (t < 0) return support::Status::error("svc trace times must be >= 0");
+      }
+      if (svc.num_jobs != 0 &&
+          svc.num_jobs != static_cast<std::uint32_t>(svc.trace.size())) {
+        return support::Status::error(
+            "svc.num_jobs must be 0 or match the trace length");
+      }
+    }
+    if (svc.alloc == svc::AllocPolicy::kSpaceShare) {
+      if (svc.ranks_per_job < 1 || svc.ranks_per_job > num_ranks) {
+        return support::Status::error(
+            "svc space sharing needs 1 <= ranks_per_job <= num_ranks");
+      }
+      if (num_ranks % svc.ranks_per_job != 0) {
+        return support::Status::error(
+            "svc space sharing needs num_ranks divisible by ranks_per_job "
+            "(blocks are fixed-width partitions)");
+      }
+    }
+    for (const auto& entry : svc.mix) {
+      if (entry.weight <= 0.0) {
+        return support::Status::error("svc job-mix weights must be > 0");
+      }
+      if (uts::find_tree(entry.tree) == nullptr) {
+        return support::Status::error("svc job-mix tree '" + entry.tree +
+                                      "' is not in the uts catalogue");
+      }
+    }
+  }
   if (fault.drop_prob > 0.0) {
     // Liveness: a lost steal request/refusal is only recovered by the steal
     // timer, a lost token only by regeneration. Without them a single drop
@@ -163,6 +224,8 @@ support::Status RunConfig::validate() const {
 
 RunResult run_simulation(const RunConfig& config, RunObserver* observer) {
   DWS_CHECK(config.num_ranks >= 1);
+  DWS_CHECK(!config.svc.enabled &&
+            "service configs run through svc::run_service");
 
   topo::JobLayout layout(config.machine, config.num_ranks, config.placement,
                          config.procs_per_node, config.origin_cube);

@@ -5,9 +5,11 @@
 
 #include "fault/fault.hpp"
 #include "metrics/rank_stats.hpp"
+#include "metrics/service_stats.hpp"
 #include "metrics/trace.hpp"
 #include "sim/network.hpp"
 #include "support/expected.hpp"
+#include "svc/params.hpp"
 #include "topo/allocation.hpp"
 #include "topo/latency.hpp"
 #include "topo/tofu.hpp"
@@ -52,6 +54,14 @@ struct RunConfig {
   /// the default and fingerprint-neutral choice). run_simulation ignores it
   /// — callers route through exp::run_backend or audit::checked_run.
   Backend backend = Backend::kSim;
+
+  /// Multi-tenant service layer (DESIGN.md §13): when enabled, the run is a
+  /// *stream* of jobs arriving over virtual time and sharing the rank pool,
+  /// executed by svc::run_service instead of run_simulation (the dispatch
+  /// lives in exp::run_backend / audit::checked_run, like `backend`). The
+  /// single-job path is the degenerate case and is completely untouched —
+  /// svc.enabled==false keeps every golden byte-identical.
+  svc::ServiceParams svc;
 
   /// Shard count for the conservative-parallel simulator core (DESIGN.md
   /// §12): 1 (the default) runs the classic single-engine path; N > 1
@@ -119,6 +129,12 @@ struct RunResult {
   std::uint64_t merge_ambiguities = 0;
 
   support::SimTime per_node_cost = 0;  ///< ws.node_cost() used by the run
+
+  /// Service runs only (svc.enabled): one outcome per job, in job-id order.
+  /// `runtime` is then the finish time of the last job, `nodes`/`leaves`/
+  /// `stats`/`per_rank` aggregate over the whole stream, and speedup()/
+  /// efficiency() measure the stream as a whole.
+  std::vector<metrics::JobOutcome> jobs;
 
   /// Virtual time a single process would need: nodes * per-node cost. This
   /// is the paper's extrapolated T(1) ("all single MPI process executions

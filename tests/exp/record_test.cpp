@@ -147,7 +147,7 @@ TEST(RecordWriter, JsonlSchemaHeaderAndOneLinePerPoint) {
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
   EXPECT_NE(text.find("\"schema\":\"dws.exp.sweep\""), std::string::npos);
-  EXPECT_NE(text.find("\"version\":5"), std::string::npos);
+  EXPECT_NE(text.find("\"version\":6"), std::string::npos);
   EXPECT_NE(text.find("\"coords\":{\"ranks\":\"4\"}"), std::string::npos);
   EXPECT_EQ(text.find("wall_s"), std::string::npos);  // wall_clock=false
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
@@ -170,7 +170,7 @@ TEST(RecordWriter, CsvHasSchemaCommentHeaderAndRows) {
   RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
   writer.write_report(points, fake_report(points));
   const std::string text = out.str();
-  EXPECT_NE(text.find("# schema=dws.exp.sweep version=5"), std::string::npos);
+  EXPECT_NE(text.find("# schema=dws.exp.sweep version=6"), std::string::npos);
   EXPECT_NE(text.find("index,"), std::string::npos);
   // comment + header + 2 rows
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
@@ -252,7 +252,9 @@ TEST(RecordSchema, V5EmissionOmitsThePeakColumns) {
   SweepSpec spec(base_config());
   const auto points = spec.expand().value();
   std::ostringstream out;
-  RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
+  RecordOptions options{RecordFormat::kCsv, false};
+  options.schema_version = 5;
+  RecordWriter writer(out, options);
   writer.write_report(points, fake_report(points));
   EXPECT_EQ(out.str().find("engine_peak_pending"), std::string::npos);
   EXPECT_EQ(out.str().find("net_peak_channels"), std::string::npos);
@@ -270,6 +272,152 @@ TEST(RecordWriter, SchemaVersion1OmitsTheV2Fields) {
   EXPECT_NE(text.find("\"version\":1"), std::string::npos);
   EXPECT_EQ(text.find("engine_peak_pending"), std::string::npos);
   EXPECT_EQ(text.find("net_peak_channels"), std::string::npos);
+}
+
+/// A fake service point: the fake report plus two JobOutcomes, enough for
+/// the v6 writer to cut one run row and two job rows.
+SweepReport fake_service_report(const std::vector<SweepPoint>& points) {
+  SweepReport report = fake_report(points);
+  for (PointResult& r : report.points) {
+    metrics::JobOutcome a;
+    a.job_id = 0;
+    a.tree = "TEST_BIN_TINY";
+    a.root_seed = 777;
+    a.base = 0;
+    a.width = 4;
+    a.arrival = 0;
+    a.admit = 1'000'000;
+    a.first_compute = 2'000'000;
+    a.finish = 10'000'000;
+    a.nodes = 60;
+    a.leaves = 30;
+    a.steal_attempts = 12;
+    a.successful_steals = 7;
+    metrics::JobOutcome b = a;
+    b.job_id = 1;
+    b.base = 4;
+    b.arrival = 3'000'000;
+    b.admit = 5'000'000;
+    b.first_compute = 5'500'000;
+    b.finish = 23'000'000;
+    b.nodes = 40;
+    b.leaves = 20;
+    r.result.jobs = {a, b};
+  }
+  return report;
+}
+
+TEST(RecordSchema, V6ServicePointEmitsRunAndJobRowsJsonl) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kJsonl, false});
+  writer.write_report(points, fake_service_report(points));
+  const std::string text = out.str();
+  // header + 1 run row + 2 job rows
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("\"row\":\"run\""), std::string::npos);
+  EXPECT_NE(text.find("\"row\":\"job\""), std::string::npos);
+  EXPECT_NE(text.find("\"jobs\":2"), std::string::npos);
+
+  std::istringstream in(text);
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  ASSERT_EQ(file.value().records.size(), 3u);
+  const SweepRecord& run = file.value().records[0];
+  EXPECT_EQ(run.row, "run");
+  EXPECT_FALSE(run.is_job_row());
+  EXPECT_EQ(run.jobs, 2u);
+  // Nearest-rank tails over {10, 20} ms makespans: p50 = 10, p99 = 20.
+  EXPECT_DOUBLE_EQ(run.makespan_p50_ms, 10.0);
+  EXPECT_DOUBLE_EQ(run.makespan_p99_ms, 20.0);
+  EXPECT_DOUBLE_EQ(run.queue_wait_p50_ms, 1.0);
+  EXPECT_DOUBLE_EQ(run.queue_wait_p99_ms, 2.0);
+
+  const SweepRecord& job0 = file.value().records[1];
+  EXPECT_TRUE(job0.is_job_row());
+  EXPECT_EQ(job0.job_id, 0u);
+  EXPECT_EQ(job0.job_tree, "TEST_BIN_TINY");
+  EXPECT_EQ(job0.job_root_seed, 777u);
+  EXPECT_EQ(job0.job_width, 4u);
+  EXPECT_DOUBLE_EQ(job0.job_queue_wait_ms, 1.0);
+  EXPECT_DOUBLE_EQ(job0.job_makespan_ms, 10.0);
+  EXPECT_EQ(job0.job_nodes, 60u);
+  EXPECT_EQ(job0.job_steal_attempts, 12u);
+  EXPECT_EQ(job0.fingerprint, run.fingerprint);
+
+  const SweepRecord& job1 = file.value().records[2];
+  EXPECT_EQ(job1.job_id, 1u);
+  EXPECT_EQ(job1.job_base, 4u);
+  EXPECT_DOUBLE_EQ(job1.job_makespan_ms, 20.0);
+}
+
+TEST(RecordSchema, V6ServicePointRoundTripsCsv) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordWriter writer(out, RecordOptions{RecordFormat::kCsv, false});
+  writer.write_report(points, fake_service_report(points));
+  const std::string text = out.str();
+  EXPECT_NE(text.find(",row,"), std::string::npos);  // header names the column
+
+  std::istringstream in(text);
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  ASSERT_EQ(file.value().records.size(), 3u);
+  EXPECT_EQ(file.value().records[0].row, "run");
+  EXPECT_EQ(file.value().records[0].jobs, 2u);
+  EXPECT_TRUE(file.value().records[1].is_job_row());
+  EXPECT_EQ(file.value().records[1].job_nodes, 60u);
+  EXPECT_EQ(file.value().records[2].job_id, 1u);
+  EXPECT_DOUBLE_EQ(file.value().records[2].job_makespan_ms, 20.0);
+}
+
+TEST(RecordSchema, V5EmissionOmitsTheServiceColumnsEntirely) {
+  // Pinning v5 reproduces the pre-service byte stream even when the result
+  // carries job outcomes: no row discriminator, no tails, no job rows.
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  std::ostringstream out;
+  RecordOptions options{RecordFormat::kJsonl, false};
+  options.schema_version = 5;
+  RecordWriter writer(out, options);
+  writer.write_report(points, fake_service_report(points));
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);  // header + 1 row
+  EXPECT_EQ(text.find("\"row\""), std::string::npos);
+  EXPECT_EQ(text.find("makespan_p50_ms"), std::string::npos);
+  EXPECT_EQ(text.find("job_id"), std::string::npos);
+
+  std::istringstream in(text);
+  const auto file = read_records(in);
+  ASSERT_TRUE(file.has_value()) << file.error();
+  EXPECT_EQ(file.value().version, 5);
+  ASSERT_EQ(file.value().records.size(), 1u);
+  EXPECT_TRUE(file.value().records[0].row.empty());
+}
+
+TEST(RecordReader, AcceptsEveryHistoricalSchemaVersion) {
+  SweepSpec spec(base_config());
+  const auto points = spec.expand().value();
+  for (int v = kRecordMinSchemaVersion; v <= kRecordSchemaVersion; ++v) {
+    for (const RecordFormat fmt : {RecordFormat::kJsonl, RecordFormat::kCsv}) {
+      std::ostringstream out;
+      RecordOptions options{fmt, false};
+      options.schema_version = v;
+      RecordWriter writer(out, options);
+      writer.write_report(points, fake_report(points));
+      std::istringstream in(out.str());
+      const auto file = read_records(in);
+      ASSERT_TRUE(file.has_value())
+          << "v" << v << (fmt == RecordFormat::kCsv ? " csv" : " jsonl")
+          << ": " << file.error();
+      EXPECT_EQ(file.value().version, v);
+      ASSERT_EQ(file.value().records.size(), 1u);
+      EXPECT_TRUE(file.value().records[0].ok);
+      EXPECT_EQ(file.value().records[0].nodes, 100u);
+    }
+  }
 }
 
 TEST(RecordReader, RoundTripsJsonlCurrent) {

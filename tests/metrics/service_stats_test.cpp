@@ -1,0 +1,67 @@
+/// Nearest-rank percentile semantics of the service tail statistics: every
+/// reported value must be an actual sample (no interpolation), so record
+/// streams stay bit-stable across platforms.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/service_stats.hpp"
+
+namespace dws::metrics {
+namespace {
+
+TEST(ServiceStats, EmptySampleSetIsAllZero) {
+  const TailStats t = tail_stats({});
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_EQ(t.mean, 0.0);
+  EXPECT_EQ(t.p50, 0.0);
+  EXPECT_EQ(t.p99, 0.0);
+  EXPECT_EQ(t.max, 0.0);
+}
+
+TEST(ServiceStats, SingleSampleIsItsOwnTail) {
+  const TailStats t = tail_stats({42.0});
+  EXPECT_EQ(t.count, 1u);
+  EXPECT_EQ(t.mean, 42.0);
+  EXPECT_EQ(t.p50, 42.0);
+  EXPECT_EQ(t.p99, 42.0);
+  EXPECT_EQ(t.max, 42.0);
+}
+
+TEST(ServiceStats, NearestRankPicksActualSamples) {
+  // 100 samples 1..100: nearest-rank p50 is the 50th order statistic, p99
+  // the 99th — exact samples, not interpolated midpoints.
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);  // unsorted on purpose
+  const TailStats t = tail_stats(std::move(xs));
+  EXPECT_EQ(t.count, 100u);
+  EXPECT_EQ(t.p50, 50.0);
+  EXPECT_EQ(t.p99, 99.0);
+  EXPECT_EQ(t.max, 100.0);
+  EXPECT_DOUBLE_EQ(t.mean, 50.5);
+}
+
+TEST(ServiceStats, ServiceTailsConvertVirtualNsToMs) {
+  JobOutcome a;
+  a.arrival = 0;
+  a.admit = 1'000'000;         // 1 ms queue wait
+  a.first_compute = 2'000'000; // 2 ms scheduling latency
+  a.finish = 10'000'000;       // 10 ms makespan
+  JobOutcome b = a;
+  b.arrival = 5'000'000;
+  b.admit = b.arrival + 3'000'000;
+  b.first_compute = b.admit + 1'000'000;
+  b.finish = b.arrival + 20'000'000;
+
+  const ServiceTails tails = service_tails({a, b});
+  EXPECT_EQ(tails.makespan.count, 2u);
+  EXPECT_DOUBLE_EQ(tails.makespan.max, 20.0);
+  EXPECT_DOUBLE_EQ(tails.queue_wait.max, 3.0);
+  EXPECT_DOUBLE_EQ(tails.sched_latency.max, 4.0);
+  // Two samples: nearest-rank p50 is the smaller one.
+  EXPECT_DOUBLE_EQ(tails.makespan.p50, 10.0);
+  EXPECT_DOUBLE_EQ(tails.makespan.p99, 20.0);
+}
+
+}  // namespace
+}  // namespace dws::metrics

@@ -1,0 +1,135 @@
+/// The arrival process and its determinism contract (DESIGN.md §13): job
+/// identity — tree pick and root seed — is a pure function of
+/// (svc.seed, job id), never of the arrival interleaving. The admission-
+/// reorder regression is the load-bearing test here: swapping two trace
+/// entries must change WHEN each job runs but not WHAT it computes.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/arrival.hpp"
+#include "svc/service.hpp"
+#include "uts/params.hpp"
+#include "ws/scheduler.hpp"
+
+namespace dws::svc {
+namespace {
+
+ServiceParams poisson_params(std::uint64_t seed, std::uint32_t jobs) {
+  ServiceParams p;
+  p.enabled = true;
+  p.seed = seed;
+  p.num_jobs = jobs;
+  p.arrival = ArrivalKind::kPoisson;
+  p.mean_interarrival = 500'000;
+  return p;
+}
+
+TEST(Arrival, PoissonStreamIsDeterministicPerSeed) {
+  const uts::TreeParams tree = uts::tree_by_name("TEST_BIN_TINY");
+  const auto a = generate_jobs(poisson_params(7, 16), tree);
+  const auto b = generate_jobs(poisson_params(7, 16), tree);
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<JobId>(i));
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].tree.root_seed, b[i].tree.root_seed);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    }
+  }
+
+  const auto c = generate_jobs(poisson_params(8, 16), tree);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference = any_difference || a[i].arrival != c[i].arrival ||
+                     a[i].tree.root_seed != c[i].tree.root_seed;
+  }
+  EXPECT_TRUE(any_difference) << "seed does not reach the arrival stream";
+}
+
+TEST(Arrival, PerJobRootSeedsAreDistinct) {
+  const uts::TreeParams tree = uts::tree_by_name("TEST_BIN_TINY");
+  const auto jobs = generate_jobs(poisson_params(3, 32), tree);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+      EXPECT_NE(jobs[i].tree.root_seed, jobs[j].tree.root_seed)
+          << "jobs " << i << " and " << j << " share a root seed";
+    }
+  }
+}
+
+TEST(Arrival, TraceKeepsJobIdsInTraceOrder) {
+  ServiceParams p;
+  p.enabled = true;
+  p.seed = 11;
+  p.arrival = ArrivalKind::kTrace;
+  p.trace = {2'000'000, 0, 1'000'000};  // deliberately unsorted
+  const auto jobs =
+      generate_jobs(p, uts::tree_by_name("TEST_BIN_TINY"));
+  ASSERT_EQ(jobs.size(), 3u);
+  // Ids follow trace positions; arrival times are the trace values verbatim.
+  EXPECT_EQ(jobs[0].arrival, 2'000'000);
+  EXPECT_EQ(jobs[1].arrival, 0);
+  EXPECT_EQ(jobs[2].arrival, 1'000'000);
+}
+
+TEST(Arrival, MixResolvesToCatalogueTreesDeterministically) {
+  ServiceParams p = poisson_params(21, 64);
+  p.mix = {{"TEST_BIN_TINY", 1.0}, {"TEST_GEO_FIX", 3.0}};
+  const uts::TreeParams fallback = uts::tree_by_name("TEST_BIN_SMALL");
+  const auto jobs = generate_jobs(p, fallback);
+  std::uint32_t tiny = 0, geo = 0;
+  for (const JobSpec& j : jobs) {
+    if (j.tree.name == "TEST_BIN_TINY") {
+      ++tiny;
+    } else {
+      ASSERT_EQ(j.tree.name, "TEST_GEO_FIX");
+      ++geo;
+    }
+  }
+  // Both entries must be drawn; the 3:1 weighting must show in the counts.
+  EXPECT_GT(tiny, 0u);
+  EXPECT_GT(geo, tiny);
+
+  const auto again = generate_jobs(p, fallback);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].tree.name, again[i].tree.name);
+  }
+}
+
+/// Satellite 2: admission reordering must not change any job's tree shape.
+/// Two traces that swap which job arrives first are run end-to-end; job 0
+/// must expand the identical tree (same root seed, same realised node and
+/// leaf counts) either way, and so must job 1.
+TEST(Arrival, AdmissionReorderingDoesNotChangeAnyJobsTree) {
+  ws::RunConfig cfg;
+  cfg.tree = uts::tree_by_name("TEST_BIN_TINY");
+  cfg.num_ranks = 8;
+  cfg.ws.chunk_size = 2;
+  cfg.svc.enabled = true;
+  cfg.svc.seed = 42;
+  cfg.svc.arrival = ArrivalKind::kTrace;
+  cfg.svc.alloc = AllocPolicy::kSpaceShare;
+  cfg.svc.ranks_per_job = 4;
+
+  cfg.svc.trace = {2'000'000, 1'000'000};  // job 1 admitted before job 0
+  const ws::RunResult late_first = checked_service_run(cfg);
+  cfg.svc.trace = {1'000'000, 2'000'000};  // job 0 admitted before job 1
+  const ws::RunResult early_first = checked_service_run(cfg);
+
+  ASSERT_EQ(late_first.jobs.size(), 2u);
+  ASSERT_EQ(early_first.jobs.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(late_first.jobs[i].root_seed, early_first.jobs[i].root_seed);
+    EXPECT_EQ(late_first.jobs[i].tree, early_first.jobs[i].tree);
+    EXPECT_EQ(late_first.jobs[i].nodes, early_first.jobs[i].nodes);
+    EXPECT_EQ(late_first.jobs[i].leaves, early_first.jobs[i].leaves);
+  }
+  // The reorder DID change the schedule: arrivals swapped.
+  EXPECT_NE(late_first.jobs[0].arrival, early_first.jobs[0].arrival);
+}
+
+}  // namespace
+}  // namespace dws::svc

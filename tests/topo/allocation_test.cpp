@@ -107,6 +107,36 @@ TEST(JobLayout, OriginWrapsAroundTorus) {
   EXPECT_EQ(unique.size(), 96u);
 }
 
+TEST(JobLayout, SlicePreservesParentCoordinatesAndDistances) {
+  // svc space sharing: a job's block is a window onto the parent layout, so
+  // job-local rank i must sit on exactly the node parent rank base+i does —
+  // distances (and therefore latencies) inside the slice are the parent's.
+  TofuMachine m;
+  JobLayout parent(m, 64, Placement::kGrouped, 8);
+  const Rank base = 16, width = 16;
+  const JobLayout job = JobLayout::slice(parent, base, width);
+  EXPECT_EQ(job.num_ranks(), width);
+  for (Rank r = 0; r < width; ++r) {
+    EXPECT_EQ(job.node_of(r), parent.node_of(base + r)) << r;
+    EXPECT_EQ(job.coord_of(r), parent.coord_of(base + r)) << r;
+  }
+  for (Rank a = 0; a < width; ++a) {
+    for (Rank b = 0; b < width; ++b) {
+      EXPECT_EQ(job.same_node(a, b), parent.same_node(base + a, base + b));
+    }
+  }
+}
+
+TEST(JobLayout, SliceOfTheWholePoolIsTheParent) {
+  TofuMachine m;
+  JobLayout parent(m, 32, Placement::kRoundRobin, 8);
+  const JobLayout job = JobLayout::slice(parent, 0, 32);
+  EXPECT_EQ(job.num_ranks(), parent.num_ranks());
+  for (Rank r = 0; r < 32; ++r) {
+    EXPECT_EQ(job.node_of(r), parent.node_of(r));
+  }
+}
+
 TEST(JobLayout, PlacementNames) {
   EXPECT_STREQ(to_string(Placement::kOnePerNode), "1/N");
   EXPECT_STREQ(to_string(Placement::kRoundRobin), "RR");

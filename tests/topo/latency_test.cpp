@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/histogram.hpp"
 #include "support/rng.hpp"
 
 namespace dws::topo {
@@ -126,6 +127,85 @@ TEST_F(LatencyTest, EightPerNodeSeesLatencySpread) {
   }
   EXPECT_EQ(lo, model.params().same_node);
   EXPECT_GT(hi, 2 * lo);
+}
+
+TEST_F(LatencyTest, SamplingBackendReplacesOnlyTheNetworkTier) {
+  JobLayout layout(machine_, 96, Placement::kOnePerNode);
+  LatencyParams params;
+  params.sample_bins = {{10'000, 20'000, 3}, {20'000, 40'000, 1}};
+  params.sample_seed = 7;
+  LatencyModel sampled(layout, params);
+  LatencyModel uniform(layout, LatencyParams{});
+
+  // Same-blade pair (nodes 0 and 1): bins must not apply.
+  EXPECT_EQ(sampled.message_latency(0, 1, 0, 12345),
+            uniform.message_latency(0, 1, 0));
+  // Network pair: the draw lands inside the bins' envelope (plus zero
+  // serialization at 0 bytes) and is far above the uniform model.
+  const auto far = sampled.message_latency(0, 95, 0, 12345);
+  EXPECT_GE(far, 10'000);
+  EXPECT_LT(far, 40'000);
+
+  // The 3-arg overload stays bit-unchanged even with sampling configured —
+  // that is what keeps every pre-sampling golden stable.
+  EXPECT_EQ(sampled.message_latency(0, 95, 0),
+            uniform.message_latency(0, 95, 0));
+}
+
+TEST_F(LatencyTest, SamplingDrawsArePureFunctionsOfTheirInputs) {
+  JobLayout layout(machine_, 96, Placement::kOnePerNode);
+  LatencyParams params;
+  params.sample_bins = {{5'000, 50'000, 1}};
+  params.sample_seed = 11;
+  LatencyModel model(layout, params);
+
+  // Replayable: the same (src, dst, bytes, now) always draws the same value,
+  // with no generator state (construction order is irrelevant).
+  const auto a = model.message_latency(0, 95, 64, 1'000'000);
+  EXPECT_EQ(a, model.message_latency(0, 95, 64, 1'000'000));
+  LatencyModel again(layout, params);
+  EXPECT_EQ(a, again.message_latency(0, 95, 64, 1'000'000));
+
+  // The send time salts the draw: different instants spread over the bin.
+  bool varies = false;
+  for (support::SimTime t = 0; t < 64 && !varies; ++t) {
+    varies = model.message_latency(0, 95, 64, t) != a;
+  }
+  EXPECT_TRUE(varies);
+
+  // A different seed is a different experiment.
+  LatencyParams reseeded = params;
+  reseeded.sample_seed = 12;
+  LatencyModel other(layout, reseeded);
+  bool seed_reaches_draws = false;
+  for (support::SimTime t = 0; t < 64 && !seed_reaches_draws; ++t) {
+    seed_reaches_draws = model.message_latency(0, 95, 64, t) !=
+                         other.message_latency(0, 95, 64, t);
+  }
+  EXPECT_TRUE(seed_reaches_draws);
+}
+
+TEST_F(LatencyTest, SampleBinsFromHistogramPreserveMass) {
+  support::Histogram h(100.0, 1'300.0, 12);  // bin width 100
+  for (int i = 0; i < 10; ++i) h.add(150.0);   // bin 0
+  for (int i = 0; i < 5; ++i) h.add(1'250.0);  // bin 11
+  h.add(50.0);     // underflow
+  h.add(2'000.0);  // overflow
+  const std::vector<LatencySampleBin> bins = sample_bins_from_histogram(h);
+  ASSERT_EQ(bins.size(), 4u);  // underflow + 2 live bins + overflow
+  std::uint64_t mass = 0;
+  for (const auto& b : bins) {
+    EXPECT_LT(b.lo, b.hi);
+    mass += b.weight;
+  }
+  EXPECT_EQ(mass, h.total());
+  EXPECT_EQ(bins.front().lo, 0);      // underflow bin starts at zero
+  EXPECT_EQ(bins.front().hi, 100);
+  EXPECT_EQ(bins.back().lo, 1'300);   // overflow bin extends the window
+  EXPECT_EQ(bins.back().hi, 1'400);
+
+  EXPECT_TRUE(sample_bins_from_histogram(
+                  support::Histogram(0.0, 10.0, 4)).empty());
 }
 
 }  // namespace
