@@ -1,0 +1,99 @@
+/// Ablation (DESIGN.md §14): feedback-driven victim selection under
+/// adversity. The static Tofu skew encodes where steals *should* be cheap;
+/// when the fabric misbehaves — message loss, latency jitter, degraded
+/// links, straggling ranks — that prior goes stale and the adaptive
+/// selector's per-victim response/RTT EWMAs steer requests away from the
+/// unhealthy part of the machine. Clean columns double as a regression
+/// guard: with nothing to learn, Adaptive must track Tofu Half, not lag it.
+///
+/// Unlike the other large-scale figures this bench keeps the SIMWL tree in
+/// --quick mode (at 128 ranks): on the quick tree the per-rank work is so
+/// small that lost-token recovery dominates the runtime and the policy gap
+/// drowns in termination noise.
+#include <cstdio>
+
+#include "exp/figures.hpp"
+#include "uts/params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dws;
+  exp::figure_init(argc, argv, "Ablation D",
+                   "adaptive vs. static victim selection under faults "
+                   "(not a paper figure)");
+
+  const auto ranks = exp::quick_mode() ? 128u : 1024u;
+  const std::vector<double> drops =
+      exp::quick_mode() ? std::vector<double>{0.0, 0.01}
+                        : std::vector<double>{0.0, 0.01, 0.02};
+
+  // Fabric conditions beyond loss: each one a persistent signal the
+  // feedback EWMAs can learn (jitter is the deliberate exception — pure
+  // noise, a no-win column guarding against phantom adaptation).
+  std::vector<exp::AxisPoint> fabrics;
+  fabrics.push_back({"clean", [](ws::RunConfig&) {}});
+  fabrics.push_back({"degr20x4", [](ws::RunConfig& cfg) {
+                       cfg.fault.degraded_frac = 0.2;
+                       cfg.fault.degraded_mult = 4.0;
+                     }});
+  if (!exp::quick_mode()) {
+    fabrics.push_back({"jitter50", [](ws::RunConfig& cfg) {
+                         cfg.fault.jitter_frac = 0.5;
+                       }});
+    fabrics.push_back({"strag4", [](ws::RunConfig& cfg) {
+                         cfg.fault.straggler_ranks = 4;
+                         cfg.fault.straggler_factor = 4.0;
+                       }});
+  }
+  const std::size_t num_fabrics = fabrics.size();
+
+  auto base = exp::large_scale_base();
+  base.tree = uts::tree_by_name("SIMWL");  // see the header note
+  base.num_ranks = ranks;
+  exp::apply_alloc(exp::kOneN, base);
+  // Same timer sizing as ablation_fault: quiet on the clean baseline, so the
+  // recovery machinery only shows up in the columns that inject faults.
+  base.ws.steal_timeout = 50'000;     // 50 µs
+  base.ws.token_timeout = 2'000'000;  // 2 ms: a ring circulation
+
+  // Policy axis: the two static anchors plus the adaptive selector, with and
+  // without yield-driven steal-amount switching on top.
+  std::vector<exp::AxisPoint> policies;
+  policies.push_back({"Reference", [](ws::RunConfig& cfg) {
+                        exp::apply_variant(exp::kReference, cfg);
+                      }});
+  policies.push_back({"Tofu Half", [](ws::RunConfig& cfg) {
+                        exp::apply_variant(exp::kTofuHalf, cfg);
+                      }});
+  policies.push_back({"Adaptive", [](ws::RunConfig& cfg) {
+                        exp::apply_variant(exp::kAdaptiveHalf, cfg);
+                      }});
+  policies.push_back({"Adaptive+Amt", [](ws::RunConfig& cfg) {
+                        exp::apply_variant(exp::kAdaptiveHalf, cfg);
+                        cfg.ws.adaptive_steal_amount = true;
+                      }});
+  const std::size_t num_policies = policies.size();
+
+  exp::SweepSpec spec(base);
+  spec.axis(exp::fault_drop_axis(drops))
+      .axis(exp::custom_axis("fabric", std::move(fabrics)))
+      .axis(exp::custom_axis("policy", std::move(policies)));
+  const auto results = exp::run_figure_sweep_averaged(spec);
+
+  support::Table table({"drop", "fabric", "Reference", "Tofu Half", "Adaptive",
+                        "Adaptive+Amt"});
+  const char* fabric_labels[] = {"clean", "degr20x4", "jitter50", "strag4"};
+  std::size_t row = 0;
+  for (const double drop : drops) {
+    for (std::size_t f = 0; f < num_fabrics; ++f) {
+      const auto* p = &results[row * num_policies];
+      table.add_row({support::fmt(drop * 100.0, 1) + "%", fabric_labels[f],
+                     support::fmt(p[0].speedup, 1),
+                     support::fmt(p[1].speedup, 1),
+                     support::fmt(p[2].speedup, 1),
+                     support::fmt(p[3].speedup, 1)});
+      ++row;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

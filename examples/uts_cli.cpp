@@ -137,6 +137,26 @@ int main(int argc, char** argv) {
       .u32("--local-tries", "",
            "hier policy: local picks per remote pick (sim), default 2",
            &sim_cfg.ws.hierarchical_local_tries)
+      .u32("--remote-tries", "",
+           "hier policy: remote picks per schedule period (sim), default 1",
+           &sim_cfg.ws.hierarchical_remote_tries)
+      .f64("--adapt-decay", "",
+           "adaptive policy/amount: EWMA step in (0,1] (sim), default 0.25",
+           &sim_cfg.ws.adapt_decay)
+      .f64("--adapt-epsilon", "",
+           "adaptive policy: exploration probability in (0,1] (sim), "
+           "default 0.1",
+           &sim_cfg.ws.adapt_epsilon)
+      .u32("--adapt-refresh", "",
+           "adaptive policy: feedback events per alias rebuild (sim), "
+           "default 32",
+           &sim_cfg.ws.adapt_refresh_interval)
+      .toggle("--adaptive-amount", "",
+              "switch steal-half vs steal-one on the thief's yield EWMA (sim)",
+              &sim_cfg.ws.adaptive_steal_amount)
+      .u32("--adapt-yield-threshold", "",
+           "adaptive amount: yield threshold in nodes, 0 = 2*chunk (sim)",
+           &sim_cfg.ws.adapt_yield_threshold)
       .toggle("--one-sided", "", "service steals at arrival (sim)",
               &sim_cfg.ws.one_sided_steals)
       .u32("--poll", "", "nodes expanded between message polls (sim)",

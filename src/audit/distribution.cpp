@@ -46,11 +46,13 @@ std::vector<double> expected_distribution(const ws::WsConfig& config,
     }
     case ws::VictimPolicy::kHierarchical: {
       ws::HierarchicalSelector selector(self, latency, config.seed,
-                                        config.hierarchical_local_tries);
+                                        config.hierarchical_local_tries,
+                                        config.hierarchical_remote_tries);
       const auto& local = selector.local_set();
       const auto& remote = selector.remote_set();
-      const double tries = config.hierarchical_local_tries;
-      double local_share = tries / (tries + 1.0);
+      const double local_tries = config.hierarchical_local_tries;
+      const double remote_tries = config.hierarchical_remote_tries;
+      double local_share = local_tries / (local_tries + remote_tries);
       if (local.empty()) local_share = 0.0;
       if (remote.empty()) local_share = 1.0;
       for (const topo::Rank j : local) {
@@ -58,6 +60,16 @@ std::vector<double> expected_distribution(const ws::WsConfig& config,
       }
       for (const topo::Rank j : remote) {
         p[j] = (1.0 - local_share) / static_cast<double>(remote.size());
+      }
+      return p;
+    }
+    case ws::VictimPolicy::kAdaptive: {
+      // A fresh selector has seen no feedback, so its live weights equal the
+      // Tofu base and probability() — epsilon mix included — is exactly the
+      // distribution the audit samples from below.
+      ws::AdaptiveSkewedSelector selector(self, latency, config.seed, config);
+      for (topo::Rank j = 0; j < num_ranks; ++j) {
+        p[j] = selector.probability(j);
       }
       return p;
     }

@@ -81,6 +81,12 @@ class MutatingObserver final : public ws::RunObserver {
                              std::uint64_t nodes) override {
     inner_.on_duplicate_response(thief, chunks, nodes);
   }
+  void on_steal_feedback(topo::Rank thief, topo::Rank victim, bool success,
+                         support::SimTime rtt, double success_ewma,
+                         double rtt_ewma) override {
+    inner_.on_steal_feedback(thief, victim, success, rtt, success_ewma,
+                             rtt_ewma);
+  }
   void on_token_sent(topo::Rank from, topo::Rank to,
                      const ws::Token& t) override {
     inner_.on_token_sent(from, to, t);
@@ -249,6 +255,25 @@ std::vector<ws::RunConfig> shrink_candidates(const ws::RunConfig& config) {
     c = config;
     c.ws.victim_policy = ws::VictimPolicy::kRoundRobin;
     push(std::move(c));
+    if (config.ws.adaptive_steal_amount) {
+      c = config;
+      c.ws.adaptive_steal_amount = false;
+      c.ws.adapt_yield_threshold = 0;
+      push(std::move(c));
+    }
+    if (config.ws.victim_policy == ws::VictimPolicy::kAdaptive ||
+        config.ws.adaptive_steal_amount) {
+      c = config;  // feedback knobs back to defaults
+      c.ws.adapt_decay = 0.25;
+      c.ws.adapt_epsilon = 0.1;
+      c.ws.adapt_refresh_interval = 32;
+      push(std::move(c));
+    }
+    if (config.ws.hierarchical_remote_tries != 1) {
+      c = config;
+      c.ws.hierarchical_remote_tries = 1;
+      push(std::move(c));
+    }
     if (config.ws.chunk_size > 1) {
       c = config;
       c.ws.chunk_size = config.ws.chunk_size / 2;
@@ -326,12 +351,24 @@ ws::RunConfig random_config(std::uint64_t seed, std::uint64_t node_budget,
     }
 
     cfg.ws.chunk_size = 1 + static_cast<std::uint32_t>(rng.next_below(30));
-    cfg.ws.victim_policy = static_cast<ws::VictimPolicy>(rng.next_below(4));
+    cfg.ws.victim_policy = static_cast<ws::VictimPolicy>(rng.next_below(5));
     cfg.ws.steal_amount = static_cast<ws::StealAmount>(rng.next_below(2));
     cfg.ws.idle_policy = static_cast<ws::IdlePolicy>(rng.next_below(2));
     cfg.ws.lifeline_tries = 1 + static_cast<std::uint32_t>(rng.next_below(6));
     cfg.ws.hierarchical_local_tries =
         static_cast<std::uint32_t>(rng.next_below(5));
+    cfg.ws.hierarchical_remote_tries =
+        1 + static_cast<std::uint32_t>(rng.next_below(3));
+    cfg.ws.adaptive_steal_amount = rng.next_below(4) == 0;
+    if (cfg.ws.victim_policy == ws::VictimPolicy::kAdaptive ||
+        cfg.ws.adaptive_steal_amount) {
+      cfg.ws.adapt_decay = 0.05 + 0.95 * rng.next_double();
+      cfg.ws.adapt_epsilon = 0.02 + 0.5 * rng.next_double();
+      cfg.ws.adapt_refresh_interval =
+          1 + static_cast<std::uint32_t>(rng.next_below(64));
+      cfg.ws.adapt_yield_threshold =
+          static_cast<std::uint32_t>(rng.next_below(80));
+    }
     cfg.ws.one_sided_steals = rng.next_below(2) == 1;
     cfg.ws.poll_interval = 1 + static_cast<std::uint32_t>(rng.next_below(4));
     cfg.ws.sha_rounds = 1 + static_cast<std::uint32_t>(rng.next_below(4));
@@ -399,6 +436,7 @@ std::string reproducer_command(const ws::RunConfig& config) {
       case ws::VictimPolicy::kRandom: return "rand";
       case ws::VictimPolicy::kTofuSkewed: return "tofu";
       case ws::VictimPolicy::kHierarchical: return "hier";
+      case ws::VictimPolicy::kAdaptive: return "adaptive";
     }
     return "ref";
   }();
@@ -445,6 +483,19 @@ std::string reproducer_command(const ws::RunConfig& config) {
   if (config.ws.token_timeout != 0) {
     flag_u64("--token-timeout",
              static_cast<std::uint64_t>(config.ws.token_timeout));
+  }
+  if (config.ws.hierarchical_remote_tries != 1) {
+    flag_u64("--remote-tries", config.ws.hierarchical_remote_tries);
+  }
+  if (config.ws.victim_policy == ws::VictimPolicy::kAdaptive ||
+      config.ws.adaptive_steal_amount) {
+    flag_f64("--adapt-decay", config.ws.adapt_decay);
+    flag_f64("--adapt-epsilon", config.ws.adapt_epsilon);
+    flag_u64("--adapt-refresh", config.ws.adapt_refresh_interval);
+  }
+  if (config.ws.adaptive_steal_amount) {
+    cmd += " --adaptive-amount";
+    flag_u64("--adapt-yield-threshold", config.ws.adapt_yield_threshold);
   }
   const fault::FaultConfig& f = config.fault;
   if (f.enabled()) {

@@ -148,6 +148,7 @@ support::Expected<ws::VictimPolicy> parse_policy(std::string_view s) {
   if (s == "rand" || s == "random") return ws::VictimPolicy::kRandom;
   if (s == "tofu") return ws::VictimPolicy::kTofuSkewed;
   if (s == "hier") return ws::VictimPolicy::kHierarchical;
+  if (s == "adaptive" || s == "adapt") return ws::VictimPolicy::kAdaptive;
   return E::failure("victim policy must be " +
                     std::string(policy_flag_values()) + ", got '" +
                     std::string(s) + "'");
@@ -180,7 +181,7 @@ support::Expected<ws::IdlePolicy> parse_idle(std::string_view s) {
                     ", got '" + std::string(s) + "'");
 }
 
-const char* policy_flag_values() { return "ref|rand|tofu|hier"; }
+const char* policy_flag_values() { return "ref|rand|tofu|hier|adaptive"; }
 const char* steal_flag_values() { return "1|half"; }
 const char* placement_flag_values() { return "1n|rr|g"; }
 const char* idle_flag_values() { return "persistent|lifeline"; }

@@ -46,6 +46,11 @@ inline constexpr Variant kRandHalf{ws::VictimPolicy::kRandom,
                                    ws::StealAmount::kHalf, "Rand Half"};
 inline constexpr Variant kTofuHalf{ws::VictimPolicy::kTofuSkewed,
                                    ws::StealAmount::kHalf, "Tofu Half"};
+/// Feedback-driven selection (DESIGN.md §14). Starts from the Half amount
+/// like kTofuHalf; benches that also want amount switching flip
+/// ws.adaptive_steal_amount via a custom axis point on top of this variant.
+inline constexpr Variant kAdaptiveHalf{ws::VictimPolicy::kAdaptive,
+                                       ws::StealAmount::kHalf, "Adaptive"};
 
 /// One placement axis entry (the paper's process allocations).
 struct Alloc {

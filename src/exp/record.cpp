@@ -143,10 +143,36 @@ std::string canonical_config(const ws::RunConfig& c) {
     kv("ws.tofu_sampler",
        ws::tofu_uses_alias(c.ws, c.num_ranks) ? "alias" : "rejection");
   }
+  if (c.ws.victim_policy == ws::VictimPolicy::kAdaptive) {
+    // Same backend-not-threshold rule as ws.tofu_sampler; the feedback knobs
+    // only shape behaviour when the adaptive selector is the one running.
+    kv("ws.adaptive_sampler",
+       ws::tofu_uses_alias(c.ws, c.num_ranks) ? "alias" : "rejection");
+    kvd("ws.adapt_epsilon", c.ws.adapt_epsilon);
+    kvu("ws.adapt_refresh_interval", c.ws.adapt_refresh_interval);
+  }
+  if (c.ws.victim_policy == ws::VictimPolicy::kAdaptive ||
+      c.ws.adaptive_steal_amount) {
+    kvd("ws.adapt_decay", c.ws.adapt_decay);
+  }
+  if (c.ws.adaptive_steal_amount) {
+    kvu("ws.adaptive_steal_amount", 1);
+    // The *resolved* threshold (0 means 2 * chunk_size): a config spelling
+    // the derived value explicitly is honestly identical.
+    kvu("ws.adapt_yield_threshold", c.ws.adapt_yield_threshold != 0
+                                        ? c.ws.adapt_yield_threshold
+                                        : 2 * c.ws.chunk_size);
+  }
   kvu("ws.one_sided_steals", c.ws.one_sided_steals ? 1 : 0);
   kv("ws.idle_policy", ws::to_string(c.ws.idle_policy));
   kvu("ws.lifeline_tries", c.ws.lifeline_tries);
   kvu("ws.hierarchical_local_tries", c.ws.hierarchical_local_tries);
+  if (c.ws.victim_policy == ws::VictimPolicy::kHierarchical &&
+      c.ws.hierarchical_remote_tries != 1) {
+    // Only-when-enabled: the default one-remote-slot schedule is exactly the
+    // pre-knob behaviour, so those configs keep their fingerprints.
+    kvu("ws.hierarchical_remote_tries", c.ws.hierarchical_remote_tries);
+  }
   kvu("ws.record_trace", c.ws.record_trace ? 1 : 0);
 
   // The backend key appears only for the native runtime so every simulator

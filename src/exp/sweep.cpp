@@ -86,6 +86,40 @@ Axis local_tries_axis(const std::vector<std::uint32_t>& tries) {
   return axis;
 }
 
+Axis remote_tries_axis(const std::vector<std::uint32_t>& tries) {
+  Axis axis{"remote_tries", {}};
+  for (const std::uint32_t t : tries) {
+    axis.points.push_back({std::to_string(t), [t](ws::RunConfig& cfg) {
+                             cfg.ws.hierarchical_remote_tries = t;
+                           }});
+  }
+  return axis;
+}
+
+Axis adapt_epsilon_axis(const std::vector<double>& epsilons) {
+  Axis axis{"epsilon", {}};
+  for (const double e : epsilons) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", e);
+    axis.points.push_back({label, [e](ws::RunConfig& cfg) {
+                             cfg.ws.adapt_epsilon = e;
+                           }});
+  }
+  return axis;
+}
+
+Axis adapt_decay_axis(const std::vector<double>& decays) {
+  Axis axis{"decay", {}};
+  for (const double d : decays) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", d);
+    axis.points.push_back({label, [d](ws::RunConfig& cfg) {
+                             cfg.ws.adapt_decay = d;
+                           }});
+  }
+  return axis;
+}
+
 Axis sim_shards_axis(const std::vector<std::uint32_t>& shards) {
   Axis axis{"sim_shards", {}};
   for (const std::uint32_t s : shards) {

@@ -46,6 +46,13 @@ Axis seed_axis(std::uint64_t first, std::uint64_t count);
 Axis congestion_axis(const std::vector<double>& scales);
 /// kHierarchical local picks per remote pick (ws.hierarchical_local_tries).
 Axis local_tries_axis(const std::vector<std::uint32_t>& tries);
+/// kHierarchical remote picks per schedule period
+/// (ws.hierarchical_remote_tries, the bounded-remote-tries knob).
+Axis remote_tries_axis(const std::vector<std::uint32_t>& tries);
+/// Adaptive feedback knobs (DESIGN.md §14): exploration probability and EWMA
+/// step of kAdaptive / adaptive_steal_amount.
+Axis adapt_epsilon_axis(const std::vector<double>& epsilons);
+Axis adapt_decay_axis(const std::vector<double>& decays);
 /// Parallel-simulator shard counts (RunConfig::sim_shards). An execution
 /// strategy, not a simulation parameter: every point must produce identical
 /// records, which is exactly what sweeping it checks (and what the

@@ -22,6 +22,7 @@ JobStats aggregate(const std::vector<RankStats>& per_rank) {
     job.steal_retries += r.steal_retries;
     job.duplicate_responses += r.duplicate_responses;
     job.token_regens += r.token_regens;
+    job.amount_switches += r.amount_switches;
     job.sessions += r.sessions;
     distance_total += r.steal_distance_sum;
     session_time += r.total_session_time;

@@ -28,6 +28,10 @@ struct RankStats {
   std::uint64_t duplicate_responses = 0;  ///< network-duplicated answers dropped
   std::uint64_t token_regens = 0;         ///< rank 0: probes given up on
 
+  /// Adaptive steal amount (WsConfig::adaptive_steal_amount): times this
+  /// thief's half<->one preference flipped on the yield EWMA.
+  std::uint64_t amount_switches = 0;
+
   /// Sum over *successful* steals of the 6D Euclidean distance to the
   /// victim — mean distance is direct evidence of where a victim-selection
   /// policy actually sends its traffic (near for Tofu, uniform for Rand).
@@ -66,6 +70,7 @@ struct JobStats {
   std::uint64_t steal_retries = 0;
   std::uint64_t duplicate_responses = 0;
   std::uint64_t token_regens = 0;
+  std::uint64_t amount_switches = 0;
   std::uint64_t sessions = 0;
   double mean_session_ms = 0.0;       ///< avg duration of a discovery session
   double mean_search_time_s = 0.0;    ///< avg per-rank total search time

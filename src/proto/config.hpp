@@ -27,6 +27,13 @@ enum class VictimPolicy {
   /// extension so the paper's "fixed per-level policies vs direct distance
   /// weighting" discussion (§VI) can be measured (bench/ablation_selectors).
   kHierarchical,
+  /// "Adaptive": the Tofu distance weights multiplied by a feedback skew
+  /// learned online from the peer's own steal history. Per-victim success
+  /// and RTT EWMAs (driven through VictimSelector::on_steal_result) scale
+  /// each victim's weight up when steals there succeed quickly and down when
+  /// they fail or stall, with epsilon-greedy exploration so degraded links
+  /// can recover (DESIGN.md §14).
+  kAdaptive,
 };
 
 /// How much work one successful steal transfers (§IV-C).
@@ -103,6 +110,34 @@ struct WsConfig {
   /// the long-run local fraction is exactly tries/(tries + 1). 0 means every
   /// pick is remote.
   std::uint32_t hierarchical_local_tries = 2;
+
+  /// kHierarchical: remote picks per schedule period (Suksompong, Leiserson
+  /// & Schardl bound the cost of localized stealing with a limited number of
+  /// remote tries). The selector cycles `hierarchical_local_tries` local
+  /// picks then `hierarchical_remote_tries` remote ones, so the long-run
+  /// local fraction is tries/(tries + remote_tries). Must be >= 1.
+  std::uint32_t hierarchical_remote_tries = 1;
+
+  /// Adaptive selection (kAdaptive) and adaptive amount switching share one
+  /// EWMA step: x' = (1-decay)*x + decay*sample. Must be in (0, 1].
+  double adapt_decay = 0.25;
+  /// kAdaptive: probability of an exploratory uniform draw instead of a
+  /// weighted one. Keeps EWMAs of down-weighted victims fresh so a healed
+  /// link is rediscovered. Must be in (0, 1] when kAdaptive is active — a
+  /// zero epsilon can starve a victim's feedback forever (validated).
+  double adapt_epsilon = 0.1;
+  /// kAdaptive, alias backend: feedback events between alias-table rebuilds
+  /// (the rejection backend folds feedback in immediately). Must be >= 1.
+  std::uint32_t adapt_refresh_interval = 32;
+
+  /// Adaptive steal-half <-> steal-one switching in the thief (tasking-2.0's
+  /// STEAL_ADAPTIVE, keyed on recent steal yield): when enabled the thief
+  /// asks for half while its yield EWMA (nodes per successful steal) sits
+  /// below adapt_yield_threshold, and drops back to one chunk once steals
+  /// are fat enough. steal_amount then only seeds the initial preference.
+  bool adaptive_steal_amount = false;
+  /// Yield threshold in nodes; 0 resolves to 2 * chunk_size.
+  std::uint32_t adapt_yield_threshold = 0;
 
   /// Steal-protocol robustness (DESIGN.md §10). With steal_timeout > 0 a
   /// thief arms a timer per steal request; if no response arrives in time it

@@ -27,6 +27,11 @@ using Chunk = std::vector<uts::TreeNode>;
 struct StealRequest {
   topo::Rank thief;
   std::uint32_t request_id = 0;
+  /// Under WsConfig::adaptive_steal_amount the thief states how much it
+  /// wants per request (half vs one chunk, keyed on its recent yield); the
+  /// victim honours it. Otherwise false and the victim applies the static
+  /// WsConfig::steal_amount.
+  bool want_half = false;
 };
 
 /// Victim -> thief: the answer. Empty `chunks` is a refusal (a failed steal

@@ -85,6 +85,20 @@ class RunObserver {
                                      std::uint64_t nodes) {
     (void)thief, (void)chunks, (void)nodes;
   }
+  /// Adaptive feedback (DESIGN.md §14): `thief` resolved its current steal
+  /// request to `victim` and its selector now holds the given per-victim
+  /// EWMAs. `success` means a response arrived — refusals included; only
+  /// timeouts are failures (see VictimSelector::on_steal_result for why the
+  /// seam tracks reachability, not work availability). Fires only when
+  /// the active selector keeps feedback state (kAdaptive), immediately after
+  /// the corresponding on_steal_response_received / on_steal_timeout, so the
+  /// auditor can replay the EWMA evolution sharded.
+  virtual void on_steal_feedback(topo::Rank thief, topo::Rank victim,
+                                 bool success, support::SimTime rtt,
+                                 double success_ewma, double rtt_ewma) {
+    (void)thief, (void)victim, (void)success, (void)rtt;
+    (void)success_ewma, (void)rtt_ewma;
+  }
 
   /// Termination token forwarded from `from` to `to`.
   virtual void on_token_sent(topo::Rank from, topo::Rank to, const Token& t) {

@@ -1,6 +1,7 @@
 #include "proto/peer.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "proto/observer.hpp"
@@ -23,6 +24,7 @@ Peer::Peer(const WsConfig& config, const Params& params,
                     ? make_selector(config, params.rank, *latency)
                     : nullptr),
       trace_(metrics::Phase::kIdle, 0) {
+  steal_half_pref_ = config_.steal_amount == StealAmount::kHalf;
   if (config_.idle_policy == IdlePolicy::kLifeline) {
     // Lifeline graph: hypercube buddies (Saraswat et al.) — rank ^ 2^k for
     // every bit position that stays inside the job.
@@ -89,7 +91,11 @@ void Peer::on_steal_request(const StealRequest& req, support::SimTime now,
     }
   }
   ++stats_.requests_served;
-  const bool steal_half = config_.steal_amount == StealAmount::kHalf;
+  // Under adaptive amount switching the thief states how much it wants per
+  // request; the victim honours it. Otherwise the static config applies.
+  const bool steal_half = config_.adaptive_steal_amount
+                              ? req.want_half
+                              : config_.steal_amount == StealAmount::kHalf;
   const std::size_t k = stack_.chunks_for_steal(steal_half);
 
   StealResponse resp;
@@ -159,11 +165,18 @@ void Peer::handle_steal_response(StealResponse resp, support::SimTime now) {
     abandoned_requests_.erase(it);
   }
 
+  std::uint64_t nodes_received = 0;
+  for (const auto& chunk : resp.chunks) nodes_received += chunk.size();
   if (observer_) {
-    std::uint64_t nodes_received = 0;
-    for (const auto& chunk : resp.chunks) nodes_received += chunk.size();
     observer_->on_steal_response_received(rank_, victim, resp.chunks.size(),
                                           nodes_received);
+  }
+  // Feedback only for the current request: a late answer to an abandoned
+  // request was already charged as a failure when its timeout fired. Any
+  // answer — refusals included — counts as success: the selector tracks
+  // reachability, not work availability (see VictimSelector::on_steal_result).
+  if (current) {
+    note_steal_result(victim, true, now - request_sent_, nodes_received);
   }
 
   if (resp.chunks.empty()) {
@@ -208,6 +221,7 @@ void Peer::on_steal_timeout(std::uint32_t request_id, support::SimTime now) {
   if (observer_) {
     observer_->on_steal_timeout(rank_, request_victim_, retry_attempt_);
   }
+  note_steal_result(request_victim_, false, now - request_sent_, 0);
   if (state_ != State::kIdle) return;  // reactivated meanwhile: nothing to do
   if (retry_attempt_ < config_.steal_retry_max && !parked_) {
     // Same victim, exponentially longer timer (send_steal_request scales by
@@ -459,18 +473,58 @@ void Peer::send_steal_request(topo::Rank victim, support::SimTime now) {
     observer_->on_steal_request_sent(rank_, victim,
                                      config_.steal_request_bytes);
   }
-  transport_.send(victim, StealRequest{rank_, current_request_id_},
+  transport_.send(victim, StealRequest{rank_, current_request_id_, want_half()},
                   config_.steal_request_bytes, fault::MsgClass::kDroppable);
   if (config_.steal_timeout > 0) {
     // Exponential backoff: the k-th retry waits steal_timeout * backoff^k.
     // Repeated multiplication, not std::pow — libm results vary across
-    // platforms and the wait feeds the deterministic event order.
+    // platforms and the wait feeds the deterministic event order. Saturate
+    // before the integer cast: extreme backoff/retry settings push the
+    // double past SimTime's range where the cast is UB. Same guard as
+    // sim::Network::scale_to_sim_time — max()/2 stays below the sharded run
+    // loop's +infinity sentinel.
+    constexpr double kMaxTimerWait = static_cast<double>(
+        std::numeric_limits<support::SimTime>::max() / 2);
     double wait = static_cast<double>(config_.steal_timeout);
-    for (std::uint32_t k = 0; k < retry_attempt_; ++k) {
+    for (std::uint32_t k = 0; k < retry_attempt_ && wait < kMaxTimerWait; ++k) {
       wait *= config_.steal_backoff;
     }
-    transport_.arm_steal_timer(static_cast<support::SimTime>(wait),
-                               current_request_id_);
+    const support::SimTime delay =
+        wait < kMaxTimerWait
+            ? static_cast<support::SimTime>(wait)
+            : std::numeric_limits<support::SimTime>::max() / 2;
+    transport_.arm_steal_timer(delay, current_request_id_);
+  }
+}
+
+void Peer::note_steal_result(topo::Rank victim, bool success,
+                             support::SimTime rtt, std::uint64_t nodes) {
+  if (selector_) {
+    selector_->on_steal_result(victim, success, rtt);
+    if (observer_) {
+      double success_ewma = 0.0;
+      double rtt_ewma = 0.0;
+      if (selector_->ewma_snapshot(victim, &success_ewma, &rtt_ewma)) {
+        observer_->on_steal_feedback(rank_, victim, success, rtt, success_ewma,
+                                     rtt_ewma);
+      }
+    }
+  }
+  // The amount machine keys on yield per *work-carrying* answer; refusals
+  // (success with zero nodes) and timeouts say nothing about chunk sizes.
+  if (!config_.adaptive_steal_amount || nodes == 0) return;
+  const double sample = static_cast<double>(nodes);
+  yield_ewma_ = yield_seen_ ? (1.0 - config_.adapt_decay) * yield_ewma_ +
+                                  config_.adapt_decay * sample
+                            : sample;
+  yield_seen_ = true;
+  const std::uint32_t threshold = config_.adapt_yield_threshold != 0
+                                      ? config_.adapt_yield_threshold
+                                      : 2 * config_.chunk_size;
+  const bool prefer_half = yield_ewma_ < static_cast<double>(threshold);
+  if (prefer_half != steal_half_pref_) {
+    steal_half_pref_ = prefer_half;
+    ++stats_.amount_switches;
   }
 }
 

@@ -152,6 +152,16 @@ class Peer final {
   void try_steal(support::SimTime now);
   /// Sends one steal request (fresh id, timer when steal_timeout > 0).
   void send_steal_request(topo::Rank victim, support::SimTime now);
+  /// Resolution of the *current* steal request (response or timeout):
+  /// feeds the selector's feedback seam, fires on_steal_feedback when the
+  /// selector keeps EWMA state, and drives the adaptive steal-amount
+  /// preference from the yield (`nodes` stolen; 0 on failure).
+  void note_steal_result(topo::Rank victim, bool success, support::SimTime rtt,
+                         std::uint64_t nodes);
+  /// What the next steal request asks for under adaptive_steal_amount.
+  bool want_half() const noexcept {
+    return config_.adaptive_steal_amount && steal_half_pref_;
+  }
   void send_token(bool black, std::uint64_t sent_acc = 0,
                   std::uint64_t recv_acc = 0, std::uint32_t generation = 0);
   void declare_termination(support::SimTime now);
@@ -199,6 +209,13 @@ class Peer final {
   /// duplicates and must not be answered twice. Only consulted when the
   /// transport is lossy.
   std::unordered_map<topo::Rank, std::uint32_t> last_request_seen_;
+
+  // Adaptive steal amount (WsConfig::adaptive_steal_amount; DESIGN.md §14):
+  // EWMA of nodes gained per successful steal; below the yield threshold the
+  // thief asks for half, above it a single chunk suffices.
+  bool steal_half_pref_ = false;  // seeded from steal_amount in the ctor
+  bool yield_seen_ = false;       // first success initialises the EWMA
+  double yield_ewma_ = 0.0;
 
   // Token regeneration (WsConfig::token_timeout).
   std::uint32_t token_generation_ = 0;    // rank 0: current probe generation

@@ -1,6 +1,7 @@
 #include "proto/replay.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <tuple>
 
@@ -101,6 +102,20 @@ void BufferedObserver::on_duplicate_response(topo::Rank thief,
   r.v = nodes;
 }
 
+void BufferedObserver::on_steal_feedback(topo::Rank thief, topo::Rank victim,
+                                         bool success, support::SimTime rtt,
+                                         double success_ewma, double rtt_ewma) {
+  HookRecord& r = append(Kind::kStealFeedback);
+  r.a = thief;
+  r.b = victim;
+  r.w = success ? 1 : 0;
+  r.t = rtt;
+  // The EWMAs ride in the wide counters as bit patterns; dispatch() undoes
+  // the cast, so the replayed doubles are bit-exact.
+  r.u = std::bit_cast<std::uint64_t>(success_ewma);
+  r.v = std::bit_cast<std::uint64_t>(rtt_ewma);
+}
+
 void BufferedObserver::on_token_sent(topo::Rank from, topo::Rank to,
                                      const Token& t) {
   HookRecord& r = append(Kind::kTokenSent);
@@ -175,6 +190,11 @@ void dispatch(const BufferedObserver::HookRecord& r, RunObserver& obs) {
       break;
     case Kind::kDuplicateResponse:
       obs.on_duplicate_response(r.a, r.u, r.v);
+      break;
+    case Kind::kStealFeedback:
+      obs.on_steal_feedback(r.a, r.b, r.w != 0, r.t,
+                            std::bit_cast<double>(r.u),
+                            std::bit_cast<double>(r.v));
       break;
     case Kind::kTokenSent:
       obs.on_token_sent(r.a, r.b, r.token);

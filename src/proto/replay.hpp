@@ -45,6 +45,7 @@ class BufferedObserver final : public RunObserver {
     kLifelinePushReceived,
     kStealTimeout,
     kDuplicateResponse,
+    kStealFeedback,
     kTokenSent,
     kTokenAccepted,
     kTokenRegenerated,
@@ -103,6 +104,9 @@ class BufferedObserver final : public RunObserver {
                         std::uint32_t attempt) override;
   void on_duplicate_response(topo::Rank thief, std::uint64_t chunks,
                              std::uint64_t nodes) override;
+  void on_steal_feedback(topo::Rank thief, topo::Rank victim, bool success,
+                         support::SimTime rtt, double success_ewma,
+                         double rtt_ewma) override;
   void on_token_sent(topo::Rank from, topo::Rank to, const Token& t) override;
   void on_token_accepted(topo::Rank rank, const Token& t) override;
   void on_token_regenerated(topo::Rank rank, std::uint32_t generation) override;

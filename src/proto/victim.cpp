@@ -92,15 +92,132 @@ double TofuSkewedSelector::probability(topo::Rank victim) const {
   return latency_->victim_weight(self_, victim) / weight_sum_;
 }
 
+AdaptiveSkewedSelector::AdaptiveSkewedSelector(topo::Rank self,
+                                               const topo::LatencyModel& latency,
+                                               std::uint64_t seed,
+                                               const WsConfig& config)
+    : self_(self),
+      num_ranks_(latency.layout().num_ranks()),
+      latency_(&latency),
+      rng_(rank_seed(seed, self)),
+      decay_(config.adapt_decay),
+      epsilon_(config.adapt_epsilon),
+      refresh_interval_(config.adapt_refresh_interval) {
+  DWS_CHECK(num_ranks_ >= 2);
+  DWS_CHECK(decay_ > 0.0 && decay_ <= 1.0);
+  DWS_CHECK(epsilon_ > 0.0 && epsilon_ <= 1.0);
+  DWS_CHECK(refresh_interval_ >= 1);
+  base_.resize(num_ranks_, 0.0);
+  success_ewma_.assign(num_ranks_, 1.0);  // optimism: untried victims look good
+  rtt_ewma_.assign(num_ranks_, 0.0);
+  double sum = 0.0;
+  for (topo::Rank j = 0; j < num_ranks_; ++j) {
+    if (j == self_) continue;
+    base_[j] = latency_->victim_weight(self_, j);
+    sum += base_[j];
+  }
+  DWS_CHECK(sum > 0.0 && "all victim weights are zero");
+  if (num_ranks_ <= config.alias_table_max_ranks) rebuild_alias();
+}
+
+double AdaptiveSkewedSelector::adaptive_weight(topo::Rank j) const {
+  if (j == self_ || base_[j] == 0.0) return 0.0;
+  // Relative RTT: victim j vs the thief's all-victim EWMA; 1.0 until both
+  // sides have an observation so untried victims start unskewed.
+  double rho = 1.0;
+  if (rtt_ewma_[j] > 0.0 && global_rtt_ewma_ > 0.0) {
+    rho = rtt_ewma_[j] / global_rtt_ewma_;
+  }
+  constexpr double c0 = 0.5;
+  double skew = (c0 + success_ewma_[j]) / (c0 + rho);
+  if (skew > kSkewClamp) skew = kSkewClamp;
+  if (skew < 1.0 / kSkewClamp) skew = 1.0 / kSkewClamp;
+  return base_[j] * skew;
+}
+
+void AdaptiveSkewedSelector::rebuild_alias() {
+  std::vector<double> weights(num_ranks_);
+  for (topo::Rank j = 0; j < num_ranks_; ++j) weights[j] = adaptive_weight(j);
+  alias_.emplace(weights);
+  feedback_since_rebuild_ = 0;
+}
+
+topo::Rank AdaptiveSkewedSelector::next() {
+  // Exploration arm first: one coin flip, then a uniform pick over the
+  // other N-1 ranks, exactly UniformRandomSelector's draw.
+  if (rng_.next_double() < epsilon_) {
+    const auto draw = static_cast<topo::Rank>(rng_.next_below(num_ranks_ - 1));
+    return draw >= self_ ? draw + 1 : draw;
+  }
+  if (alias_.has_value()) {
+    return static_cast<topo::Rank>(alias_->sample(rng_));
+  }
+  // Rejection with envelope kSkewClamp: base weights are <= 1 and the skew
+  // is clamped to kSkewClamp, so a_j / kSkewClamp <= 1. Feedback lands in
+  // the very next draw — no rebuild step in this backend.
+  for (std::uint64_t iter = 0; iter < kMaxRejectionIterations; ++iter) {
+    const auto candidate = static_cast<topo::Rank>(rng_.next_below(num_ranks_));
+    if (candidate == self_) continue;
+    const double a = adaptive_weight(candidate);
+    if (a <= 0.0) continue;
+    if (rng_.next_double() * kSkewClamp < a) return candidate;
+  }
+  DWS_CHECK(false && "adaptive rejection sampling failed to accept");
+  return self_;  // unreachable
+}
+
+void AdaptiveSkewedSelector::on_steal_result(topo::Rank victim, bool success,
+                                             support::SimTime rtt) {
+  DWS_CHECK(victim < num_ranks_ && victim != self_);
+  const double sample = success ? 1.0 : 0.0;
+  success_ewma_[victim] =
+      (1.0 - decay_) * success_ewma_[victim] + decay_ * sample;
+  const auto r = static_cast<double>(rtt);
+  if (r > 0.0) {
+    rtt_ewma_[victim] =
+        rtt_ewma_[victim] == 0.0 ? r
+                                 : (1.0 - decay_) * rtt_ewma_[victim] + decay_ * r;
+    global_rtt_ewma_ =
+        global_rtt_ewma_ == 0.0 ? r
+                                : (1.0 - decay_) * global_rtt_ewma_ + decay_ * r;
+  }
+  if (alias_.has_value() && ++feedback_since_rebuild_ >= refresh_interval_) {
+    rebuild_alias();
+  }
+}
+
+bool AdaptiveSkewedSelector::ewma_snapshot(topo::Rank victim,
+                                           double* success_ewma,
+                                           double* rtt_ewma) const {
+  if (victim >= num_ranks_ || victim == self_) return false;
+  *success_ewma = success_ewma_[victim];
+  *rtt_ewma = rtt_ewma_[victim];
+  return true;
+}
+
+double AdaptiveSkewedSelector::probability(topo::Rank victim) const {
+  DWS_CHECK(victim < num_ranks_);
+  if (victim == self_) return 0.0;
+  // The *live* weights, not the possibly-stale alias table: this accessor
+  // tracks the feedback state for tests and the Fig. 8-style PDF dump.
+  double sum = 0.0;
+  for (topo::Rank j = 0; j < num_ranks_; ++j) sum += adaptive_weight(j);
+  const double uniform = 1.0 / static_cast<double>(num_ranks_ - 1);
+  return epsilon_ * uniform + (1.0 - epsilon_) * adaptive_weight(victim) / sum;
+}
+
 HierarchicalSelector::HierarchicalSelector(topo::Rank self,
                                            const topo::LatencyModel& latency,
                                            std::uint64_t seed,
-                                           std::uint32_t local_tries)
+                                           std::uint32_t local_tries,
+                                           std::uint32_t remote_tries)
     : self_(self),
       num_ranks_(latency.layout().num_ranks()),
       local_tries_(local_tries),
+      remote_tries_(remote_tries),
       rng_(rank_seed(seed, self)) {
   DWS_CHECK(num_ranks_ >= 2);
+  DWS_CHECK(remote_tries_ >= 1);
   const auto& layout = latency.layout();
   const auto& machine = layout.machine();
   // Local level: co-located ranks if any, else ranks in the same Tofu cube.
@@ -130,7 +247,7 @@ HierarchicalSelector::HierarchicalSelector(topo::Rank self,
 }
 
 topo::Rank HierarchicalSelector::next() {
-  const std::uint32_t slot = phase_++ % (local_tries_ + 1);
+  const std::uint32_t slot = phase_++ % (local_tries_ + remote_tries_);
   // Degenerate jobs: with no local peers every pick is remote; with no
   // strictly remote rank (everyone shares the node/cube) every pick is local.
   const bool pick_local =
@@ -153,7 +270,11 @@ std::unique_ptr<VictimSelector> make_selector(const WsConfig& config,
                                                   config.alias_table_max_ranks);
     case VictimPolicy::kHierarchical:
       return std::make_unique<HierarchicalSelector>(
-          self, latency, config.seed, config.hierarchical_local_tries);
+          self, latency, config.seed, config.hierarchical_local_tries,
+          config.hierarchical_remote_tries);
+    case VictimPolicy::kAdaptive:
+      return std::make_unique<AdaptiveSkewedSelector>(self, latency,
+                                                      config.seed, config);
   }
   DWS_CHECK(false && "unreachable victim policy");
 }
@@ -164,6 +285,7 @@ const char* to_string(VictimPolicy p) {
     case VictimPolicy::kRandom: return "Rand";
     case VictimPolicy::kTofuSkewed: return "Tofu";
     case VictimPolicy::kHierarchical: return "Hier";
+    case VictimPolicy::kAdaptive: return "Adaptive";
   }
   return "?";
 }

@@ -80,6 +80,13 @@ class LockedObserver final : public proto::RunObserver {
     std::lock_guard<std::mutex> lock(mu_);
     inner_.on_duplicate_response(thief, chunks, nodes);
   }
+  void on_steal_feedback(topo::Rank thief, topo::Rank victim, bool success,
+                         support::SimTime rtt, double success_ewma,
+                         double rtt_ewma) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_.on_steal_feedback(thief, victim, success, rtt, success_ewma,
+                             rtt_ewma);
+  }
   void on_token_sent(topo::Rank from, topo::Rank to,
                      const proto::Token& t) override {
     std::lock_guard<std::mutex> lock(mu_);

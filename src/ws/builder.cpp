@@ -81,6 +81,38 @@ RunConfigBuilder& RunConfigBuilder::hierarchical_local_tries(
   return *this;
 }
 
+RunConfigBuilder& RunConfigBuilder::hierarchical_remote_tries(
+    std::uint32_t tries) {
+  cfg_.ws.hierarchical_remote_tries = tries;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::adapt_decay(double step) {
+  cfg_.ws.adapt_decay = step;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::adapt_epsilon(double epsilon) {
+  cfg_.ws.adapt_epsilon = epsilon;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::adapt_refresh_interval(
+    std::uint32_t events) {
+  cfg_.ws.adapt_refresh_interval = events;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::adaptive_steal_amount(bool on) {
+  cfg_.ws.adaptive_steal_amount = on;
+  return *this;
+}
+
+RunConfigBuilder& RunConfigBuilder::adapt_yield_threshold(std::uint32_t nodes) {
+  cfg_.ws.adapt_yield_threshold = nodes;
+  return *this;
+}
+
 RunConfigBuilder& RunConfigBuilder::one_sided_steals(bool on) {
   cfg_.ws.one_sided_steals = on;
   return *this;

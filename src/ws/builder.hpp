@@ -54,6 +54,13 @@ class RunConfigBuilder {
   RunConfigBuilder& idle_policy(IdlePolicy p);
   RunConfigBuilder& lifeline_tries(std::uint32_t tries);
   RunConfigBuilder& hierarchical_local_tries(std::uint32_t tries);
+  RunConfigBuilder& hierarchical_remote_tries(std::uint32_t tries);
+  /// Adaptive policy family (DESIGN.md §14).
+  RunConfigBuilder& adapt_decay(double step);
+  RunConfigBuilder& adapt_epsilon(double epsilon);
+  RunConfigBuilder& adapt_refresh_interval(std::uint32_t events);
+  RunConfigBuilder& adaptive_steal_amount(bool on = true);
+  RunConfigBuilder& adapt_yield_threshold(std::uint32_t nodes);
   RunConfigBuilder& one_sided_steals(bool on = true);
   RunConfigBuilder& record_trace(bool on);
   RunConfigBuilder& alias_table_max_ranks(std::uint32_t max_ranks);

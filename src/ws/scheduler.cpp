@@ -69,6 +69,30 @@ support::Status RunConfig::validate() const {
   if (ws.steal_backoff < 1.0) {
     return support::Status::error("steal_backoff must be >= 1.0");
   }
+  if (ws.victim_policy == VictimPolicy::kHierarchical &&
+      ws.hierarchical_remote_tries == 0) {
+    return support::Status::error(
+        "hierarchical_remote_tries must be >= 1 (a schedule with no remote "
+        "slot can never escape an empty local neighbourhood)");
+  }
+  if (ws.victim_policy == VictimPolicy::kAdaptive || ws.adaptive_steal_amount) {
+    if (!(ws.adapt_decay > 0.0 && ws.adapt_decay <= 1.0)) {
+      return support::Status::error(
+          "adapt_decay must be in (0, 1] (0 would freeze the EWMAs, > 1 "
+          "oscillates)");
+    }
+  }
+  if (ws.victim_policy == VictimPolicy::kAdaptive) {
+    if (!(ws.adapt_epsilon > 0.0 && ws.adapt_epsilon <= 1.0)) {
+      return support::Status::error(
+          "adapt_epsilon must be in (0, 1] under kAdaptive (zero exploration "
+          "can starve a down-weighted victim's feedback forever)");
+    }
+    if (ws.adapt_refresh_interval == 0) {
+      return support::Status::error(
+          "adapt_refresh_interval must be >= 1 (alias rebuild cadence)");
+    }
+  }
   if (ws.steal_timeout < 0 || ws.token_timeout < 0) {
     return support::Status::error("timeouts must be >= 0");
   }
@@ -157,6 +181,14 @@ support::Status RunConfig::validate() const {
       return support::Status::error(
           "svc rejects IdlePolicy::kLifeline (lifeline pushes are reserved "
           "for lease relinquish hand-offs)");
+    }
+    if (svc.alloc == svc::AllocPolicy::kTimeShare &&
+        (ws.victim_policy == VictimPolicy::kAdaptive ||
+         ws.adaptive_steal_amount)) {
+      return support::Status::error(
+          "svc time-sharing rejects adaptive selection/amount switching "
+          "(parked ranks refuse every steal, poisoning the feedback EWMAs "
+          "with lease noise)");
     }
     if (svc.kind == svc::JobKind::kDag) {
       return support::Status::error(

@@ -11,6 +11,7 @@ using proto::RoundRobinSelector;
 using proto::UniformRandomSelector;
 using proto::TofuSkewedSelector;
 using proto::HierarchicalSelector;
+using proto::AdaptiveSkewedSelector;
 using proto::make_selector;
 using proto::tofu_uses_alias;
 

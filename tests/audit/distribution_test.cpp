@@ -39,7 +39,8 @@ TEST(ChiSquareSf, MatchesTextbookValues) {
 TEST_F(DistributionTest, EveryPolicyMatchesItsAnalyticDistribution) {
   const ws::VictimPolicy policies[] = {
       ws::VictimPolicy::kRoundRobin, ws::VictimPolicy::kRandom,
-      ws::VictimPolicy::kTofuSkewed, ws::VictimPolicy::kHierarchical};
+      ws::VictimPolicy::kTofuSkewed, ws::VictimPolicy::kHierarchical,
+      ws::VictimPolicy::kAdaptive};
   for (const ws::VictimPolicy policy : policies) {
     ws::WsConfig cfg;
     cfg.victim_policy = policy;
@@ -109,6 +110,47 @@ TEST_F(DistributionTest, LocalTriesKnobChangesTheDistribution) {
   const DistributionCheck own =
       check_selector_distribution(*remote_selector, remote_only, 0, 20000);
   EXPECT_TRUE(own.ok) << own.detail;
+}
+
+TEST_F(DistributionTest, RemoteTriesKnobChangesTheHierarchicalSplit) {
+  // remote_tries = 3 against local_tries = 3 moves the local mass from 3/4
+  // down to 1/2; the audit expectation must track the knob, not assume the
+  // historical single remote slot.
+  ws::WsConfig cfg;
+  cfg.victim_policy = ws::VictimPolicy::kHierarchical;
+  cfg.hierarchical_local_tries = 3;
+  cfg.hierarchical_remote_tries = 3;
+  const std::vector<double> expected =
+      expected_distribution(cfg, 0, 64, latency_);
+  ws::HierarchicalSelector selector(0, latency_, 7, 3, 3);
+  double local_mass = 0.0;
+  for (const topo::Rank r : selector.local_set()) local_mass += expected[r];
+  EXPECT_NEAR(local_mass, 0.5, 1e-9);
+  const DistributionCheck check =
+      check_selector_distribution(selector, expected, 0, 20000);
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
+TEST_F(DistributionTest, FreshAdaptiveMatchesTheEpsilonMixedTofuExpectation) {
+  // Before any feedback the live weights equal the static Tofu base, so the
+  // analytic distribution is (1 - eps) * tofu + eps * uniform — which is
+  // what expected_distribution builds from probability().
+  ws::WsConfig cfg;
+  cfg.victim_policy = ws::VictimPolicy::kAdaptive;
+  cfg.adapt_epsilon = 0.2;
+  const topo::Rank self = 5;
+  const std::vector<double> expected =
+      expected_distribution(cfg, self, 64, latency_);
+  ws::TofuSkewedSelector tofu(self, latency_, cfg.seed, 2048);
+  for (topo::Rank j = 0; j < 64; ++j) {
+    const double mixed =
+        j == self ? 0.0 : 0.8 * tofu.probability(j) + 0.2 / 63.0;
+    EXPECT_NEAR(expected[j], mixed, 1e-12) << j;
+  }
+  auto selector = ws::make_selector(cfg, self, latency_);
+  const DistributionCheck check =
+      check_selector_distribution(*selector, expected, self, 20000);
+  EXPECT_TRUE(check.ok) << check.detail;
 }
 
 TEST_F(DistributionTest, TofuBackendsSelectByThresholdAndAgree) {

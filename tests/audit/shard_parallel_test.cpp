@@ -10,6 +10,7 @@
 /// (pinning that the buffered replay fan-in preserves the audited hook
 /// stream), and the one-node degenerate-shard fallthrough.
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -186,6 +187,21 @@ TEST(ShardParallel, FaultsAndCongestionComposeShardCountInvariant) {
   expect_shard_invariant(cfg, /*audited=*/true);
 }
 
+TEST(ShardParallel, AdaptiveUnderFaultsIsShardCountInvariant) {
+  // The tentpole property for the feedback seam (DESIGN.md §14): adaptive
+  // selector state is a pure function of the thief's own observation stream,
+  // so a fully perturbed adaptive run — feedback-skewed victim draws, amount
+  // switching and all — produces identical audited records at every shard
+  // count.
+  ws::RunConfig cfg = faulted_config();
+  cfg.ws.victim_policy = ws::VictimPolicy::kAdaptive;
+  cfg.ws.steal_amount = ws::StealAmount::kHalf;
+  cfg.ws.adaptive_steal_amount = true;
+  cfg.placement = topo::Placement::kGrouped;
+  cfg.procs_per_node = 8;
+  expect_shard_invariant(cfg, /*audited=*/true);
+}
+
 TEST(ShardParallel, ValidateScreensShardIncompatibleConfigs) {
   // Faults and congestion compose with sharding since PR 7 de-globalized
   // their state; the rejections that remain are the native backend and the
@@ -273,6 +289,17 @@ class HookLogObserver final : public proto::RunObserver {
                              std::uint64_t nodes) override {
     add("dup_resp", thief, chunks, nodes);
   }
+  void on_steal_feedback(topo::Rank thief, topo::Rank victim, bool success,
+                         support::SimTime rtt, double success_ewma,
+                         double rtt_ewma) override {
+    // Hexfloat keeps the EWMA comparison bit-exact — any cross-shard drift in
+    // the feedback replay shows up here, not just in rounded metrics.
+    std::ostringstream s;
+    s << "feedback " << thief << ' ' << victim << ' ' << (success ? 1 : 0)
+      << ' ' << rtt << ' ' << std::hexfloat << success_ewma << ' ' << rtt_ewma
+      << '\n';
+    log += s.str();
+  }
   void on_token_sent(topo::Rank from, topo::Rank to,
                      const proto::Token& t) override {
     add("tok_sent", from, to, t.black ? 1 : 0, t.sent, t.recv, t.generation);
@@ -326,6 +353,51 @@ TEST(ShardParallel, OneNodeJobDegeneratesToTheSerialPathExactly) {
   ws::run_simulation(cfg, &serial);
   EXPECT_FALSE(serial.log.empty());
   EXPECT_EQ(serial.log, sharded.log);
+}
+
+/// Collects each thief's on_steal_feedback stream separately. Cross-rank
+/// interleaving of same-time hooks is an engine scheduling detail the merged
+/// replay does not promise to reproduce; what IS promised is that every
+/// rank's own feedback history — and therefore its EWMA evolution — is a
+/// pure function of its message history, which sharding preserves exactly.
+class FeedbackStreamObserver final : public proto::RunObserver {
+ public:
+  std::map<topo::Rank, std::string> by_thief;
+
+  void on_steal_feedback(topo::Rank thief, topo::Rank victim, bool success,
+                         support::SimTime rtt, double success_ewma,
+                         double rtt_ewma) override {
+    std::ostringstream s;
+    s << victim << ' ' << (success ? 1 : 0) << ' ' << rtt << ' '
+      << std::hexfloat << success_ewma << ' ' << rtt_ewma << '\n';
+    by_thief[thief] += s.str();
+  }
+};
+
+TEST(ShardParallel, AdaptiveFeedbackStreamsPerThiefSurviveTheShardedReplay) {
+  // The buffered replay fan-in must reproduce each thief's serial
+  // on_steal_feedback stream — victims, outcomes and bit-exact EWMA
+  // snapshots — so the sharded audit sees the same per-rank selector
+  // evolution the serial engine produced.
+  ws::RunConfig cfg = faulted_config();
+  cfg.ws.victim_policy = ws::VictimPolicy::kAdaptive;
+  cfg.ws.steal_amount = ws::StealAmount::kHalf;
+  cfg.ws.adaptive_steal_amount = true;
+
+  FeedbackStreamObserver serial;
+  cfg.sim_shards = 1;
+  ws::run_simulation(cfg, &serial);
+  EXPECT_GT(serial.by_thief.size(), 32u);  // most of 64 ranks stole at least once
+
+  FeedbackStreamObserver sharded;
+  cfg.sim_shards = 4;
+  const ws::RunResult result = ws::run_simulation(cfg, &sharded);
+  EXPECT_GT(result.shards_used, 1u);
+  ASSERT_EQ(serial.by_thief.size(), sharded.by_thief.size());
+  for (const auto& [thief, stream] : serial.by_thief) {
+    ASSERT_TRUE(sharded.by_thief.count(thief)) << "thief " << thief;
+    EXPECT_EQ(stream, sharded.by_thief.at(thief)) << "thief " << thief;
+  }
 }
 
 TEST(ShardParallel, ShardCountIsAbsentFromTheCanonicalConfig) {

@@ -92,6 +92,46 @@ TEST(RunConfigValidate, RejectsLifelinesWithZeroTries) {
   expect_rejected(cfg, "lifeline_tries");
 }
 
+TEST(RunConfigValidate, RejectsZeroHierarchicalRemoteTries) {
+  auto cfg = valid_config();
+  cfg.ws.victim_policy = VictimPolicy::kHierarchical;
+  cfg.ws.hierarchical_remote_tries = 0;
+  expect_rejected(cfg, "hierarchical_remote_tries");
+}
+
+TEST(RunConfigValidate, RejectsOutOfRangeAdaptDecay) {
+  for (const double bad : {0.0, -0.5, 1.5}) {
+    auto cfg = valid_config();
+    cfg.ws.victim_policy = VictimPolicy::kAdaptive;
+    cfg.ws.adapt_decay = bad;
+    expect_rejected(cfg, "adapt_decay");
+  }
+  // The knob is dead without adaptation, so the same value passes.
+  auto inert = valid_config();
+  inert.ws.adapt_decay = 0.0;
+  EXPECT_TRUE(inert.validate());
+}
+
+TEST(RunConfigValidate, RejectsZeroEpsilonUnderAdaptiveSelection) {
+  auto cfg = valid_config();
+  cfg.ws.victim_policy = VictimPolicy::kAdaptive;
+  cfg.ws.adapt_epsilon = 0.0;
+  expect_rejected(cfg, "adapt_epsilon");
+}
+
+TEST(RunConfigValidate, RejectsZeroAdaptRefreshInterval) {
+  auto cfg = valid_config();
+  cfg.ws.victim_policy = VictimPolicy::kAdaptive;
+  cfg.ws.adapt_refresh_interval = 0;
+  expect_rejected(cfg, "adapt_refresh_interval");
+  // Amount switching alone never rebuilds an alias table, so the cadence
+  // knob is inert there and the same value passes.
+  auto amount_only = valid_config();
+  amount_only.ws.adaptive_steal_amount = true;
+  amount_only.ws.adapt_refresh_interval = 0;
+  EXPECT_TRUE(amount_only.validate());
+}
+
 TEST(RunConfigValidate, RejectsSupercriticalBinomialTrees) {
   auto cfg = valid_config();
   cfg.tree.m = 2;

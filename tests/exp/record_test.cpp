@@ -61,6 +61,46 @@ TEST(ConfigFingerprint, TofuRecordsTheActiveSamplerBackend) {
             std::string::npos);
 }
 
+TEST(ConfigFingerprint, AdaptiveKnobsKeyOnlyWhenAdaptationIsActive) {
+  // Every pre-adaptive fingerprint must survive the new knobs: a static
+  // policy ignores them entirely, and the adaptive keys appear only for the
+  // configs they actually shape.
+  auto off_a = base_config();
+  auto off_b = base_config();
+  off_b.ws.adapt_epsilon = 0.3;
+  off_b.ws.adapt_decay = 0.5;
+  off_b.ws.adapt_refresh_interval = 7;
+  off_b.ws.adapt_yield_threshold = 9;
+  EXPECT_EQ(config_fingerprint(off_a), config_fingerprint(off_b));
+  EXPECT_EQ(canonical_config(off_a).find("adapt"), std::string::npos);
+
+  auto adaptive = base_config();
+  adaptive.ws.victim_policy = ws::VictimPolicy::kAdaptive;
+  auto eps = adaptive;
+  eps.ws.adapt_epsilon = 0.3;
+  EXPECT_NE(config_fingerprint(adaptive), config_fingerprint(eps));
+  EXPECT_NE(canonical_config(adaptive).find("ws.adapt_epsilon"),
+            std::string::npos);
+
+  auto amount = base_config();
+  amount.ws.adaptive_steal_amount = true;
+  EXPECT_NE(config_fingerprint(base_config()), config_fingerprint(amount));
+  EXPECT_NE(canonical_config(amount).find("ws.adaptive_steal_amount"),
+            std::string::npos);
+}
+
+TEST(ConfigFingerprint, RemoteTriesKeysOnlyOffItsDefault) {
+  auto hier = base_config();
+  hier.ws.victim_policy = ws::VictimPolicy::kHierarchical;
+  EXPECT_EQ(canonical_config(hier).find("ws.hierarchical_remote_tries"),
+            std::string::npos);
+  auto wide = hier;
+  wide.ws.hierarchical_remote_tries = 3;
+  EXPECT_NE(config_fingerprint(hier), config_fingerprint(wide));
+  EXPECT_NE(canonical_config(wide).find("ws.hierarchical_remote_tries=3"),
+            std::string::npos);
+}
+
 TEST(ConfigFingerprint, NonTofuPoliciesIgnoreTheAliasThreshold) {
   auto a = base_config();
   a.ws.alias_table_max_ranks = 4;

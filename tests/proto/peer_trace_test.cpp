@@ -12,6 +12,7 @@
 // scripted clock, where each divergence names the exact protocol step.
 #include "proto/peer.hpp"
 
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "gtest/gtest.h"
 #include "proto/config.hpp"
 #include "proto/message.hpp"
+#include "proto/observer.hpp"
 #include "proto/transport.hpp"
 #include "topo/allocation.hpp"
 #include "topo/latency.hpp"
@@ -120,12 +122,12 @@ using Trace = std::vector<std::string>;
 class ScriptedPeer {
  public:
   ScriptedPeer(WsConfig config, topo::Rank rank, topo::Rank num_ranks,
-               bool lossy = false)
+               bool lossy = false, RunObserver* observer = nullptr)
       : config_(config),
         layout_(machine_, num_ranks, topo::Placement::kOnePerNode),
         latency_(layout_),
         peer_(config_, Peer::Params{rank, num_ranks, lossy}, &latency_,
-              transport_, nullptr) {}
+              transport_, observer) {}
 
   Peer& peer() { return peer_; }
   ScriptTransport& transport() { return transport_; }
@@ -266,6 +268,124 @@ TEST(PeerTrace, TimeoutsRetrySameVictimWithExponentialBackoffThenMoveOn) {
 
   EXPECT_EQ(s.peer().stats().steal_timeouts, 3u);
   EXPECT_EQ(s.peer().stats().steal_retries, 2u);
+}
+
+TEST(PeerTrace, ExtremeBackoffSaturatesTheTimerInsteadOfOverflowing) {
+  // steal_backoff^retry would overflow SimTime after one retry; the wait
+  // must saturate (at half the SimTime range, clear of the run loop's +inf
+  // sentinel), not wrap through the undefined double->int cast.
+  WsConfig cfg;
+  cfg.steal_timeout = 1000;
+  cfg.steal_backoff = 1e18;
+  cfg.steal_retry_max = 2;
+  ScriptedPeer s(cfg, 1, 4);
+  const std::string saturated =
+      std::to_string(std::numeric_limits<support::SimTime>::max() / 2);
+
+  s.peer().on_out_of_work(0);
+  EXPECT_EQ(s.take(), Trace({"send to=2 req{thief=1,id=1} bytes=16 droppable",
+                             "arm-steal delay=1000 id=1"}));
+
+  // Retry 1: 1000 * 1e18 blows past the cap -> pinned, same victim.
+  s.peer().on_steal_timeout(1, 1000);
+  EXPECT_EQ(s.take(), Trace({"send to=2 req{thief=1,id=2} bytes=16 droppable",
+                             "arm-steal delay=" + saturated + " id=2"}));
+
+  // Retry 2: already saturated, stays pinned instead of multiplying on.
+  s.peer().on_steal_timeout(2, 2000);
+  EXPECT_EQ(s.take(), Trace({"send to=2 req{thief=1,id=3} bytes=16 droppable",
+                             "arm-steal delay=" + saturated + " id=3"}));
+  EXPECT_EQ(s.peer().stats().steal_retries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive feedback seam (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// Records the resolution + feedback hook stream: event order is the golden,
+/// the EWMA values are checked numerically.
+class FeedbackObserver final : public RunObserver {
+ public:
+  void on_steal_response_received(topo::Rank thief, topo::Rank victim,
+                                  std::uint64_t chunks,
+                                  std::uint64_t nodes) override {
+    events.push_back("recv victim=" + std::to_string(victim) +
+                     " chunks=" + std::to_string(chunks) +
+                     " nodes=" + std::to_string(nodes));
+    (void)thief;
+  }
+  void on_steal_timeout(topo::Rank thief, topo::Rank victim,
+                        std::uint32_t attempt) override {
+    events.push_back("timeout victim=" + std::to_string(victim) +
+                     " attempt=" + std::to_string(attempt));
+    (void)thief;
+  }
+  void on_steal_feedback(topo::Rank thief, topo::Rank victim, bool success,
+                         support::SimTime rtt, double success_ewma,
+                         double rtt_ewma) override {
+    events.push_back("feedback victim=" + std::to_string(victim) +
+                     " success=" + std::to_string(success) +
+                     " rtt=" + std::to_string(rtt));
+    last_success_ewma = success_ewma;
+    last_rtt_ewma = rtt_ewma;
+    (void)thief;
+  }
+
+  std::vector<std::string> take() { return std::exchange(events, {}); }
+
+  std::vector<std::string> events;
+  double last_success_ewma = -1.0;
+  double last_rtt_ewma = -1.0;
+};
+
+TEST(PeerTrace, AdaptiveFeedbackFiresAfterEachResolutionWithEwmaSnapshots) {
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kAdaptive;  // adapt_decay = 0.25
+  cfg.steal_timeout = 1000;
+  cfg.steal_backoff = 2.0;
+  cfg.steal_retry_max = 2;
+  FeedbackObserver obs;
+  // Two ranks: the only victim is rank 0, so the adaptive draws are pinned.
+  ScriptedPeer s(cfg, 1, 2, /*lossy=*/false, &obs);
+
+  s.peer().on_out_of_work(0);
+  EXPECT_EQ(obs.take(), Trace{});
+
+  // A refusal is still an answer: reachability feedback reports success with
+  // the observed round trip, ordered after the resolution hook.
+  s.peer().on_message(refusal(1), 100);
+  EXPECT_EQ(obs.take(), Trace({"recv victim=0 chunks=0 nodes=0",
+                               "feedback victim=0 success=1 rtt=100"}));
+  EXPECT_DOUBLE_EQ(obs.last_success_ewma, 1.0);   // optimistic init, sample 1
+  EXPECT_DOUBLE_EQ(obs.last_rtt_ewma, 100.0);     // first observation
+
+  // The timeout of the retry sent at t=100 is the failure case: charged with
+  // the time spent waiting, EWMAs stepped by adapt_decay = 1/4.
+  s.peer().on_steal_timeout(2, 1100);
+  EXPECT_EQ(obs.take(), Trace({"timeout victim=0 attempt=0",
+                               "feedback victim=0 success=0 rtt=1000"}));
+  EXPECT_DOUBLE_EQ(obs.last_success_ewma, 0.75);  // 3/4 * 1.0 + 1/4 * 0
+  EXPECT_DOUBLE_EQ(obs.last_rtt_ewma, 325.0);     // 3/4 * 100 + 1/4 * 1000
+
+  // A work-carrying answer closes the loop: success, EWMAs recover.
+  s.peer().on_message(work_response(3, 20), 1400);
+  EXPECT_EQ(obs.take(), Trace({"recv victim=0 chunks=1 nodes=20",
+                               "feedback victim=0 success=1 rtt=300"}));
+  EXPECT_DOUBLE_EQ(obs.last_success_ewma, 0.8125);  // 3/4 * 0.75 + 1/4
+  EXPECT_DOUBLE_EQ(obs.last_rtt_ewma, 318.75);      // 3/4 * 325 + 1/4 * 300
+}
+
+TEST(PeerTrace, NonAdaptiveSelectorsEmitNoFeedbackHooks) {
+  WsConfig cfg;  // kRoundRobin: feedback-free, hook stream must stay empty
+  cfg.steal_timeout = 1000;
+  FeedbackObserver obs;
+  ScriptedPeer s(cfg, 1, 2, /*lossy=*/false, &obs);
+
+  s.peer().on_out_of_work(0);
+  s.peer().on_message(refusal(1), 100);
+  s.peer().on_steal_timeout(2, 1100);
+  EXPECT_EQ(obs.events, Trace({"recv victim=0 chunks=0 nodes=0",
+                               "timeout victim=0 attempt=0"}));
 }
 
 TEST(PeerTrace, LateAnswerToAnAbandonedRequestIsStillBanked) {

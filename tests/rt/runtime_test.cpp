@@ -96,6 +96,27 @@ TEST(RtRuntime, StealHalfAndRandomVictimsConserve) {
   expect_conserved(cfg, run_native(cfg));
 }
 
+TEST(RtRuntime, AdaptiveSelectionConservesOnRealThreads) {
+  // The feedback seam is backend-agnostic: note_steal_result fires from the
+  // same Peer code paths the simulator drives, so adaptive selection plus
+  // yield-keyed amount switching must conserve under real-thread timing too.
+  ws::RunConfig cfg = small_config(4);
+  cfg.ws.victim_policy = proto::VictimPolicy::kAdaptive;
+  cfg.ws.steal_amount = proto::StealAmount::kHalf;
+  cfg.ws.adaptive_steal_amount = true;
+  expect_conserved(cfg, run_native(cfg));
+}
+
+TEST(RtRuntime, AuditedAdaptiveNativeRunPassesEveryFamily) {
+  // Audited variant: EWMA snapshots flow through the LockedObserver, and the
+  // fresh-selector sampling distribution must satisfy the chi-square screen.
+  ws::RunConfig cfg = small_config(2);
+  cfg.ws.victim_policy = proto::VictimPolicy::kAdaptive;
+  const audit::AuditedResult ar = audit::audited_run(cfg);
+  EXPECT_TRUE(ar.report.ok()) << ar.report.summary();
+  expect_conserved(cfg, ar.result);
+}
+
 TEST(RtRuntime, AuditedNativeRunPassesEveryFamily) {
   // The full work/message/clock/distribution auditor rides the LockedObserver
   // seam; its per-node fingerprint ledger is the strongest exactly-once

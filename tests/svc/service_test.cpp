@@ -142,6 +142,20 @@ TEST(Service, ValidateScreensIllFormedServiceConfigs) {
     EXPECT_FALSE(static_cast<bool>(bad.validate()));
   }
   {
+    // Adaptive feedback composes with space sharing (disjoint rank sets keep
+    // the EWMAs honest) but not with time-share leases, where parked ranks
+    // refuse every steal and poison the per-victim state.
+    ws::RunConfig adaptive = good;
+    adaptive.ws.victim_policy = ws::VictimPolicy::kAdaptive;
+    EXPECT_TRUE(static_cast<bool>(adaptive.validate()));
+    adaptive.svc.alloc = AllocPolicy::kTimeShare;
+    EXPECT_FALSE(static_cast<bool>(adaptive.validate()));
+    ws::RunConfig amount = good;
+    amount.svc.alloc = AllocPolicy::kTimeShare;
+    amount.ws.adaptive_steal_amount = true;
+    EXPECT_FALSE(static_cast<bool>(amount.validate()));
+  }
+  {
     ws::RunConfig bad = good;
     bad.svc.num_jobs = 0;
     EXPECT_FALSE(static_cast<bool>(bad.validate()));

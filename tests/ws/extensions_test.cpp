@@ -97,6 +97,31 @@ TEST(Hierarchical, MakeSelectorHonorsLocalTries) {
   EXPECT_DOUBLE_EQ(local_fraction(1), 0.5);
 }
 
+TEST(Hierarchical, MakeSelectorHonorsRemoteTries) {
+  // The bounded-remote-tries knob widens the remote slot of the schedule:
+  // local_tries local picks then remote_tries remote picks, so the local
+  // fraction is exactly local/(local+remote).
+  topo::TofuMachine machine;
+  topo::JobLayout layout(machine, 64, topo::Placement::kGrouped, 8);
+  topo::LatencyModel latency(layout);
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kHierarchical;
+  cfg.hierarchical_local_tries = 2;
+  const auto local_fraction = [&](std::uint32_t remote) {
+    cfg.hierarchical_remote_tries = remote;
+    auto s = make_selector(cfg, 0, latency);
+    int local = 0;
+    const int draws = 12000;
+    for (int i = 0; i < draws; ++i) {
+      if (layout.same_node(0, s->next())) ++local;
+    }
+    return static_cast<double>(local) / draws;
+  };
+  EXPECT_DOUBLE_EQ(local_fraction(1), 2.0 / 3.0);  // the historical schedule
+  EXPECT_DOUBLE_EQ(local_fraction(2), 0.5);
+  EXPECT_DOUBLE_EQ(local_fraction(6), 0.25);
+}
+
 TEST(Hierarchical, RemotePhaseCoversAllRanks) {
   topo::TofuMachine machine;
   topo::JobLayout layout(machine, 32, topo::Placement::kOnePerNode);
@@ -131,7 +156,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, ExtensionOracle,
     ::testing::Combine(
         ::testing::Values(VictimPolicy::kRandom, VictimPolicy::kTofuSkewed,
-                          VictimPolicy::kHierarchical),
+                          VictimPolicy::kHierarchical,
+                          VictimPolicy::kAdaptive),
         ::testing::Values(StealAmount::kOneChunk, StealAmount::kHalf),
         ::testing::Values(IdlePolicy::kPersistentSteal, IdlePolicy::kLifeline),
         ::testing::Bool()));

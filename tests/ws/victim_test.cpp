@@ -231,7 +231,132 @@ TEST_F(VictimTest, PolicyNamesMatchPaper) {
   EXPECT_STREQ(to_string(VictimPolicy::kRoundRobin), "Reference");
   EXPECT_STREQ(to_string(VictimPolicy::kRandom), "Rand");
   EXPECT_STREQ(to_string(VictimPolicy::kTofuSkewed), "Tofu");
+  EXPECT_STREQ(to_string(VictimPolicy::kAdaptive), "Adaptive");
   EXPECT_STREQ(to_string(StealAmount::kHalf), "Half");
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive feedback selector (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+TEST_F(VictimTest, AdaptiveNeverReturnsSelfOnEitherBackend) {
+  topo::JobLayout layout(machine_, 48, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kAdaptive;
+  for (std::uint32_t threshold : {2048u, 1u}) {
+    cfg.alias_table_max_ranks = threshold;
+    AdaptiveSkewedSelector s(7, latency, 3, cfg);
+    EXPECT_EQ(s.uses_alias_table(), threshold == 2048u);
+    for (int i = 0; i < 5000; ++i) ASSERT_NE(s.next(), 7u);
+  }
+}
+
+TEST_F(VictimTest, AdaptiveDownWeightsVictimsThatStopResponding) {
+  topo::JobLayout layout(machine_, 64, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kAdaptive;
+  cfg.adapt_refresh_interval = 1;  // alias table tracks every feedback step
+  AdaptiveSkewedSelector s(0, latency, 1, cfg);
+
+  const double p_before = s.probability(1);
+  // Victim 1 times out repeatedly at 50 µs while victim 2 (same distance
+  // class) keeps answering at the fabric round trip.
+  for (int i = 0; i < 12; ++i) {
+    s.on_steal_result(1, false, 50'000);
+    s.on_steal_result(2, true, 1'000);
+  }
+  EXPECT_LT(s.probability(1), p_before);
+  EXPECT_GT(s.probability(2), s.probability(1));
+
+  double success_ewma = 0.0;
+  double rtt_ewma = 0.0;
+  ASSERT_TRUE(s.ewma_snapshot(1, &success_ewma, &rtt_ewma));
+  EXPECT_LT(success_ewma, 0.05);  // 0.75^12
+  EXPECT_GT(rtt_ewma, 40'000.0);
+  // Feedback-free ranks and self stay out of the snapshot surface.
+  EXPECT_FALSE(s.ewma_snapshot(0, &success_ewma, &rtt_ewma));
+  EXPECT_TRUE(s.ewma_snapshot(63, &success_ewma, &rtt_ewma));
+  EXPECT_DOUBLE_EQ(success_ewma, 1.0);  // optimistic init, never tried
+}
+
+TEST_F(VictimTest, AdaptiveFeedbackStateIsBackendIndependent) {
+  // The EWMA state is a pure function of the feedback sequence: the alias
+  // and rejection backends — different draw streams — must hold identical
+  // snapshots and identical live probabilities after the same history.
+  topo::JobLayout layout(machine_, 64, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kAdaptive;
+  cfg.alias_table_max_ranks = 2048;
+  AdaptiveSkewedSelector alias(3, latency, 7, cfg);
+  cfg.alias_table_max_ranks = 1;
+  AdaptiveSkewedSelector rejection(3, latency, 7, cfg);
+  ASSERT_TRUE(alias.uses_alias_table());
+  ASSERT_FALSE(rejection.uses_alias_table());
+
+  for (int i = 0; i < 200; ++i) {
+    const topo::Rank victim = (i * 13 + 1) % 64 == 3 ? 5 : (i * 13 + 1) % 64;
+    const bool success = i % 3 != 0;
+    const support::SimTime rtt = 500 + 37 * (i % 11);
+    alias.on_steal_result(victim, success, rtt);
+    rejection.on_steal_result(victim, success, rtt);
+  }
+  for (topo::Rank j = 0; j < 64; ++j) {
+    EXPECT_DOUBLE_EQ(alias.probability(j), rejection.probability(j)) << j;
+    double sa = 0.0, ra = 0.0, sr = 0.0, rr = 0.0;
+    const bool ha = alias.ewma_snapshot(j, &sa, &ra);
+    const bool hr = rejection.ewma_snapshot(j, &sr, &rr);
+    ASSERT_EQ(ha, hr) << j;
+    if (ha) {
+      EXPECT_DOUBLE_EQ(sa, sr) << j;
+      EXPECT_DOUBLE_EQ(ra, rr) << j;
+    }
+  }
+}
+
+TEST_F(VictimTest, AdaptiveSampleFrequenciesTrackTheLiveWeights) {
+  // With refresh_interval = 1 the alias table is rebuilt on every feedback,
+  // so both backends must sample the live probability() distribution even
+  // after the weights have been skewed away from the Tofu base.
+  topo::JobLayout layout(machine_, 48, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kAdaptive;
+  cfg.adapt_refresh_interval = 1;
+  for (std::uint32_t threshold : {2048u, 1u}) {
+    cfg.alias_table_max_ranks = threshold;
+    AdaptiveSkewedSelector s(3, latency, 9, cfg);
+    for (int i = 0; i < 8; ++i) {
+      s.on_steal_result(1, false, 50'000);
+      s.on_steal_result(10, true, 800);
+    }
+    std::vector<int> counts(48, 0);
+    const int draws = 480000;
+    for (int i = 0; i < draws; ++i) ++counts[s.next()];
+    for (topo::Rank j = 0; j < 48; ++j) {
+      const double expected = s.probability(j) * draws;
+      EXPECT_NEAR(counts[j], expected, 5.0 * std::sqrt(expected + 1.0))
+          << "threshold=" << threshold << " victim=" << j;
+    }
+  }
+}
+
+TEST_F(VictimTest, FactoryBuildsAdaptiveSelector) {
+  topo::JobLayout layout(machine_, 16, topo::Placement::kOnePerNode);
+  topo::LatencyModel latency(layout);
+  WsConfig cfg;
+  cfg.victim_policy = VictimPolicy::kAdaptive;
+  auto s = make_selector(cfg, 2, latency);
+  for (int i = 0; i < 50; ++i) EXPECT_NE(s->next(), 2u);
+  // The factory product carries the feedback seam, not just the base class.
+  s->on_steal_result(1, false, 10'000);
+  double success_ewma = 0.0;
+  double rtt_ewma = 0.0;
+  EXPECT_TRUE(s->ewma_snapshot(1, &success_ewma, &rtt_ewma));
+  EXPECT_DOUBLE_EQ(success_ewma, 1.0 - cfg.adapt_decay);
+  EXPECT_DOUBLE_EQ(rtt_ewma, 10'000.0);
 }
 
 }  // namespace
